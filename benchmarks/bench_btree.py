@@ -1,0 +1,64 @@
+"""E11 — the B+-tree reference point (Section 1.1).
+
+The paper measures everything against external one-dimensional range
+searching with B+-trees: space ``O(n/B)``, query ``O(log_B n + t/B)``,
+update ``O(log_B n)``.  This benchmark reproduces those reference numbers on
+the same simulated disk the other structures use.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.complexity import btree_query_bound, linear_space_bound
+from repro.btree import BPlusTree
+from repro.io import SimulatedDisk
+
+from benchmarks.conftest import measure_ios, record
+
+
+@pytest.mark.parametrize("n", [2_000, 16_000, 64_000])
+def test_range_query_io(benchmark, n):
+    B = 16
+    disk = SimulatedDisk(B)
+    tree = BPlusTree.bulk_load(disk, ((float(i), i) for i in range(n)))
+    rnd = random.Random(71)
+    queries = [(lo, lo + n * 0.01) for lo in (rnd.uniform(0, n * 0.99) for _ in range(25))]
+
+    def run():
+        return sum(len(tree.range_search(lo, hi)) for lo, hi in queries)
+
+    reported, ios = measure_ios(disk, run)
+    t_avg = reported / len(queries)
+    bound = btree_query_bound(n, B, t_avg)
+    record(
+        benchmark,
+        n=n,
+        B=B,
+        avg_output=t_avg,
+        ios_per_query=ios / len(queries),
+        bound=bound,
+        ios_per_bound=(ios / len(queries)) / bound,
+        space_blocks=tree.block_count(),
+        space_per_bound=tree.block_count() / linear_space_bound(n, B),
+    )
+    benchmark(run)
+
+
+@pytest.mark.parametrize("n", [2_000, 16_000])
+def test_insert_io(benchmark, n):
+    B = 16
+    disk = SimulatedDisk(B)
+    tree = BPlusTree.bulk_load(disk, ((float(i), i) for i in range(n)))
+    rnd = random.Random(72)
+    keys = [rnd.uniform(0, n) for _ in range(500)]
+    _, ios = measure_ios(disk, lambda: [tree.insert(k, None) for k in keys])
+    record(
+        benchmark,
+        n=n,
+        B=B,
+        ios_per_insert=ios / len(keys),
+        bound=btree_query_bound(n, B, 0),
+    )
+    benchmark.pedantic(lambda: [tree.insert(rnd.uniform(0, n), None) for _ in range(100)],
+                       rounds=2, iterations=1)

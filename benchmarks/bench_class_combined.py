@@ -1,0 +1,108 @@
+"""E6 — Theorem 4.7: the combined class index removes the log2 c query factor.
+
+Sweeps the hierarchy size ``c`` at fixed ``n`` and compares per-query I/O of
+the simple index (Theorem 2.6, cost growing with ``log2 c``) against the
+combined rake-and-contract index (Theorem 4.7, cost independent of ``c`` up
+to the additive ``log2 B``).  Also reports the replication factor
+(copies per object), which both schemes bound by ``log2 c``.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.complexity import combined_class_query_bound, simple_class_query_bound
+from repro.classes import CombinedClassIndex, SimpleClassIndex
+from repro.io import SimulatedDisk
+from repro.workloads import chain_hierarchy, random_class_objects, random_hierarchy
+
+from benchmarks.conftest import measure_ios, record
+
+N_OBJECTS = 6_000
+B = 16
+
+
+def _run_queries(disk, index, hierarchy, seed):
+    rnd = random.Random(seed)
+    # favour classes whose full extents span many classes: that is where the
+    # log2(c) factor of the simple scheme bites
+    by_size = sorted(hierarchy.classes(), key=hierarchy.subtree_size, reverse=True)
+    candidates = by_size[: max(4, len(by_size) // 4)]
+    queries = []
+    for _ in range(20):
+        cls = rnd.choice(candidates)
+        lo = rnd.uniform(0, 900)
+        queries.append((cls, lo, lo + 50.0))
+
+    def run():
+        return sum(len(index.query(cls, lo, hi)) for cls, lo, hi in queries)
+
+    reported, ios = measure_ios(disk, run)
+    return run, reported / len(queries), ios / len(queries)
+
+
+@pytest.mark.parametrize("c", [8, 64, 256])
+@pytest.mark.parametrize("scheme_name", ["simple", "combined"])
+def test_query_io_vs_hierarchy_size(benchmark, c, scheme_name):
+    hierarchy = random_hierarchy(c, seed=21)
+    objects = random_class_objects(hierarchy, N_OBJECTS, seed=22)
+    disk = SimulatedDisk(B)
+    scheme = SimpleClassIndex if scheme_name == "simple" else CombinedClassIndex
+    index = scheme(disk, hierarchy, objects)
+    run, t_avg, ios_per_query = _run_queries(disk, index, hierarchy, seed=23)
+    bound = (
+        simple_class_query_bound(N_OBJECTS, B, c, t_avg)
+        if scheme_name == "simple"
+        else combined_class_query_bound(N_OBJECTS, B, t_avg)
+    )
+    record(
+        benchmark,
+        scheme=scheme_name,
+        c=c,
+        n=N_OBJECTS,
+        B=B,
+        avg_output=t_avg,
+        ios_per_query=ios_per_query,
+        bound=bound,
+        ios_per_bound=ios_per_query / bound,
+        space_blocks=index.block_count(),
+        copies_per_object=getattr(index, "copies_per_object", lambda: 1)(),
+    )
+    benchmark(run)
+
+
+@pytest.mark.parametrize("depth", [8, 32, 128])
+def test_degenerate_hierarchy_uses_three_sided_structure(benchmark, depth):
+    """Lemma 4.3: a chain hierarchy is answered by one 3-sided structure."""
+    hierarchy = chain_hierarchy(depth)
+    objects = random_class_objects(hierarchy, 4_000, seed=31)
+    disk = SimulatedDisk(B)
+    index = CombinedClassIndex(disk, hierarchy, objects)
+    run, t_avg, ios_per_query = _run_queries(disk, index, hierarchy, seed=32)
+    bound = combined_class_query_bound(4_000, B, t_avg)
+    record(
+        benchmark,
+        c=depth,
+        n=4_000,
+        B=B,
+        avg_output=t_avg,
+        ios_per_query=ios_per_query,
+        bound=bound,
+        ios_per_bound=ios_per_query / bound,
+        pieces=len(index.decomposition.pieces),
+        copies_per_object=index.copies_per_object(),
+    )
+    benchmark(run)
+
+
+def test_combined_index_insert_cost(benchmark):
+    """Theorem 4.7 amortized insert: O(log2 c (log_B n + (log_B n)^2/B))."""
+    hierarchy = random_hierarchy(64, seed=41)
+    objects = random_class_objects(hierarchy, 4_000, seed=42)
+    disk = SimulatedDisk(B)
+    index = CombinedClassIndex(disk, hierarchy, objects)
+    extra = random_class_objects(hierarchy, 300, seed=43)
+    _, ios = measure_ios(disk, lambda: [index.insert(o) for o in extra])
+    record(benchmark, c=64, n=4_000, B=B, ios_per_insert=ios / len(extra))
+    more = random_class_objects(hierarchy, 50, seed=44)
+    benchmark.pedantic(lambda: [index.insert(o) for o in more], rounds=1, iterations=1)

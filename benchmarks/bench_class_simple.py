@@ -1,0 +1,96 @@
+"""E5 — Theorem 2.6 vs. the naive class-indexing schemes.
+
+Sweeps the hierarchy size ``c`` and measures per-query I/O and space for the
+simple (range-tree-of-B+-trees) index against the two schemes Section 2.2
+rejects.  The paper's claims:
+
+* the single global index pays for *every* object in the attribute range,
+  not just the queried class's full extent (no output compaction);
+* one B+-tree per full extent answers queries optimally but pays
+  ``O(c)``-fold space / ``O(depth)``-fold update cost;
+* the simple index is within a ``log2 c`` factor of optimal on every axis.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.complexity import simple_class_query_bound, simple_class_space_bound
+from repro.classes import FullExtentPerClassIndex, SimpleClassIndex, SingleCollectionIndex
+from repro.io import SimulatedDisk
+from repro.workloads import random_class_objects, random_hierarchy
+
+from benchmarks.conftest import measure_ios, record
+
+N_OBJECTS = 6_000
+B = 16
+
+
+def _setup(c, scheme, seed=11):
+    hierarchy = random_hierarchy(c, seed=seed)
+    objects = random_class_objects(hierarchy, N_OBJECTS, seed=seed + 1)
+    disk = SimulatedDisk(B)
+    index = scheme(disk, hierarchy, objects)
+    rnd = random.Random(seed + 2)
+    queries = []
+    by_size = sorted(hierarchy.classes(), key=hierarchy.subtree_size, reverse=True)
+    candidates = by_size[: max(4, len(by_size) // 4)]
+    for _ in range(20):
+        cls = rnd.choice(candidates)
+        lo = rnd.uniform(0, 900)
+        queries.append((cls, lo, lo + 50.0))
+    return disk, hierarchy, index, queries
+
+
+SCHEMES = {
+    "simple": SimpleClassIndex,
+    "single-collection": SingleCollectionIndex,
+    "full-extent-per-class": FullExtentPerClassIndex,
+}
+
+
+@pytest.mark.parametrize("c", [8, 32, 128])
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+def test_query_io_by_scheme_and_hierarchy_size(benchmark, c, scheme_name):
+    disk, hierarchy, index, queries = _setup(c, SCHEMES[scheme_name])
+
+    def run():
+        return sum(len(index.query(cls, lo, hi)) for cls, lo, hi in queries)
+
+    reported, ios = measure_ios(disk, run)
+    t_avg = reported / len(queries)
+    bound = simple_class_query_bound(N_OBJECTS, B, c, t_avg)
+    record(
+        benchmark,
+        scheme=scheme_name,
+        c=c,
+        n=N_OBJECTS,
+        B=B,
+        avg_output=t_avg,
+        ios_per_query=ios / len(queries),
+        thm26_bound=bound,
+        ios_per_bound=(ios / len(queries)) / bound,
+        space_blocks=index.block_count(),
+        thm26_space_bound=simple_class_space_bound(N_OBJECTS, B, c),
+    )
+    benchmark(run)
+
+
+@pytest.mark.parametrize("c", [8, 32, 128])
+def test_update_io_simple_vs_full_extent(benchmark, c):
+    """Theorem 2.6 update bound O(log2 c · log_B n) vs. O(depth · log_B n) replication."""
+    from repro.classes.hierarchy import ClassObject
+
+    results = {}
+    for name, scheme in (("simple", SimpleClassIndex), ("full-extent", FullExtentPerClassIndex)):
+        disk, hierarchy, index, _ = _setup(c, scheme)
+        extra = random_class_objects(hierarchy, 200, seed=99)
+        _, ios = measure_ios(disk, lambda idx=index, ex=extra: [idx.insert(o) for o in ex])
+        results[name] = ios / len(extra)
+    record(benchmark, c=c, n=N_OBJECTS, B=B,
+           simple_ios_per_insert=results["simple"],
+           full_extent_ios_per_insert=results["full-extent"])
+
+    disk, hierarchy, index, _ = _setup(c, SimpleClassIndex)
+    extra = random_class_objects(hierarchy, 50, seed=100)
+    benchmark.pedantic(lambda: [index.insert(o) for o in extra], rounds=1, iterations=1)

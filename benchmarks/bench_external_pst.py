@@ -1,0 +1,48 @@
+"""E8 — Lemma 4.1: blocked priority search tree for 3-sided queries.
+
+Measured query I/O divided by ``log2 n + t/B`` should stay constant as n
+grows; space stays at ``O(n/B)`` blocks.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.complexity import external_pst_query_bound, linear_space_bound
+from repro.io import SimulatedDisk
+from repro.pst import ExternalPST
+from repro.workloads import random_points
+
+from benchmarks.conftest import measure_ios, record
+
+
+@pytest.mark.parametrize("n", [2_000, 8_000, 32_000])
+def test_three_sided_query_io(benchmark, n):
+    B = 16
+    disk = SimulatedDisk(B)
+    points = random_points(n, seed=51)
+    pst = ExternalPST(disk, points)
+    rnd = random.Random(52)
+    queries = []
+    for _ in range(25):
+        x1 = rnd.uniform(0, 900)
+        queries.append((x1, x1 + 60.0, rnd.uniform(0, 1000)))
+
+    def run():
+        return sum(len(pst.query_3sided(x1, x2, y0)) for x1, x2, y0 in queries)
+
+    reported, ios = measure_ios(disk, run)
+    t_avg = reported / len(queries)
+    bound = external_pst_query_bound(n, B, t_avg)
+    record(
+        benchmark,
+        n=n,
+        B=B,
+        avg_output=t_avg,
+        ios_per_query=ios / len(queries),
+        bound=bound,
+        ios_per_bound=(ios / len(queries)) / bound,
+        space_blocks=pst.block_count(),
+        space_per_bound=pst.block_count() / linear_space_bound(n, B),
+    )
+    benchmark(run)

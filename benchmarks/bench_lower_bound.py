@@ -1,0 +1,48 @@
+"""E2 — Proposition 3.3: the metablock tree meets the lower bound.
+
+The lower-bound instance is the staircase ``{(x, x+1)}`` with queries at
+``(x + 1/2, x + 1/2)``: every query returns exactly one point, so any
+structure must pay ``Ω(log_B n)`` I/Os per query and ``Ω(n/B)`` blocks.  The
+measured metablock-tree cost divided by ``log_B n + t/B`` should stay a
+small constant as ``n`` grows — i.e. the structure is within a constant
+factor of the information-theoretic optimum.
+"""
+
+import pytest
+
+from repro.analysis.complexity import linear_space_bound, metablock_query_bound
+from repro.io import SimulatedDisk
+from repro.metablock import StaticMetablockTree
+from repro.workloads import diagonal_staircase_points
+
+from benchmarks.conftest import measure_ios, record
+
+
+@pytest.mark.parametrize("n", [1_000, 8_000, 32_000])
+def test_staircase_queries_meet_lower_bound(benchmark, n):
+    B = 16
+    disk = SimulatedDisk(B)
+    tree = StaticMetablockTree(disk, diagonal_staircase_points(n))
+    queries = [x + 0.5 for x in range(1, n, max(1, n // 50))][:50]
+
+    def run():
+        total = 0
+        for q in queries:
+            total += len(tree.diagonal_query(q))
+        return total
+
+    reported, ios = measure_ios(disk, run)
+    assert reported == len(queries)  # each staircase query returns exactly one point
+    per_query = ios / len(queries)
+    bound = metablock_query_bound(n, B, 1)
+    record(
+        benchmark,
+        n=n,
+        B=B,
+        ios_per_query=per_query,
+        lower_bound=bound,
+        ios_per_bound=per_query / bound,
+        space_blocks=tree.block_count(),
+        space_per_lower_bound=tree.block_count() / linear_space_bound(n, B),
+    )
+    benchmark(run)

@@ -1,0 +1,72 @@
+"""E3 — Theorem 3.7: semi-dynamic metablock tree insertions.
+
+Measures amortized insert I/O against the bound ``log_B n + (log_B n)^2/B``
+and verifies queries stay at the static cost after a long insert sequence.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.complexity import metablock_insert_bound, metablock_query_bound
+from repro.io import SimulatedDisk
+from repro.metablock import AugmentedMetablockTree
+from repro.workloads import interval_points, random_intervals
+
+from benchmarks.conftest import measure_ios, record
+
+
+@pytest.mark.parametrize("n", [1_000, 4_000, 16_000])
+def test_amortized_insert_io(benchmark, n):
+    B = 16
+    base = interval_points(random_intervals(n, seed=1))
+    extra = interval_points(random_intervals(500, seed=2))
+    disk = SimulatedDisk(B)
+    tree = AugmentedMetablockTree(disk, base)
+
+    _, ios = measure_ios(disk, lambda: tree.insert_many(extra))
+    per_insert = ios / len(extra)
+    bound = metablock_insert_bound(n, B)
+    record(
+        benchmark,
+        n=n,
+        B=B,
+        ios_per_insert=per_insert,
+        bound=bound,
+        ios_per_bound=per_insert / bound,
+    )
+
+    def insert_batch():
+        t = AugmentedMetablockTree(SimulatedDisk(B), base)
+        t.insert_many(extra[:100])
+        return t
+
+    benchmark.pedantic(insert_batch, rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("n", [2_000, 8_000])
+def test_query_after_incremental_build(benchmark, n):
+    """The structure built purely by inserts must still answer queries optimally."""
+    B = 16
+    points = interval_points(random_intervals(n, seed=3, mean_length=20.0))
+    disk = SimulatedDisk(B)
+    tree = AugmentedMetablockTree(disk)
+    tree.insert_many(points)
+    rnd = random.Random(4)
+    queries = [rnd.uniform(0, 1000) for _ in range(20)]
+
+    def run():
+        return sum(len(tree.diagonal_query(q)) for q in queries)
+
+    reported, ios = measure_ios(disk, run)
+    t_avg = reported / len(queries)
+    bound = metablock_query_bound(n, B, t_avg)
+    record(
+        benchmark,
+        n=n,
+        B=B,
+        ios_per_query=ios / len(queries),
+        bound=bound,
+        ios_per_bound=(ios / len(queries)) / bound,
+    )
+    benchmark(run)

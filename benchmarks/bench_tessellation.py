@@ -1,0 +1,41 @@
+"""E7 — Lemma 2.7 / Theorem 2.8: the tessellation lower bound.
+
+Measures how many blocks a row query touches on a square rectangular
+tessellation of a ``p x p`` grid (the layout grid files, k-d-B-trees and
+hB-trees produce on uniform data), against the optimal ``t/B``.  The ratio
+should grow like ``sqrt(B)``, and no rectangular aspect ratio can be good
+for rows and columns simultaneously.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.tessellation import GridTessellation, best_achievable_ratio
+
+from benchmarks.conftest import record
+
+
+@pytest.mark.parametrize("block_size", [4, 16, 64, 256])
+def test_row_query_ratio_grows_with_sqrt_b(benchmark, block_size):
+    p = 256
+    tess = GridTessellation(p, block_size)
+    stats = tess.measure()
+    record(
+        benchmark,
+        p=p,
+        B=block_size,
+        blocks_per_row_query=stats.row_query_blocks,
+        optimal_blocks=stats.optimal_blocks,
+        ratio=stats.ratio,
+        sqrt_B=math.sqrt(block_size),
+    )
+    benchmark(lambda: tess.row_query_blocks(p // 2))
+
+
+def test_no_aspect_ratio_is_good_for_rows_and_columns(benchmark):
+    p, B = 128, 64
+    ratios = best_achievable_ratio(p, B)
+    best = min(ratios.values())
+    record(benchmark, p=p, B=B, best_worst_axis_ratio=best, sqrt_B=math.sqrt(B))
+    benchmark.pedantic(lambda: best_achievable_ratio(64, 16), rounds=2, iterations=1)

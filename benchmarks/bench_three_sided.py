@@ -1,0 +1,98 @@
+"""E9 — Lemma 4.4: 3-sided metablock variant.
+
+Query I/O should track ``log_B n + log2 B + t/B`` (better base than the
+blocked PST of Lemma 4.1 for the logarithmic term), with linear space and
+polylogarithmic amortized inserts.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.complexity import (
+    external_pst_query_bound,
+    linear_space_bound,
+    three_sided_query_bound,
+)
+from repro.io import SimulatedDisk
+from repro.metablock import ThreeSidedMetablockTree
+from repro.pst import ExternalPST
+from repro.workloads import random_points
+
+from benchmarks.conftest import measure_ios, record
+
+
+def _queries(count=20, seed=61):
+    rnd = random.Random(seed)
+    out = []
+    for _ in range(count):
+        x1 = rnd.uniform(0, 900)
+        out.append((x1, x1 + 60.0, rnd.uniform(0, 1000)))
+    return out
+
+
+@pytest.mark.parametrize("n", [2_000, 8_000, 24_000])
+def test_three_sided_query_io(benchmark, n):
+    B = 16
+    disk = SimulatedDisk(B)
+    points = random_points(n, seed=62)
+    tree = ThreeSidedMetablockTree(disk, points)
+    queries = _queries()
+
+    def run():
+        return sum(len(tree.query_3sided(x1, x2, y0)) for x1, x2, y0 in queries)
+
+    reported, ios = measure_ios(disk, run)
+    t_avg = reported / len(queries)
+    bound = three_sided_query_bound(n, B, t_avg)
+    record(
+        benchmark,
+        n=n,
+        B=B,
+        avg_output=t_avg,
+        ios_per_query=ios / len(queries),
+        bound=bound,
+        ios_per_bound=(ios / len(queries)) / bound,
+        space_blocks=tree.block_count(),
+        space_per_bound=tree.block_count() / linear_space_bound(n, B),
+    )
+    benchmark(run)
+
+
+def test_three_sided_vs_blocked_pst(benchmark):
+    """Head-to-head at the same workload (the Lemma 4.1 -> Lemma 4.4 improvement)."""
+    n, B = 16_000, 16
+    points = random_points(n, seed=63)
+    queries = _queries()
+
+    disk_a = SimulatedDisk(B)
+    metablock = ThreeSidedMetablockTree(disk_a, points)
+    _, ios_metablock = measure_ios(
+        disk_a, lambda: [metablock.query_3sided(*q) for q in queries]
+    )
+
+    disk_b = SimulatedDisk(B)
+    pst = ExternalPST(disk_b, points)
+    _, ios_pst = measure_ios(disk_b, lambda: [pst.query_3sided(*q) for q in queries])
+
+    record(
+        benchmark,
+        n=n,
+        B=B,
+        metablock_ios_per_query=ios_metablock / len(queries),
+        blocked_pst_ios_per_query=ios_pst / len(queries),
+        metablock_bound=three_sided_query_bound(n, B, 50),
+        pst_bound=external_pst_query_bound(n, B, 50),
+    )
+    benchmark(lambda: [metablock.query_3sided(*q) for q in queries])
+
+
+def test_insert_cost(benchmark):
+    n, B = 8_000, 16
+    disk = SimulatedDisk(B)
+    tree = ThreeSidedMetablockTree(disk, random_points(n, seed=64))
+    extra = random_points(400, seed=65)
+    _, ios = measure_ios(disk, lambda: tree.insert_many(extra))
+    record(benchmark, n=n, B=B, ios_per_insert=ios / len(extra))
+    more = random_points(50, seed=66)
+    benchmark.pedantic(lambda: tree.insert_many(more), rounds=1, iterations=1)

@@ -1,0 +1,86 @@
+"""A miniature version of the full evaluation: I/O scaling of the main result.
+
+Prints the per-query I/O cost of the static metablock tree as ``n`` grows,
+next to the bound ``log_B n + t/B`` of Theorem 3.2 and the cost of a naive
+external scan, then does the same for the class indexes as the hierarchy
+grows (Theorem 2.6 vs. Theorem 4.7).  The full parameter sweeps live in
+``benchmarks/``; this script gives the shape of the result in a few seconds.
+
+Run with::
+
+    python examples/io_scaling_study.py
+"""
+
+import random
+
+from repro import SimulatedDisk, StaticMetablockTree
+from repro.analysis.complexity import (
+    combined_class_query_bound,
+    metablock_query_bound,
+    simple_class_query_bound,
+)
+from repro.classes import CombinedClassIndex, SimpleClassIndex
+from repro.workloads import interval_points, random_class_objects, random_hierarchy, random_intervals
+
+B = 16
+
+
+def interval_scaling() -> None:
+    print("=== Theorem 3.2: diagonal-corner query I/O vs n (B = 16) ===")
+    print(f"{'n':>8} {'avg t':>8} {'I/Os':>8} {'bound':>8} {'ratio':>7} {'scan':>7}")
+    rnd = random.Random(1)
+    queries = [rnd.uniform(0, 1000) for _ in range(20)]
+    for n in (1_000, 4_000, 16_000, 32_000):
+        disk = SimulatedDisk(B)
+        tree = StaticMetablockTree(disk, interval_points(random_intervals(n, seed=2, mean_length=20)))
+        with disk.measure() as m:
+            total = sum(len(tree.diagonal_query(q)) for q in queries)
+        t_avg = total / len(queries)
+        ios = m.ios / len(queries)
+        bound = metablock_query_bound(n, B, t_avg)
+        print(f"{n:>8} {t_avg:>8.1f} {ios:>8.1f} {bound:>8.1f} {ios / bound:>7.2f} {n / B:>7.0f}")
+    print()
+
+
+def class_scaling() -> None:
+    print("=== Theorem 2.6 vs Theorem 4.7: class-index query I/O vs c (n = 4000, B = 16) ===")
+    print(f"{'c':>6} {'simple I/Os':>12} {'2.6 bound':>10} {'combined I/Os':>14} {'4.7 bound':>10}")
+    n = 4_000
+    for c in (4, 16, 64, 256):
+        hierarchy = random_hierarchy(c, seed=3)
+        objects = random_class_objects(hierarchy, n, seed=4)
+        rnd = random.Random(5)
+        # query classes high in the hierarchy: their full extents span many
+        # classes, which is where the log2(c) factor of Theorem 2.6 shows up
+        by_size = sorted(hierarchy.classes(), key=hierarchy.subtree_size, reverse=True)
+        queries = []
+        for i in range(15):
+            cls = by_size[i % max(1, len(by_size) // 4)]
+            lo = rnd.uniform(0, 900)
+            queries.append((cls, lo, lo + 60))
+
+        costs = {}
+        outputs = 0
+        for name, scheme in (("simple", SimpleClassIndex), ("combined", CombinedClassIndex)):
+            disk = SimulatedDisk(B)
+            index = scheme(disk, hierarchy, objects)
+            with disk.measure() as m:
+                outputs = sum(len(index.query(*q)) for q in queries)
+            costs[name] = m.ios / len(queries)
+        t_avg = outputs / len(queries)
+        print(
+            f"{c:>6} {costs['simple']:>12.1f} "
+            f"{simple_class_query_bound(n, B, c, t_avg):>10.1f} "
+            f"{costs['combined']:>14.1f} "
+            f"{combined_class_query_bound(n, B, t_avg):>10.1f}"
+        )
+    print()
+    print("the 'simple' scheme touches O(log2 c) B+-trees per query, so its cost (and its")
+    print("bound) grows with the hierarchy size, while the 'combined' scheme's cost tracks")
+    print("the c-independent bound of Theorem 4.7.  At these moderate sizes both answer in")
+    print("a handful of I/Os; the separation is in how the two bounds scale.")
+
+
+if __name__ == "__main__":
+    interval_scaling()
+    class_scaling()

@@ -1,0 +1,75 @@
+"""repro — I/O-efficient indexing for data models with constraints and classes.
+
+A from-scratch reproduction of
+
+    P. Kanellakis, S. Ramaswamy, D. E. Vengroff, J. S. Vitter.
+    "Indexing for Data Models with Constraints and Classes",
+    PODS 1993 / JCSS 52(3):589-612, 1996.
+
+The package implements the paper's data structures (the metablock tree and
+its semi-dynamic and 3-sided variants, blocked priority search trees, the
+class-indexing schemes of Theorems 2.6 and 4.7), the substrates they rely on
+(a simulated disk with exact I/O accounting, external B+-trees, the in-core
+baselines of Section 1.4) and the constraint data model of Section 2.1, plus
+workload generators and benchmark harnesses that regenerate an empirical
+evaluation of every bound the paper proves.
+
+Quickstart
+----------
+>>> from repro import SimulatedDisk, ExternalIntervalManager, Interval
+>>> disk = SimulatedDisk(block_size=16)
+>>> manager = ExternalIntervalManager(disk, [Interval(1, 5), Interval(3, 9)])
+>>> sorted((iv.low, iv.high) for iv in manager.stabbing_query(4))
+[(1, 5), (3, 9)]
+"""
+
+from repro.interval import Interval
+from repro.io import BufferManager, IOStats, SimulatedDisk
+from repro.btree import BPlusTree
+from repro.core import ClassIndexer, ExternalIntervalManager
+from repro.classes import ClassHierarchy, ClassObject, CombinedClassIndex, SimpleClassIndex
+from repro.constraints import (
+    Constraint,
+    GeneralizedOneDimensionalIndex,
+    GeneralizedRelation,
+    GeneralizedTuple,
+    var,
+)
+from repro.metablock import (
+    AugmentedMetablockTree,
+    DiagonalCornerQuery,
+    PlanarPoint,
+    StaticMetablockTree,
+    ThreeSidedMetablockTree,
+    ThreeSidedQuery,
+)
+from repro.pst import ExternalPST
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AugmentedMetablockTree",
+    "BPlusTree",
+    "BufferManager",
+    "ClassHierarchy",
+    "ClassIndexer",
+    "ClassObject",
+    "CombinedClassIndex",
+    "Constraint",
+    "DiagonalCornerQuery",
+    "ExternalIntervalManager",
+    "ExternalPST",
+    "GeneralizedOneDimensionalIndex",
+    "GeneralizedRelation",
+    "GeneralizedTuple",
+    "IOStats",
+    "Interval",
+    "PlanarPoint",
+    "SimpleClassIndex",
+    "SimulatedDisk",
+    "StaticMetablockTree",
+    "ThreeSidedMetablockTree",
+    "ThreeSidedQuery",
+    "var",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Analysis helpers: cost-model predictions and the tessellation lower bound."""
+
+from repro.analysis.complexity import (
+    btree_query_bound,
+    log_b,
+    metablock_insert_bound,
+    metablock_query_bound,
+    simple_class_query_bound,
+    three_sided_query_bound,
+    bound_ratio,
+)
+from repro.analysis.tessellation import GridTessellation, row_query_cost_ratio
+
+__all__ = [
+    "GridTessellation",
+    "bound_ratio",
+    "btree_query_bound",
+    "log_b",
+    "metablock_insert_bound",
+    "metablock_query_bound",
+    "row_query_cost_ratio",
+    "simple_class_query_bound",
+    "three_sided_query_bound",
+]

@@ -1,0 +1,130 @@
+"""The tessellation lower-bound experiment (Lemma 2.7 / Theorem 2.8, Fig. 7).
+
+Lemma 2.7 shows that no tessellation of a ``p x p`` grid of points into
+non-overlapping rectangular disk blocks of ``B`` points can answer all range
+queries optimally: summing block heights over row queries and widths over
+column queries forces ``B <= k^2`` for any claimed constant ``k``.  The
+intuition the paper gives for grid files / k-d-B-trees / hB-trees is that a
+"square-ish" blocking makes a row query of ``t`` points touch
+``Theta(t/sqrt(B))`` blocks instead of the optimal ``t/B``.
+
+:class:`GridTessellation` materialises such a blocking and measures row /
+column query costs, reproducing that separation (experiment E7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class TessellationStats:
+    """Measured block reads for a family of grid range queries."""
+
+    p: int
+    block_size: int
+    blocks_total: int
+    row_query_blocks: float
+    optimal_blocks: float
+
+    @property
+    def ratio(self) -> float:
+        """Measured blocks per row query divided by the optimal ``t/B``."""
+        if self.optimal_blocks == 0:
+            return 0.0
+        return self.row_query_blocks / self.optimal_blocks
+
+
+class GridTessellation:
+    """A rectangular tessellation of a ``p x p`` point grid into blocks of ``B``.
+
+    The default layout uses ``w x h`` rectangles with ``w = h = sqrt(B)``
+    (the "square-ish" blocks that space-organising structures produce on a
+    uniform grid); alternative aspect ratios can be supplied to explore the
+    trade-off the proof of Lemma 2.7 formalises: making row queries cheap
+    (flat blocks) necessarily makes column queries expensive and vice versa.
+    """
+
+    def __init__(self, p: int, block_size: int, block_width: int = 0) -> None:
+        if p <= 0 or block_size <= 0:
+            raise ValueError("p and block_size must be positive")
+        self.p = p
+        self.block_size = block_size
+        if block_width <= 0:
+            block_width = max(1, int(round(math.sqrt(block_size))))
+        self.block_width = min(block_width, p)
+        self.block_height = max(1, block_size // self.block_width)
+
+    # ------------------------------------------------------------------ #
+    # layout
+    # ------------------------------------------------------------------ #
+    def block_of(self, x: int, y: int) -> Tuple[int, int]:
+        """The block identifier covering grid point ``(x, y)``."""
+        return (x // self.block_width, y // self.block_height)
+
+    def blocks_total(self) -> int:
+        across = -(-self.p // self.block_width)
+        down = -(-self.p // self.block_height)
+        return across * down
+
+    # ------------------------------------------------------------------ #
+    # query costs
+    # ------------------------------------------------------------------ #
+    def row_query_blocks(self, row: int) -> int:
+        """Blocks touched by the query returning the ``p`` points of one row."""
+        return len({self.block_of(x, row) for x in range(self.p)})
+
+    def column_query_blocks(self, column: int) -> int:
+        """Blocks touched by the query returning the ``p`` points of one column."""
+        return len({self.block_of(column, y) for y in range(self.p)})
+
+    def range_query_blocks(self, x1: int, x2: int, y1: int, y2: int) -> int:
+        """Blocks touched by a general rectangular range query."""
+        blocks = set()
+        for x in range(max(0, x1), min(self.p, x2 + 1)):
+            for y in range(max(0, y1), min(self.p, y2 + 1)):
+                blocks.add(self.block_of(x, y))
+        return len(blocks)
+
+    def measure(self) -> TessellationStats:
+        """Average row-query cost against the optimal ``t/B`` packing."""
+        rows = range(self.p)
+        average = sum(self.row_query_blocks(r) for r in rows) / self.p
+        optimal = max(1.0, self.p / self.block_size)
+        return TessellationStats(
+            p=self.p,
+            block_size=self.block_size,
+            blocks_total=self.blocks_total(),
+            row_query_blocks=average,
+            optimal_blocks=optimal,
+        )
+
+
+def row_query_cost_ratio(p: int, block_size: int) -> float:
+    """Measured-over-optimal ratio for row queries on the square tessellation.
+
+    Lemma 2.7 predicts this ratio grows like ``sqrt(B)``; experiment E7
+    sweeps ``B`` and checks that shape.
+    """
+    return GridTessellation(p, block_size).measure().ratio
+
+
+def best_achievable_ratio(p: int, block_size: int) -> Dict[int, float]:
+    """Row-query ratio for every rectangular aspect ratio ``w x (B/w)``.
+
+    Illustrates the trade-off at the heart of Lemma 2.7's averaging
+    argument: flat blocks (width ``B``) are optimal for rows but pessimal
+    for columns, and the symmetric compromise pays ``sqrt(B)`` on both.
+    """
+    out: Dict[int, float] = {}
+    for width in range(1, block_size + 1):
+        if block_size % width:
+            continue
+        tess = GridTessellation(p, block_size, block_width=width)
+        rows = sum(tess.row_query_blocks(r) for r in range(p)) / p
+        cols = sum(tess.column_query_blocks(c) for c in range(p)) / p
+        optimal = max(1.0, p / block_size)
+        out[width] = max(rows, cols) / optimal
+    return out

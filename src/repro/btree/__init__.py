@@ -1,0 +1,12 @@
+"""External B+-tree.
+
+The paper uses the B+-tree as its point of reference (Section 1.1): space
+``O(n/B)`` pages, range query ``O(log_B n + t/B)`` I/Os and update
+``O(log_B n)`` I/Os.  Every class-indexing structure in the paper "indexes a
+collection" by building a B+-tree over it, so this subpackage is a core
+substrate of the reproduction.
+"""
+
+from repro.btree.bplustree import BPlusTree
+
+__all__ = ["BPlusTree"]

@@ -1,0 +1,53 @@
+"""Indexing classes in an object-oriented data model (Sections 2.2 and 4).
+
+Objects live in a *static forest* class hierarchy; "indexing classes" means
+answering one-dimensional range queries over an attribute against the **full
+extent** of any class (the class and all its descendants), while objects are
+inserted into and deleted from classes dynamically.
+
+* :mod:`~repro.classes.hierarchy` — the class hierarchy model, the
+  ``label-class`` interval labelling (Proposition 2.5, Figs. 4–5) and the
+  object record type.
+* :mod:`~repro.classes.collection` — "indexing a collection" (a B+-tree over
+  one attribute of a set of objects), the building block of every scheme.
+* :mod:`~repro.classes.baselines` — the two naive schemes discussed in
+  Section 2.2 (one global index + filter; one index per class full extent)
+  plus the extent-per-class scheme.
+* :mod:`~repro.classes.simple_index` — the range-tree-of-B+-trees of
+  Theorem 2.6.
+* :mod:`~repro.classes.decomposition` — ``label-edges`` (thick/thin edges,
+  Lemma 4.5) and ``rake-and-contract`` (Lemma 4.6, Figs. 22–24).
+* :mod:`~repro.classes.combined_index` — the improved class index of
+  Theorem 4.7 built on the 3-sided metablock tree.
+"""
+
+from repro.classes.hierarchy import ClassHierarchy, ClassObject
+from repro.classes.collection import CollectionIndex
+from repro.classes.baselines import (
+    ExtentPerClassIndex,
+    FullExtentPerClassIndex,
+    SingleCollectionIndex,
+)
+from repro.classes.simple_index import SimpleClassIndex
+from repro.classes.decomposition import (
+    EdgeLabeling,
+    HierarchyDecomposition,
+    label_edges,
+    rake_and_contract,
+)
+from repro.classes.combined_index import CombinedClassIndex
+
+__all__ = [
+    "ClassHierarchy",
+    "ClassObject",
+    "CollectionIndex",
+    "CombinedClassIndex",
+    "EdgeLabeling",
+    "ExtentPerClassIndex",
+    "FullExtentPerClassIndex",
+    "HierarchyDecomposition",
+    "SimpleClassIndex",
+    "SingleCollectionIndex",
+    "label_edges",
+    "rake_and_contract",
+]

@@ -1,0 +1,127 @@
+"""The naive class-indexing schemes discussed in Section 2.2.
+
+The paper motivates its contributions by rejecting two obvious schemes:
+
+* **One index for everything** (:class:`SingleCollectionIndex`): a single
+  B+-tree over all objects, filtered by class at query time.  It "cannot
+  compact a t-sized output into t/B pages because the algorithm has no
+  control over how the objects of interest are interspersed with other
+  objects" — queries read pages full of foreign-class objects.
+* **One index per class full extent** (:class:`FullExtentPerClassIndex`):
+  optimal queries, but ``O((n/B)·c)`` space in the worst case and
+  ``O(c·log_B n)`` update time because an object is replicated in every
+  ancestor's index.
+* **One index per class extent** (:class:`ExtentPerClassIndex`): linear
+  space and cheap updates, but a query must visit one B+-tree per
+  descendant class.
+
+All three serve as baselines for experiments E5/E6 and as correctness
+oracles for the paper's structures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+from repro.classes.collection import CollectionIndex
+from repro.classes.hierarchy import ClassHierarchy, ClassObject
+
+
+class SingleCollectionIndex:
+    """One B+-tree over every object; class filtering happens after the scan."""
+
+    def __init__(self, disk, hierarchy: ClassHierarchy, objects: Iterable[ClassObject] = ()) -> None:
+        self.hierarchy = hierarchy
+        self.collection = CollectionIndex(disk, objects, name="all-objects")
+
+    def insert(self, obj: ClassObject) -> None:
+        self.collection.insert(obj)
+
+    def delete(self, obj: ClassObject) -> bool:
+        return self.collection.delete(obj)
+
+    def query(self, class_name: str, low: Any, high: Any) -> List[ClassObject]:
+        """Full-extent range query: scan the attribute range, filter by class."""
+        wanted = set(self.hierarchy.descendants(class_name))
+        return [obj for obj in self.collection.range_query(low, high) if obj.class_name in wanted]
+
+    def block_count(self) -> int:
+        return self.collection.block_count()
+
+    def __len__(self) -> int:
+        return len(self.collection)
+
+
+class FullExtentPerClassIndex:
+    """One B+-tree per class, holding that class's *full extent*.
+
+    An inserted object is replicated into the index of each ancestor class,
+    so updates cost ``O(depth · log_B n)`` I/Os and space grows with the sum
+    of full-extent sizes (Lemma 4.2 analyses the constant-depth case where
+    this is actually optimal).
+    """
+
+    def __init__(self, disk, hierarchy: ClassHierarchy, objects: Iterable[ClassObject] = ()) -> None:
+        self.disk = disk
+        self.hierarchy = hierarchy
+        grouped: Dict[str, List[ClassObject]] = {c: [] for c in hierarchy.classes()}
+        for obj in objects:
+            for cls in [obj.class_name] + hierarchy.ancestors(obj.class_name):
+                grouped[cls].append(obj)
+        self.indexes: Dict[str, CollectionIndex] = {
+            cls: CollectionIndex(disk, objs, name=f"full-extent:{cls}")
+            for cls, objs in grouped.items()
+        }
+
+    def insert(self, obj: ClassObject) -> None:
+        for cls in [obj.class_name] + self.hierarchy.ancestors(obj.class_name):
+            self.indexes[cls].insert(obj)
+
+    def delete(self, obj: ClassObject) -> bool:
+        found = False
+        for cls in [obj.class_name] + self.hierarchy.ancestors(obj.class_name):
+            found = self.indexes[cls].delete(obj) or found
+        return found
+
+    def query(self, class_name: str, low: Any, high: Any) -> List[ClassObject]:
+        return self.indexes[class_name].range_query(low, high)
+
+    def block_count(self) -> int:
+        return sum(idx.block_count() for idx in self.indexes.values())
+
+    def __len__(self) -> int:
+        return sum(len(idx) for idx in self.indexes.values())
+
+
+class ExtentPerClassIndex:
+    """One B+-tree per class, holding only that class's own extent."""
+
+    def __init__(self, disk, hierarchy: ClassHierarchy, objects: Iterable[ClassObject] = ()) -> None:
+        self.disk = disk
+        self.hierarchy = hierarchy
+        grouped: Dict[str, List[ClassObject]] = {c: [] for c in hierarchy.classes()}
+        for obj in objects:
+            grouped[obj.class_name].append(obj)
+        self.indexes: Dict[str, CollectionIndex] = {
+            cls: CollectionIndex(disk, objs, name=f"extent:{cls}")
+            for cls, objs in grouped.items()
+        }
+
+    def insert(self, obj: ClassObject) -> None:
+        self.indexes[obj.class_name].insert(obj)
+
+    def delete(self, obj: ClassObject) -> bool:
+        return self.indexes[obj.class_name].delete(obj)
+
+    def query(self, class_name: str, low: Any, high: Any) -> List[ClassObject]:
+        """Query the extent index of every descendant class and merge."""
+        out: List[ClassObject] = []
+        for cls in self.hierarchy.descendants(class_name):
+            out.extend(self.indexes[cls].range_query(low, high))
+        return out
+
+    def block_count(self) -> int:
+        return sum(idx.block_count() for idx in self.indexes.values())
+
+    def __len__(self) -> int:
+        return sum(len(idx) for idx in self.indexes.values())

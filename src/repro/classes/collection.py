@@ -1,0 +1,47 @@
+"""Indexing a collection of objects (the paper's building block).
+
+"We use the term *index a collection* when we build a B+-tree on a
+collection of objects" (Section 2.2).  Every class-indexing scheme in the
+paper is an arrangement of such indexed collections; this thin wrapper keeps
+the object-record handling in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List
+
+from repro.btree import BPlusTree
+from repro.classes.hierarchy import ClassObject
+
+
+class CollectionIndex:
+    """A B+-tree over the ``key`` attribute of a collection of objects."""
+
+    def __init__(self, disk, objects: Iterable[ClassObject] = (), name: str = "collection") -> None:
+        self.disk = disk
+        self.name = name
+        self.tree = BPlusTree.bulk_load(disk, ((obj.key, obj) for obj in objects), name=name)
+
+    # -- updates --------------------------------------------------------- #
+    def insert(self, obj: ClassObject) -> None:
+        """Insert one object (``O(log_B n)`` I/Os)."""
+        self.tree.insert(obj.key, obj)
+
+    def delete(self, obj: ClassObject) -> bool:
+        """Delete one object; returns ``True`` when it was present."""
+        return self.tree.delete(obj.key, obj)
+
+    # -- queries --------------------------------------------------------- #
+    def range_query(self, low: Any, high: Any) -> List[ClassObject]:
+        """All objects with ``low <= key <= high`` (``O(log_B n + t/B)`` I/Os)."""
+        return [obj for _, obj in self.tree.range_search(low, high)]
+
+    # -- accounting ------------------------------------------------------ #
+    def block_count(self) -> int:
+        return self.tree.block_count()
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CollectionIndex(name={self.name!r}, n={len(self.tree)})"

@@ -1,0 +1,225 @@
+"""Hierarchy decomposition: ``label-edges`` and ``rake-and-contract``.
+
+Section 4 combines two easy special cases of class indexing — constant-depth
+hierarchies (Lemma 4.2, solved by replicating into full-extent B+-trees) and
+*degenerate* path-shaped hierarchies (Lemma 4.3, solved by one 3-sided
+structure) — into a solution for arbitrary hierarchies:
+
+* ``label-edges`` (Fig. 22) marks, for every class, the edge to the child
+  with the largest subtree as **thick** and every other child edge as
+  **thin**; any leaf-to-root path then uses at most ``log2 c`` thin edges
+  (Lemma 4.5).  This is the decomposition used for dynamic trees by
+  Sleator and Tarjan [34].
+* ``rake-and-contract`` (Fig. 23) repeatedly deletes (i) leaves hanging off
+  thin edges — *rakes*, each producing an explicitly indexed collection —
+  and (ii) maximal thick paths hanging off thin edges — *contracts*, each
+  producing a 3-sided structure over the path — copying the deleted
+  collections into the parent each time.  Lemma 4.6 shows every extent is
+  copied at most ``log2 c`` times and every class ends up with either a
+  B+-tree over its full extent or a 3-sided structure covering it.
+
+The output of :func:`rake_and_contract` is a :class:`HierarchyDecomposition`
+— a list of *pieces* plus, per class, its query plan and the list of pieces
+its extent participates in — which :class:`~repro.classes.combined_index.
+CombinedClassIndex` turns into actual disk structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.classes.hierarchy import ClassHierarchy
+
+
+@dataclass
+class EdgeLabeling:
+    """Thick/thin labels for every (child -> parent) edge."""
+
+    thick_child: Dict[str, Optional[str]]
+    """For every class, the child reached through its thick edge (``None`` for leaves)."""
+
+    def is_thick(self, child: str, hierarchy: ClassHierarchy) -> bool:
+        """Whether the edge from ``child`` to its parent is thick."""
+        parent = hierarchy.parent(child)
+        if parent is None:
+            return False
+        return self.thick_child[parent] == child
+
+    def thin_edge_count_to_root(self, name: str, hierarchy: ClassHierarchy) -> int:
+        """Number of thin edges on the path from ``name`` to its root (Lemma 4.5)."""
+        count = 0
+        current = name
+        parent = hierarchy.parent(current)
+        while parent is not None:
+            if self.thick_child[parent] != current:
+                count += 1
+            current = parent
+            parent = hierarchy.parent(current)
+        return count
+
+
+def label_edges(hierarchy: ClassHierarchy) -> EdgeLabeling:
+    """Mark the edge to the largest-subtree child of every class as thick (Fig. 22)."""
+    thick_child: Dict[str, Optional[str]] = {}
+    for cls in hierarchy.classes():
+        children = hierarchy.children(cls)
+        if not children:
+            thick_child[cls] = None
+            continue
+        thick_child[cls] = max(children, key=hierarchy.subtree_size)
+    return EdgeLabeling(thick_child=thick_child)
+
+
+@dataclass
+class RakePiece:
+    """A raked class: an explicit B+-tree index over its accumulated collection."""
+
+    piece_id: int
+    owner: str
+    classes: Set[str]
+
+
+@dataclass
+class PathPiece:
+    """A contracted thick path: one 3-sided structure over the whole path.
+
+    ``nodes`` lists the path top-down; ``classes_per_node[i]`` is the set of
+    classes whose extents were accumulated at ``nodes[i]`` when the path was
+    contracted.  A query on ``nodes[i]`` is the 3-sided query
+    ``attribute in [a1, a2]  and  position >= i``.
+    """
+
+    piece_id: int
+    nodes: List[str]
+    classes_per_node: List[Set[str]]
+
+
+@dataclass
+class HierarchyDecomposition:
+    """The output of ``rake-and-contract`` (structure-free query/update plans)."""
+
+    pieces: List[object] = field(default_factory=list)
+    #: per class: (piece_id, position or None) of the piece answering its queries
+    query_plan: Dict[str, Tuple[int, Optional[int]]] = field(default_factory=dict)
+    #: per class: every (piece_id, position or None) holding a copy of its extent
+    extent_locations: Dict[str, List[Tuple[int, Optional[int]]]] = field(default_factory=dict)
+
+    def copies_of_extent(self, name: str) -> int:
+        return len(self.extent_locations[name])
+
+    def max_copies(self) -> int:
+        return max((len(v) for v in self.extent_locations.values()), default=0)
+
+
+def rake_and_contract(
+    hierarchy: ClassHierarchy, labeling: Optional[EdgeLabeling] = None
+) -> HierarchyDecomposition:
+    """Run the rake-and-contract decomposition of Fig. 23.
+
+    The function works on a shrinking copy of the hierarchy; it never
+    mutates ``hierarchy`` itself.
+    """
+    labeling = labeling or label_edges(hierarchy)
+    decomposition = HierarchyDecomposition()
+    for cls in hierarchy.classes():
+        decomposition.extent_locations[cls] = []
+
+    # mutable copy of the forest
+    parent: Dict[str, Optional[str]] = {c: hierarchy.parent(c) for c in hierarchy.classes()}
+    children: Dict[str, Set[str]] = {c: set(hierarchy.children(c)) for c in hierarchy.classes()}
+    collection: Dict[str, Set[str]] = {c: {c} for c in hierarchy.classes()}
+    alive: Set[str] = set(hierarchy.classes())
+
+    def is_thick_edge(child: str) -> bool:
+        p = parent[child]
+        return p is not None and labeling.thick_child[p] == child
+
+    def delete_node(name: str) -> None:
+        p = parent[name]
+        if p is not None and p in alive:
+            children[p].discard(name)
+            collection[p] |= collection[name]
+        alive.discard(name)
+
+    next_piece_id = 0
+    while alive:
+        progressed = False
+
+        # --- rake: leaves attached by thin edges (or isolated roots) -------- #
+        for name in sorted(alive):
+            if children[name]:
+                continue
+            if parent[name] is not None and parent[name] in alive and is_thick_edge(name):
+                continue
+            piece = RakePiece(piece_id=next_piece_id, owner=name, classes=set(collection[name]))
+            next_piece_id += 1
+            decomposition.pieces.append(piece)
+            decomposition.query_plan[name] = (piece.piece_id, None)
+            for cls in piece.classes:
+                decomposition.extent_locations[cls].append((piece.piece_id, None))
+            delete_node(name)
+            progressed = True
+
+        # --- contract: maximal thick paths hanging from thin edges ---------- #
+        for name in sorted(alive):
+            if name not in alive:
+                continue
+            # the top of a hanging thick path: its parent edge is thin (or it
+            # is a root), it has exactly one live child and that edge is
+            # thick, and the chain below continues through thick edges only
+            if parent[name] is not None and parent[name] in alive and is_thick_edge(name):
+                continue
+            path = _extract_thick_path(name, children, labeling)
+            if path is None:
+                continue
+            classes_per_node = [set(collection[node]) for node in path]
+            piece = PathPiece(
+                piece_id=next_piece_id, nodes=list(path), classes_per_node=classes_per_node
+            )
+            next_piece_id += 1
+            decomposition.pieces.append(piece)
+            for position, node in enumerate(path):
+                decomposition.query_plan[node] = (piece.piece_id, position)
+                for cls in classes_per_node[position]:
+                    decomposition.extent_locations[cls].append((piece.piece_id, position))
+            # copy the union of the path's collections to the parent of the top
+            top_parent = parent[path[0]]
+            merged: Set[str] = set()
+            for node_classes in classes_per_node:
+                merged |= node_classes
+            if top_parent is not None and top_parent in alive:
+                children[top_parent].discard(path[0])
+                collection[top_parent] |= merged
+            for node in path:
+                alive.discard(node)
+            progressed = True
+
+        if not progressed:  # pragma: no cover - defensive
+            raise RuntimeError("rake-and-contract failed to make progress")
+
+    return decomposition
+
+
+def _extract_thick_path(
+    top: str, children: Dict[str, Set[str]], labeling: EdgeLabeling
+) -> Optional[List[str]]:
+    """Follow thick edges downward from ``top`` while the chain stays a path.
+
+    Returns the node list when the chain ends in a (current) leaf, which is
+    what makes the piece contractible; otherwise ``None`` (the node must wait
+    for later rakes to expose the path).
+    """
+    path = [top]
+    current = top
+    while True:
+        kids = children[current]
+        if not kids:
+            return path
+        if len(kids) != 1:
+            return None
+        (only,) = tuple(kids)
+        if labeling.thick_child[current] != only:
+            return None
+        path.append(only)
+        current = only

@@ -1,0 +1,147 @@
+"""The simple class index of Theorem 2.6 (a range tree of B+-trees).
+
+``label-class`` embeds the classes on a line such that every full extent is
+a contiguous range of class values (Proposition 2.5).  ``index-classes``
+(Fig. 6) then builds, conceptually, a balanced binary search tree over the
+``c`` classes in that order and indexes one collection per tree node: the
+union of the extents of the classes below that node.
+
+* A full-extent query on class ``C`` covers a contiguous range of classes,
+  which decomposes into at most ``2·ceil(log2 c)`` canonical nodes of the
+  binary tree; querying each node's B+-tree gives query I/O
+  ``O(log2 c · log_B n + t/B)``.
+* An object of class ``X`` lives in the collections of the ``O(log2 c)``
+  nodes on the root-to-leaf path of ``X``, which gives the
+  ``O((n/B)·log2 c)`` space and ``O(log2 c · log_B n)`` update bounds.
+
+The binary tree over class positions is represented implicitly by recursive
+halving of the position range (a segment-tree skeleton), which is exactly
+the shape the proof of Theorem 2.6 uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.classes.collection import CollectionIndex
+from repro.classes.hierarchy import ClassHierarchy, ClassObject
+
+
+class SimpleClassIndex:
+    """Range-tree-of-B+-trees class index (Theorem 2.6)."""
+
+    def __init__(self, disk, hierarchy: ClassHierarchy, objects: Iterable[ClassObject] = ()) -> None:
+        self.disk = disk
+        self.hierarchy = hierarchy
+        ordered = hierarchy.classes_by_value()
+        self._position: Dict[str, int] = {cls: i for i, cls in enumerate(ordered)}
+        self._count = len(ordered)
+
+        # position range (inclusive) of the descendants of each class:
+        # contiguous because label-class nests descendant ranges
+        self._class_span: Dict[str, Tuple[int, int]] = {}
+        for cls in hierarchy.classes():
+            positions = [self._position[d] for d in hierarchy.descendants(cls)]
+            self._class_span[cls] = (min(positions), max(positions))
+
+        # the canonical segment-tree nodes, each identified by its half-open
+        # position range (lo, hi); every node owns one collection index
+        self._nodes: List[Tuple[int, int]] = []
+        self._build_nodes(0, self._count)
+        self._collections: Dict[Tuple[int, int], CollectionIndex] = {}
+
+        grouped: Dict[Tuple[int, int], List[ClassObject]] = {node: [] for node in self._nodes}
+        for obj in objects:
+            for node in self._path_nodes(self._position[obj.class_name]):
+                grouped[node].append(obj)
+        for node in self._nodes:
+            self._collections[node] = CollectionIndex(
+                disk, grouped[node], name=f"simple:{node[0]}-{node[1]}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # implicit binary tree over class positions
+    # ------------------------------------------------------------------ #
+    def _build_nodes(self, lo: int, hi: int) -> None:
+        if lo >= hi:
+            return
+        self._nodes.append((lo, hi))
+        if hi - lo > 1:
+            mid = (lo + hi) // 2
+            self._build_nodes(lo, mid)
+            self._build_nodes(mid, hi)
+
+    def _path_nodes(self, position: int) -> List[Tuple[int, int]]:
+        """The root-to-leaf canonical nodes containing ``position``."""
+        out: List[Tuple[int, int]] = []
+        lo, hi = 0, self._count
+        while lo < hi:
+            out.append((lo, hi))
+            if hi - lo == 1:
+                break
+            mid = (lo + hi) // 2
+            if position < mid:
+                hi = mid
+            else:
+                lo = mid
+        return out
+
+    def _canonical_cover(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """Minimal set of canonical nodes covering positions ``[lo, hi)``."""
+        out: List[Tuple[int, int]] = []
+
+        def visit(node_lo: int, node_hi: int) -> None:
+            if node_lo >= hi or node_hi <= lo or node_lo >= node_hi:
+                return
+            if lo <= node_lo and node_hi <= hi:
+                out.append((node_lo, node_hi))
+                return
+            mid = (node_lo + node_hi) // 2
+            visit(node_lo, mid)
+            visit(mid, node_hi)
+
+        visit(0, self._count)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def insert(self, obj: ClassObject) -> None:
+        """Insert into the ``O(log2 c)`` collections on the class's path."""
+        for node in self._path_nodes(self._position[obj.class_name]):
+            self._collections[node].insert(obj)
+
+    def delete(self, obj: ClassObject) -> bool:
+        found = False
+        for node in self._path_nodes(self._position[obj.class_name]):
+            found = self._collections[node].delete(obj) or found
+        return found
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(self, class_name: str, low: Any, high: Any) -> List[ClassObject]:
+        """Attribute range query against the full extent of ``class_name``."""
+        span_lo, span_hi = self._class_span[class_name]
+        out: List[ClassObject] = []
+        for node in self._canonical_cover(span_lo, span_hi + 1):
+            out.extend(self._collections[node].range_query(low, high))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    def block_count(self) -> int:
+        return sum(c.block_count() for c in self._collections.values())
+
+    def collections(self) -> Dict[Tuple[int, int], CollectionIndex]:
+        return dict(self._collections)
+
+    def copies_per_object(self) -> int:
+        """Number of collections an object is stored in (``O(log2 c)``)."""
+        if self._count == 0:
+            return 0
+        return max(len(self._path_nodes(i)) for i in range(self._count))
+
+    def __len__(self) -> int:
+        return sum(len(c) for c in self._collections.values())

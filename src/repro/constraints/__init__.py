@@ -1,0 +1,37 @@
+"""The constraint data model (CQLs) and its one-dimensional indexing.
+
+Section 2.1 of the paper: a *generalized k-tuple* is a quantifier-free
+conjunction of constraints over ``k`` variables ranging over the rationals
+(the theory of rational order with constants); a *generalized relation* is a
+finite set of such tuples — a DNF formula describing a possibly infinite
+point set.
+
+For *convex* CQLs the projection of every generalized tuple on an attribute
+is a single interval, which becomes the tuple's **generalized key**; a
+one-dimensional index over the attribute is then exactly dynamic interval
+management (Proposition 2.2), which this package delegates to
+:class:`repro.core.ExternalIntervalManager`.
+"""
+
+from repro.constraints.terms import (
+    Constraint,
+    GeneralizedTuple,
+    UNBOUNDED_HIGH,
+    UNBOUNDED_LOW,
+    var,
+)
+from repro.constraints.relation import GeneralizedRelation
+from repro.constraints.index import GeneralizedOneDimensionalIndex
+from repro.constraints.rectangles import rectangle_tuple, intersecting_pairs
+
+__all__ = [
+    "Constraint",
+    "GeneralizedOneDimensionalIndex",
+    "GeneralizedRelation",
+    "GeneralizedTuple",
+    "UNBOUNDED_HIGH",
+    "UNBOUNDED_LOW",
+    "intersecting_pairs",
+    "rectangle_tuple",
+    "var",
+]

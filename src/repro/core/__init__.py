@@ -1,0 +1,14 @@
+"""Public facade of the reproduction.
+
+* :class:`~repro.core.interval_manager.ExternalIntervalManager` — external
+  dynamic interval management (stabbing + intersection queries) built on the
+  metablock tree and a B+-tree, the paper's primary application
+  (Proposition 2.2 + Section 3).
+* :class:`~repro.core.class_indexer.ClassIndexer` — one entry point over the
+  class-indexing schemes of Sections 2.2 and 4.
+"""
+
+from repro.core.interval_manager import ExternalIntervalManager
+from repro.core.class_indexer import ClassIndexer
+
+__all__ = ["ClassIndexer", "ExternalIntervalManager"]

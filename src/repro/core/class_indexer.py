@@ -1,0 +1,82 @@
+"""A single entry point over the class-indexing schemes.
+
+The paper develops several ways to index the full extents of a class
+hierarchy; :class:`ClassIndexer` exposes them behind one constructor so the
+examples and benchmarks can switch scheme by name:
+
+========================  =====================================================
+``method``                structure
+========================  =====================================================
+``"simple"``              Theorem 2.6 range tree of B+-trees (the default)
+``"combined"``            Theorem 4.7 rake-and-contract + 3-sided structures
+``"single"``              one B+-tree over all objects, filtered at query time
+``"full-extent"``         one B+-tree per class full extent
+``"extent"``              one B+-tree per class extent
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List
+
+from repro.classes.baselines import (
+    ExtentPerClassIndex,
+    FullExtentPerClassIndex,
+    SingleCollectionIndex,
+)
+from repro.classes.combined_index import CombinedClassIndex
+from repro.classes.hierarchy import ClassHierarchy, ClassObject
+from repro.classes.simple_index import SimpleClassIndex
+
+_METHODS = {
+    "simple": SimpleClassIndex,
+    "combined": CombinedClassIndex,
+    "single": SingleCollectionIndex,
+    "full-extent": FullExtentPerClassIndex,
+    "extent": ExtentPerClassIndex,
+}
+
+
+class ClassIndexer:
+    """Facade over the class-indexing schemes of Sections 2.2 and 4."""
+
+    def __init__(
+        self,
+        disk,
+        hierarchy: ClassHierarchy,
+        objects: Iterable[ClassObject] = (),
+        method: str = "simple",
+    ) -> None:
+        if method not in _METHODS:
+            raise ValueError(f"unknown method {method!r}; choose one of {sorted(_METHODS)}")
+        self.method = method
+        self.hierarchy = hierarchy
+        self._index = _METHODS[method](disk, hierarchy, objects)
+
+    @staticmethod
+    def methods() -> List[str]:
+        """The available scheme names."""
+        return sorted(_METHODS)
+
+    def insert(self, obj: ClassObject) -> None:
+        """Insert an object into its class."""
+        self._index.insert(obj)
+
+    def query(self, class_name: str, low: Any, high: Any) -> List[ClassObject]:
+        """Attribute range query over the full extent of ``class_name``."""
+        return self._index.query(class_name, low, high)
+
+    def block_count(self) -> int:
+        """Disk blocks used by the underlying structures."""
+        return self._index.block_count()
+
+    @property
+    def backend(self):
+        """The underlying index object (for scheme-specific introspection)."""
+        return self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ClassIndexer(method={self.method!r}, classes={len(self.hierarchy)}, n={len(self)})"

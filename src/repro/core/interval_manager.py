@@ -1,0 +1,122 @@
+"""External dynamic interval management (Proposition 2.2 + Section 3).
+
+Given a collection of intervals on secondary storage, support:
+
+* **stabbing queries** — report every interval containing a query point;
+* **interval-intersection queries** — report every interval intersecting a
+  query interval;
+* **insertions** of new intervals (the paper's structures are semi-dynamic).
+
+Following the proof of Proposition 2.2 (Fig. 3), an intersection query
+``[x1, x2]`` splits into
+
+* intervals whose *left endpoint* lies in ``(x1, x2]`` (types 1 and 2) —
+  answered by a B+-tree over left endpoints, and
+* intervals that contain ``x1`` (types 3 and 4) — a stabbing query, i.e. a
+  diagonal corner query at ``(x1, x1)`` over the points ``(low, high)``,
+  answered by the metablock tree of Section 3.
+
+Both substructures use ``O(n/B)`` blocks; queries cost
+``O(log_B n + t/B)`` I/Os and inserts ``O(log_B n + (log_B n)^2/B)``
+amortized I/Os (Theorems 3.2/3.7), so the whole manager inherits those
+bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from repro.btree import BPlusTree
+from repro.interval import Interval
+from repro.metablock.geometry import PlanarPoint
+from repro.metablock.dynamic_tree import AugmentedMetablockTree
+from repro.metablock.static_tree import StaticMetablockTree
+
+
+class ExternalIntervalManager:
+    """I/O-efficient interval index (stabbing + intersection + insert).
+
+    Parameters
+    ----------
+    disk:
+        The simulated disk whose ``block_size`` is the page size ``B``.
+    intervals:
+        Initial intervals, bulk-loaded into the static organisation.
+    dynamic:
+        When ``True`` (default) the stabbing structure is the augmented
+        (semi-dynamic) metablock tree and :meth:`insert` is available; when
+        ``False`` the static metablock tree is used and the manager is
+        read-only — this is the configuration Theorem 3.2 analyses.
+    """
+
+    def __init__(self, disk, intervals: Iterable[Interval] = (), dynamic: bool = True) -> None:
+        self.disk = disk
+        self.dynamic = dynamic
+        items = list(intervals)
+        self._intervals: List[Interval] = list(items)
+
+        points = [PlanarPoint(iv.low, iv.high, payload=iv) for iv in items]
+        if dynamic:
+            self._stabbing = AugmentedMetablockTree(disk, points)
+        else:
+            self._stabbing = StaticMetablockTree(disk, points)
+        self._endpoints = BPlusTree.bulk_load(
+            disk, ((iv.low, iv) for iv in items), name="left-endpoints"
+        )
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def insert(self, interval: Interval) -> None:
+        """Insert a new interval (semi-dynamic; ``dynamic=True`` only)."""
+        if not self.dynamic:
+            raise NotImplementedError(
+                "this manager was built static (Theorem 3.2); build it with "
+                "dynamic=True for insertions (Theorem 3.7)"
+            )
+        self._intervals.append(interval)
+        self._stabbing.insert(PlanarPoint(interval.low, interval.high, payload=interval))
+        self._endpoints.insert(interval.low, interval)
+
+    def delete(self, interval: Interval) -> None:
+        """Deletions are an open problem in the paper (Section 5)."""
+        raise NotImplementedError(
+            "the metablock tree is semi-dynamic: deletions are left open by the paper"
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def stabbing_query(self, x: Any) -> List[Interval]:
+        """All intervals containing ``x`` (``O(log_B n + t/B)`` I/Os)."""
+        points = self._stabbing.diagonal_query(x)
+        return [p.payload for p in points]
+
+    def intersection_query(self, low: Any, high: Any) -> List[Interval]:
+        """All intervals intersecting ``[low, high]`` (``O(log_B n + t/B)`` I/Os)."""
+        if high < low:
+            return []
+        # types 3 and 4: intervals that contain the left end of the query
+        out = self.stabbing_query(low)
+        # types 1 and 2: intervals whose left endpoint starts inside the query
+        for key, interval in self._endpoints.range_search(low, high):
+            if key > low:
+                out.append(interval)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # accounting / introspection
+    # ------------------------------------------------------------------ #
+    def block_count(self) -> int:
+        """Total blocks used by both substructures (``O(n/B)``)."""
+        return self._stabbing.block_count() + self._endpoints.block_count()
+
+    def intervals(self) -> List[Interval]:
+        return list(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "dynamic" if self.dynamic else "static"
+        return f"ExternalIntervalManager(n={len(self)}, {mode}, B={self.disk.block_size})"

@@ -1,0 +1,28 @@
+"""In-core (main-memory) baseline data structures.
+
+Section 1.4 of the paper surveys the in-core solutions to dynamic interval
+management and two-dimensional range searching that the external structures
+are measured against:
+
+* the **priority search tree** of McCreight [25] — optimal in-core dynamic
+  interval management (``O(log2 n + t)`` query, ``O(log2 n)`` update,
+  ``O(n)`` space),
+* the **interval tree** of Edelsbrunner [11, 12],
+* the **segment tree** of Bentley [3],
+* a **naive scan** baseline.
+
+These are implemented here both as correctness oracles for the external
+structures and as the comparison points of several experiments (E4).
+"""
+
+from repro.incore.interval_tree import IntervalTree
+from repro.incore.naive import NaiveIntervalIndex
+from repro.incore.priority_search_tree import PrioritySearchTree
+from repro.incore.segment_tree import SegmentTree
+
+__all__ = [
+    "IntervalTree",
+    "NaiveIntervalIndex",
+    "PrioritySearchTree",
+    "SegmentTree",
+]

@@ -1,0 +1,179 @@
+"""Edelsbrunner's interval tree (in-core baseline).
+
+The interval tree [11, 12] solves stabbing queries in ``O(log2 n + t)``
+time with ``O(n)`` space.  Every node carries a *center* value; intervals
+that contain the center are stored at the node in two sorted lists (by left
+endpoint ascending and by right endpoint descending), intervals entirely to
+the left or right are pushed to the children.
+
+The tree here is built statically from a collection and supports dynamic
+insertion by descending the existing centers (new nodes are created at the
+fringe when needed).  It is used as a baseline and correctness oracle; the
+paper's contribution is the *external* analogue of these structures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from repro.interval import Interval
+
+
+class _Node:
+    __slots__ = ("center", "by_low", "by_high", "left", "right")
+
+    def __init__(self, center: Any) -> None:
+        self.center = center
+        self.by_low: List[Interval] = []  # intervals crossing center, sorted by low asc
+        self.by_high: List[Interval] = []  # same intervals, sorted by high desc
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+
+    def add(self, interval: Interval) -> None:
+        self.by_low.append(interval)
+        self.by_low.sort(key=lambda iv: iv.low)
+        self.by_high.append(interval)
+        self.by_high.sort(key=lambda iv: iv.high, reverse=True)
+
+    def remove(self, interval: Interval) -> bool:
+        if interval in self.by_low:
+            self.by_low.remove(interval)
+            self.by_high.remove(interval)
+            return True
+        return False
+
+
+class IntervalTree:
+    """A center-decomposition interval tree over :class:`Interval` records."""
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        items = list(intervals)
+        self._size = len(items)
+        self._root = self._build(items)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(self, items: List[Interval]) -> Optional[_Node]:
+        if not items:
+            return None
+        endpoints = sorted(set([iv.low for iv in items] + [iv.high for iv in items]))
+        center = endpoints[len(endpoints) // 2]
+        node = _Node(center)
+        left_items: List[Interval] = []
+        right_items: List[Interval] = []
+        crossing: List[Interval] = []
+        for iv in items:
+            if iv.high < center:
+                left_items.append(iv)
+            elif iv.low > center:
+                right_items.append(iv)
+            else:
+                crossing.append(iv)
+        node.by_low = sorted(crossing, key=lambda iv: iv.low)
+        node.by_high = sorted(crossing, key=lambda iv: iv.high, reverse=True)
+        node.left = self._build(left_items)
+        node.right = self._build(right_items)
+        return node
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def insert(self, interval: Interval) -> None:
+        """Insert an interval by descending the existing center hierarchy."""
+        self._size += 1
+        if self._root is None:
+            self._root = _Node((interval.low + interval.high) / 2)
+            self._root.add(interval)
+            return
+        node = self._root
+        while True:
+            if interval.contains(node.center):
+                node.add(interval)
+                return
+            if interval.high < node.center:
+                if node.left is None:
+                    node.left = _Node((interval.low + interval.high) / 2)
+                    node.left.add(interval)
+                    return
+                node = node.left
+            else:
+                if node.right is None:
+                    node.right = _Node((interval.low + interval.high) / 2)
+                    node.right.add(interval)
+                    return
+                node = node.right
+
+    def delete(self, interval: Interval) -> bool:
+        """Delete one occurrence of ``interval``; returns ``True`` if found."""
+        node = self._root
+        while node is not None:
+            if interval.contains(node.center):
+                if node.remove(interval):
+                    self._size -= 1
+                    return True
+                return False
+            node = node.left if interval.high < node.center else node.right
+        return False
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def stabbing_query(self, q: Any) -> List[Interval]:
+        """All intervals containing ``q`` in ``O(log2 n + t)``."""
+        out: List[Interval] = []
+        node = self._root
+        while node is not None:
+            if q < node.center:
+                for iv in node.by_low:  # sorted by low ascending
+                    if iv.low > q:
+                        break
+                    out.append(iv)
+                node = node.left
+            elif q > node.center:
+                for iv in node.by_high:  # sorted by high descending
+                    if iv.high < q:
+                        break
+                    out.append(iv)
+                node = node.right
+            else:
+                out.extend(node.by_low)
+                break
+        return out
+
+    def intersection_query(self, low: Any, high: Any) -> List[Interval]:
+        """All intervals intersecting ``[low, high]``.
+
+        Implemented, as in Proposition 2.2, as a stabbing query at ``low``
+        plus a sweep for intervals whose left endpoint lies in
+        ``(low, high]``.
+        """
+        out = self.stabbing_query(low)
+        seen = set(id(iv) for iv in out)
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            for iv in node.by_low:
+                if low < iv.low <= high and id(iv) not in seen:
+                    out.append(iv)
+                    seen.add(id(iv))
+            stack.append(node.left)
+            stack.append(node.right)
+        return out
+
+    def __len__(self) -> int:
+        return self._size
+
+    def all_intervals(self) -> List[Interval]:
+        out: List[Interval] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            out.extend(node.by_low)
+            stack.append(node.left)
+            stack.append(node.right)
+        return out

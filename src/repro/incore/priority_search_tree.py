@@ -1,0 +1,177 @@
+"""McCreight's priority search tree (in-core).
+
+The priority search tree [25] solves dynamic interval management optimally
+in main memory: ``O(n)`` space, ``O(log2 n + t)`` query and ``O(log2 n)``
+update (Section 1.4).  It stores planar points and answers *2-sided* and
+*3-sided* range queries of the form ``x1 <= x <= x2, y >= y0``.
+
+For interval management an interval ``[l, h]`` is stored as the point
+``(l, h)``; the stabbing query at ``q`` is the 2-sided query
+``x <= q, y >= q`` (Proposition 2.2).
+
+Implementation notes
+--------------------
+The tree is a binary search tree on the x-coordinates whose nodes each hold
+one *priority point* — the point with the maximum y among the points stored
+in the node's subtree that is not held by an ancestor.  Insertion places a
+new x-key at a leaf position and pushes priority points downward to restore
+the heap order, exactly as in McCreight's paper.  The search-tree part is
+not rebalanced (the classic dynamic PST uses a balanced scheme); for the
+random workloads used in the experiments the expected depth is
+``O(log2 n)``, and the structure is primarily used as a correctness oracle
+and an in-core comparison point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.interval import Interval
+
+Point = Tuple[Any, Any, Any]  # (x, y, payload)
+
+
+class _Node:
+    __slots__ = ("key", "point", "left", "right")
+
+    def __init__(self, key: Any, point: Optional[Point]) -> None:
+        self.key = key  # x-coordinate used for BST routing
+        self.point: Optional[Point] = point  # priority point held at this node
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+
+
+class PrioritySearchTree:
+    """A dynamic priority search tree over points ``(x, y, payload)``."""
+
+    def __init__(self, points: Iterable[Tuple[Any, Any, Any]] = ()) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+        pts = list(points)
+        if pts:
+            self._root = self._build(sorted(pts, key=lambda p: (p[0], p[1])))
+            self._size = len(pts)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_intervals(cls, intervals: Iterable[Interval]) -> "PrioritySearchTree":
+        """Build a PST for stabbing queries over ``intervals``."""
+        return cls((iv.low, iv.high, iv) for iv in intervals)
+
+    def _build(self, pts: List[Point]) -> Optional[_Node]:
+        """Recursively build a balanced PST from points sorted by x."""
+        if not pts:
+            return None
+        # the priority point is the one with the maximum y
+        top_idx = max(range(len(pts)), key=lambda i: pts[i][1])
+        top = pts[top_idx]
+        rest = pts[:top_idx] + pts[top_idx + 1 :]
+        mid = len(pts) // 2
+        key = pts[mid][0]
+        node = _Node(key, top)
+        left_pts = [p for p in rest if p[0] < key]
+        right_pts = [p for p in rest if p[0] >= key]
+        node.left = self._build(left_pts)
+        node.right = self._build(right_pts)
+        return node
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def insert(self, x: Any, y: Any, payload: Any = None) -> None:
+        """Insert the point ``(x, y)`` (expected ``O(log2 n)``)."""
+        point: Point = (x, y, payload)
+        self._size += 1
+        if self._root is None:
+            self._root = _Node(x, point)
+            return
+        node = self._root
+        while True:
+            if node.point is None or point[1] > node.point[1]:
+                node.point, point = point, node.point
+            if point is None:
+                return
+            if point[0] < node.key:
+                if node.left is None:
+                    node.left = _Node(point[0], point)
+                    return
+                node = node.left
+            else:
+                if node.right is None:
+                    node.right = _Node(point[0], point)
+                    return
+                node = node.right
+
+    def insert_interval(self, interval: Interval) -> None:
+        self.insert(interval.low, interval.high, interval)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query_3sided(self, x1: Any, x2: Any, y0: Any) -> List[Point]:
+        """All points with ``x1 <= x <= x2`` and ``y >= y0``."""
+        out: List[Point] = []
+        self._query(self._root, x1, x2, y0, out)
+        return out
+
+    def query_2sided(self, x_max: Any, y_min: Any) -> List[Point]:
+        """All points with ``x <= x_max`` and ``y >= y_min`` (diagonal-corner shape)."""
+        out: List[Point] = []
+        self._query(self._root, None, x_max, y_min, out)
+        return out
+
+    def stabbing_query(self, q: Any) -> List[Interval]:
+        """All stored intervals containing ``q`` (payloads must be intervals)."""
+        return [p[2] for p in self.query_2sided(q, q)]
+
+    def _query(
+        self,
+        node: Optional[_Node],
+        x1: Optional[Any],
+        x2: Any,
+        y0: Any,
+        out: List[Point],
+    ) -> None:
+        if node is None or node.point is None:
+            return
+        # heap order: every point in this subtree has y <= node.point.y
+        if node.point[1] < y0:
+            return
+        px = node.point[0]
+        if (x1 is None or px >= x1) and px <= x2:
+            out.append(node.point)
+        # BST order on x prunes the recursion
+        if x1 is None or x1 < node.key:
+            self._query(node.left, x1, x2, y0, out)
+        if x2 >= node.key:
+            self._query(node.right, x1, x2, y0, out)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._size
+
+    def points(self) -> List[Point]:
+        """All stored points (order unspecified)."""
+        out: List[Point] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            if node.point is not None:
+                out.append(node.point)
+            stack.append(node.left)
+            stack.append(node.right)
+        return out
+
+    def height(self) -> int:
+        def depth(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+
+        return depth(self._root)

@@ -1,0 +1,75 @@
+"""The interval record type shared by every interval-management structure.
+
+Section 2.1 reduces indexing of convex constraint tuples to *dynamic
+interval management*: each generalized tuple projects onto the indexed
+attribute as one closed interval ``[low, high]``, which becomes that
+tuple's *generalized key*.  :class:`Interval` is that key, optionally
+carrying a payload (the tuple, the object identifier, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed interval ``[low, high]`` with an optional payload.
+
+    The ordering (by ``low`` then ``high``) is the one used by the B+-tree
+    component of the interval manager; the payload does not participate in
+    comparisons.
+    """
+
+    low: Any
+    high: Any
+    payload: Any = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(f"interval endpoints out of order: [{self.low}, {self.high}]")
+
+    # ------------------------------------------------------------------ #
+    # predicates
+    # ------------------------------------------------------------------ #
+    def contains(self, x: Any) -> bool:
+        """Whether the point ``x`` stabs this interval."""
+        return self.low <= x <= self.high
+
+    def intersects(self, other: "Interval") -> bool:
+        """Whether this interval shares at least one point with ``other``."""
+        return self.low <= other.high and other.low <= self.high
+
+    def intersects_range(self, low: Any, high: Any) -> bool:
+        """Whether this interval shares at least one point with ``[low, high]``."""
+        return self.low <= high and low <= self.high
+
+    @property
+    def length(self) -> Any:
+        return self.high - self.low
+
+    def as_point(self) -> tuple:
+        """The point ``(low, high)`` used by the stabbing-to-corner reduction.
+
+        Mapping an interval ``[y1, y2]`` to the planar point ``(y1, y2)``
+        places it on or above the line ``y = x``; a stabbing query at ``q``
+        becomes the diagonal-corner query anchored at ``(q, q)``
+        (Proposition 2.2, Fig. 3).
+        """
+        return (self.low, self.high)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.payload is None:
+            return f"[{self.low}, {self.high}]"
+        return f"[{self.low}, {self.high}]@{self.payload!r}"
+
+
+def intervals_intersecting(intervals, low: Any, high: Any) -> list:
+    """Brute-force reference: all intervals intersecting ``[low, high]``."""
+    return [iv for iv in intervals if iv.intersects_range(low, high)]
+
+
+def intervals_stabbed(intervals, x: Any) -> list:
+    """Brute-force reference: all intervals containing the point ``x``."""
+    return [iv for iv in intervals if iv.contains(x)]

@@ -1,0 +1,28 @@
+"""I/O cost-model substrate.
+
+The paper measures every algorithm by the number of disk-block transfers
+("I/Os") it performs, where each block holds ``B`` units of data.  This
+subpackage provides that cost model as an executable substrate:
+
+* :class:`~repro.io.disk.SimulatedDisk` — an in-memory page store whose
+  reads and writes are counted,
+* :class:`~repro.io.buffer.BufferManager` — an LRU buffer pool modelling the
+  ``O(B^2)`` words of main memory the paper assumes,
+* :class:`~repro.io.counters.IOStats` — the counters every benchmark reports.
+
+All external data structures in this repository (B+-trees, metablock trees,
+blocked priority search trees) allocate their pages from a
+:class:`SimulatedDisk` and therefore have exact, deterministic I/O costs.
+"""
+
+from repro.io.counters import IOStats
+from repro.io.disk import Block, BlockId, SimulatedDisk
+from repro.io.buffer import BufferManager
+
+__all__ = [
+    "Block",
+    "BlockId",
+    "BufferManager",
+    "IOStats",
+    "SimulatedDisk",
+]

@@ -1,0 +1,124 @@
+"""LRU buffer pool over a :class:`~repro.io.disk.SimulatedDisk`.
+
+The paper assumes ``O(B^2)`` units of main memory, i.e. roughly ``B``
+resident pages (Section 1.1).  :class:`BufferManager` models that memory:
+reads of resident pages are cache hits and cost no I/O, evictions of dirty
+pages cost a write.
+
+All external structures accept either a raw :class:`SimulatedDisk` (cold
+cache, worst-case counts — the default used in benchmarks) or a
+:class:`BufferManager` wrapping one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Set
+
+from repro.io.disk import Block, BlockId, SimulatedDisk
+
+
+class BufferManager:
+    """A write-back LRU cache of disk pages.
+
+    Parameters
+    ----------
+    disk:
+        The underlying simulated disk.
+    capacity_pages:
+        Number of pages that fit in main memory.  Defaults to the page size
+        ``B``, matching the paper's ``O(B^2)`` words of memory assumption.
+    """
+
+    def __init__(self, disk: SimulatedDisk, capacity_pages: Optional[int] = None) -> None:
+        if capacity_pages is not None and capacity_pages < 1:
+            raise ValueError("capacity_pages must be positive")
+        self.disk = disk
+        self.capacity_pages = capacity_pages if capacity_pages is not None else disk.block_size
+        self._cache: "OrderedDict[BlockId, Block]" = OrderedDict()
+        self._dirty: Set[BlockId] = set()
+
+    # ------------------------------------------------------------------ #
+    # pass-through API (same surface as SimulatedDisk)
+    # ------------------------------------------------------------------ #
+    @property
+    def block_size(self) -> int:
+        return self.disk.block_size
+
+    @property
+    def stats(self):
+        return self.disk.stats
+
+    @property
+    def blocks_in_use(self) -> int:
+        return self.disk.blocks_in_use
+
+    def measure(self):
+        return self.disk.measure()
+
+    def allocate(
+        self,
+        records: Optional[List[Any]] = None,
+        header: Optional[Dict[str, Any]] = None,
+        capacity: Optional[int] = None,
+    ) -> Block:
+        block = self.disk.allocate(records, header, capacity)
+        self._insert(block, dirty=False)
+        return block
+
+    def free(self, block_id: BlockId) -> None:
+        self._cache.pop(block_id, None)
+        self._dirty.discard(block_id)
+        self.disk.free(block_id)
+
+    def read(self, block_id: BlockId) -> Block:
+        """Read a block, through the cache."""
+        if block_id in self._cache:
+            self._cache.move_to_end(block_id)
+            self.disk.stats.cache_hits += 1
+            return self._cache[block_id]
+        block = self.disk.read(block_id)
+        self._insert(block, dirty=False)
+        return block
+
+    def write(self, block: Block) -> None:
+        """Write a block.  Deferred to eviction or :meth:`flush` (write-back)."""
+        self._insert(block, dirty=True)
+
+    def peek(self, block_id: BlockId) -> Block:
+        if block_id in self._cache:
+            return self._cache[block_id]
+        return self.disk.peek(block_id)
+
+    # ------------------------------------------------------------------ #
+    # cache machinery
+    # ------------------------------------------------------------------ #
+    def _insert(self, block: Block, dirty: bool) -> None:
+        self._cache[block.block_id] = block
+        self._cache.move_to_end(block.block_id)
+        if dirty:
+            self._dirty.add(block.block_id)
+        while len(self._cache) > self.capacity_pages:
+            victim_id, victim = self._cache.popitem(last=False)
+            if victim_id in self._dirty:
+                self._dirty.discard(victim_id)
+                self.disk.write(victim)
+
+    def flush(self) -> None:
+        """Write back every dirty resident page."""
+        for block_id in list(self._dirty):
+            block = self._cache.get(block_id)
+            if block is not None:
+                self.disk.write(block)
+        self._dirty.clear()
+
+    def drop(self) -> None:
+        """Empty the cache *without* writing dirty pages (test helper)."""
+        self._cache.clear()
+        self._dirty.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BufferManager(pages={len(self._cache)}/{self.capacity_pages}, "
+            f"dirty={len(self._dirty)})"
+        )

@@ -1,0 +1,99 @@
+"""I/O statistics counters.
+
+Every read or write of a disk block is one I/O in the paper's cost model.
+:class:`IOStats` keeps the running totals and supports scoped measurement so
+a benchmark can ask "how many I/Os did *this* query perform?" without
+resetting global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Running I/O counters for a :class:`~repro.io.disk.SimulatedDisk`.
+
+    Attributes
+    ----------
+    reads:
+        Number of block reads served from disk (cache misses included,
+        cache hits excluded).
+    writes:
+        Number of block writes that reached the disk.
+    allocations:
+        Number of blocks ever allocated.
+    frees:
+        Number of blocks freed.
+    cache_hits:
+        Number of reads absorbed by a buffer pool and therefore *not*
+        counted as I/Os.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+    frees: int = 0
+    cache_hits: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total I/Os (reads + writes)."""
+        return self.reads + self.writes
+
+    def snapshot(self) -> "IOStats":
+        """Return a copy of the current counters."""
+        return IOStats(
+            reads=self.reads,
+            writes=self.writes,
+            allocations=self.allocations,
+            frees=self.frees,
+            cache_hits=self.cache_hits,
+        )
+
+    def diff(self, earlier: "IOStats") -> "IOStats":
+        """Return the counter increase since ``earlier`` was snapshotted."""
+        return IOStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            allocations=self.allocations - earlier.allocations,
+            frees=self.frees - earlier.frees,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+        )
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+        self.frees = 0
+        self.cache_hits = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IOStats(reads={self.reads}, writes={self.writes}, "
+            f"total={self.total}, hits={self.cache_hits}, "
+            f"alloc={self.allocations}, free={self.frees})"
+        )
+
+
+@dataclass
+class Measurement:
+    """A scoped I/O measurement produced by :meth:`SimulatedDisk.measure`."""
+
+    before: IOStats = field(default_factory=IOStats)
+    after: IOStats = field(default_factory=IOStats)
+
+    @property
+    def ios(self) -> int:
+        """I/Os performed inside the measured scope."""
+        return self.after.diff(self.before).total
+
+    @property
+    def reads(self) -> int:
+        return self.after.reads - self.before.reads
+
+    @property
+    def writes(self) -> int:
+        return self.after.writes - self.before.writes

@@ -1,0 +1,114 @@
+"""Horizontally and vertically oriented blockings (Fig. 9).
+
+A metablock stores its ``O(B^2)`` points twice:
+
+* a **vertically oriented** blocking — points sorted by x, packed into
+  blocks of ``B`` left to right,
+* a **horizontally oriented** blocking — points sorted by y (descending),
+  packed into blocks of ``B`` top to bottom.
+
+Each data point therefore appears in two blocks inside its metablock, which
+doubles the constant but keeps the total space at ``O(n/B)`` blocks
+(Section 3.1).  This module provides the two blockings plus the scan
+primitives the query procedures use ("read blocks until the boundary of the
+query is crossed, wasting at most one block").
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from repro.io.disk import BlockId
+from repro.metablock.geometry import PlanarPoint
+
+
+class Blocking:
+    """A sequence of disk blocks holding a fixed ordering of points.
+
+    Attributes
+    ----------
+    block_ids:
+        The blocks, in scan order.
+    bounds:
+        Per block, the (first, last) ordering-key values it contains, kept
+        as control information so scans know where to stop without an extra
+        read (the paper keeps the same information in each metablock's
+        constant-size control blocks).
+    """
+
+    def __init__(self, block_ids: List[BlockId], bounds: List[Tuple[Any, Any]]) -> None:
+        self.block_ids = block_ids
+        self.bounds = bounds
+
+    def __len__(self) -> int:
+        return len(self.block_ids)
+
+    def free(self, disk) -> None:
+        for bid in self.block_ids:
+            disk.free(bid)
+        self.block_ids = []
+        self.bounds = []
+
+
+def build_vertical(disk, points: Sequence[PlanarPoint]) -> Blocking:
+    """Pack ``points`` into blocks of ``B`` by ascending x (Fig. 9a)."""
+    ordered = sorted(points, key=lambda p: (p.x, p.y))
+    return _pack(disk, ordered, key=lambda p: p.x)
+
+
+def build_horizontal(disk, points: Sequence[PlanarPoint]) -> Blocking:
+    """Pack ``points`` into blocks of ``B`` by descending y (Fig. 9b)."""
+    ordered = sorted(points, key=lambda p: (-_as_sortable(p.y), p.x))
+    return _pack(disk, ordered, key=lambda p: p.y)
+
+
+def _as_sortable(value: Any) -> Any:
+    return value
+
+
+def _pack(disk, ordered: List[PlanarPoint], key) -> Blocking:
+    B = disk.block_size
+    block_ids: List[BlockId] = []
+    bounds: List[Tuple[Any, Any]] = []
+    for start in range(0, len(ordered), B):
+        chunk = ordered[start : start + B]
+        block = disk.allocate(records=list(chunk))
+        block_ids.append(block.block_id)
+        bounds.append((key(chunk[0]), key(chunk[-1])))
+    return Blocking(block_ids, bounds)
+
+
+def scan_vertical_upto(disk, blocking: Blocking, x_max: Any) -> Tuple[List[PlanarPoint], int]:
+    """Read vertical blocks left-to-right while they may contain ``x <= x_max``.
+
+    Returns the matching points and the number of blocks read.  At most one
+    block read contains no matching point (the one that crosses ``x_max``),
+    which is the "at most one block that is not completely full" accounting
+    of Theorem 3.2.
+    """
+    out: List[PlanarPoint] = []
+    reads = 0
+    for bid, (first_x, _last_x) in zip(blocking.block_ids, blocking.bounds):
+        if first_x > x_max:
+            break
+        block = disk.read(bid)
+        reads += 1
+        for p in block.records:
+            if p.x <= x_max:
+                out.append(p)
+    return out, reads
+
+
+def scan_horizontal_downto(disk, blocking: Blocking, y_min: Any) -> Tuple[List[PlanarPoint], int]:
+    """Read horizontal blocks top-to-bottom while they may contain ``y >= y_min``."""
+    out: List[PlanarPoint] = []
+    reads = 0
+    for bid, (first_y, _last_y) in zip(blocking.block_ids, blocking.bounds):
+        if first_y < y_min:
+            break
+        block = disk.read(bid)
+        reads += 1
+        for p in block.records:
+            if p.y >= y_min:
+                out.append(p)
+    return out, reads

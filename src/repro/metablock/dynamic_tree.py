@@ -1,0 +1,427 @@
+"""The augmented (semi-dynamic) metablock tree (Section 3.2, Theorem 3.7).
+
+The static metablock tree of Section 3.1 is made insert-capable by deferring
+reorganisation:
+
+* every metablock carries an **update block** of up to ``B`` freshly inserted
+  points; when it fills, a **level I reorganisation** rebuilds the
+  metablock's vertical/horizontal/corner organisations (``O(B)`` I/Os, hence
+  ``O(1)`` amortized per insert);
+* every nonleaf metablock ``M`` carries a **TD corner structure** holding the
+  points inserted into ``M``'s subtree below ``M`` since the last TS
+  reorganisation of ``M``'s children; it has its own update block and is
+  rebuilt every ``B`` insertions.  When it reaches ``B^2`` points it is
+  discarded and the **TS structures of all of M's children are rebuilt**
+  taking those points into account;
+* when a metablock reaches ``2B^2`` points a **level II reorganisation**
+  keeps the top ``B^2`` points and pushes the bottom ``B^2`` into the
+  children (splitting the metablock in two when it is a leaf), followed by a
+  TS reorganisation of the affected siblings;
+* when a metablock's branching factor reaches ``2B`` the subtree rooted at it
+  is rebuilt into two balanced subtrees which replace it in its parent
+  (at the root, the whole tree is rebuilt).
+
+Queries read, in addition to the static organisations, the update block of
+every visited metablock and the TD structure of every visited nonleaf
+metablock; both add only a constant number of I/Os per visited metablock
+(Lemma 3.5), so the query bound remains ``O(log_B n + t/B)``.  Amortized
+insertion costs ``O(log_B n + (log_B n)^2/B)`` I/Os (Lemma 3.6).
+
+Reproduction notes (see DESIGN.md): TS rebuilds triggered by dynamic events
+take the *subtree* point sets of the left siblings (a superset of the
+paper's "points stored in the left siblings") so that the TS-shortcut in
+the query remains sound in every interleaving of inserts and
+reorganisations; deletions are not supported, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from repro.io.disk import BlockId
+from repro.metablock import blocking as blk
+from repro.metablock.corner import CornerStructure
+from repro.metablock.geometry import PlanarPoint
+from repro.metablock.static_tree import Metablock, StaticMetablockTree
+
+
+class DynamicMetablock(Metablock):
+    """A metablock augmented with an update block and a TD corner structure."""
+
+    __slots__ = (
+        "update_points",
+        "update_block_id",
+        "td_points",
+        "td_update_points",
+        "td_update_block_id",
+        "td_corner",
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.update_points: List[PlanarPoint] = []
+        self.update_block_id: Optional[BlockId] = None
+        self.td_points: List[PlanarPoint] = []
+        self.td_update_points: List[PlanarPoint] = []
+        self.td_update_block_id: Optional[BlockId] = None
+        self.td_corner: Optional[CornerStructure] = None
+
+    def organisation_block_count(self) -> int:
+        count = super().organisation_block_count()
+        if self.update_block_id is not None:
+            count += 1
+        if self.td_update_block_id is not None:
+            count += 1
+        if self.td_corner is not None:
+            count += self.td_corner.block_count()
+        return count
+
+
+class AugmentedMetablockTree(StaticMetablockTree):
+    """Semi-dynamic metablock tree: optimal queries, amortized-cheap inserts."""
+
+    node_class = DynamicMetablock
+
+    def __init__(self, disk, points: Iterable[PlanarPoint] = ()) -> None:
+        #: bumped by every operation that restructures the tree shape; used to
+        #: abort batch loops that hold references to replaced metablocks
+        self._structure_version = 0
+        super().__init__(disk, points)
+
+    # ------------------------------------------------------------------ #
+    # insertion
+    # ------------------------------------------------------------------ #
+    def insert(self, point: PlanarPoint) -> None:
+        """Insert a point (amortized ``O(log_B n + (log_B n)^2/B)`` I/Os)."""
+        self.size += 1
+        if self.root is None:
+            self.root = self.node_class()
+            self.root.is_leaf = True
+            self.root.points = []
+            self.root.subtree_min_x = point.x
+            self.root.subtree_max_x = point.x
+            self.root.subtree_max_y = point.y
+            self.root.rebuild_organisations(self.disk)
+            self._write_control_block(self.root)
+        self._insert_into(self.root, point)
+
+    def insert_many(self, points: Iterable[PlanarPoint]) -> None:
+        for p in points:
+            self.insert(p)
+
+    # -- routing ----------------------------------------------------------- #
+    def _insert_into(self, mb: DynamicMetablock, point: PlanarPoint) -> None:
+        """Insert ``point`` into the subtree rooted at ``mb``."""
+        self._stretch_subtree_bounds(mb, point)
+        if mb.is_leaf or self._belongs_here(mb, point):
+            self._add_to_update_block(mb, point)
+            return
+        child = self._route_child(mb, point)
+        version = self._structure_version
+        self._insert_into(child, point)
+        # Record the point in TD(mb) only *after* it has reached its
+        # destination: a TD-full reorganisation triggered here rebuilds the
+        # TS structures from the children's subtrees, which must already
+        # contain the point.  If the recursive insert restructured the tree,
+        # the point is already fully accounted for in the rebuilt subtree.
+        if self._structure_version == version:
+            self._td_insert(mb, point)
+
+    @staticmethod
+    def _stretch_subtree_bounds(mb: Metablock, point: PlanarPoint) -> None:
+        if mb.subtree_min_x is None or point.x < mb.subtree_min_x:
+            mb.subtree_min_x = point.x
+        if mb.subtree_max_x is None or point.x > mb.subtree_max_x:
+            mb.subtree_max_x = point.x
+        if mb.subtree_max_y is None or point.y > mb.subtree_max_y:
+            mb.subtree_max_y = point.y
+
+    @staticmethod
+    def _belongs_here(mb: Metablock, point: PlanarPoint) -> bool:
+        """A point stays at an internal metablock when it ranks among its y values."""
+        if not mb.points or mb.bbox is None:
+            return True
+        return point.y >= mb.bbox.min_y
+
+    @staticmethod
+    def _route_child(mb: Metablock, point: PlanarPoint) -> Metablock:
+        """Pick the child whose x-range should receive ``point``."""
+        for child in mb.children:
+            if child.subtree_min_x <= point.x <= child.subtree_max_x:
+                return child
+        for child in mb.children:
+            if point.x < child.subtree_min_x:
+                return child
+        return mb.children[-1]
+
+    # -- update blocks ------------------------------------------------------ #
+    def _add_to_update_block(self, mb: DynamicMetablock, point: PlanarPoint) -> None:
+        mb.update_points.append(point)
+        if len(mb.update_points) >= self.B:
+            self._level_one_reorganisation(mb)
+        else:
+            self._write_update_block(mb)
+        if len(mb.points) + len(mb.update_points) >= 2 * self.capacity:
+            self._level_two_reorganisation(mb)
+
+    def _write_update_block(self, mb: DynamicMetablock) -> None:
+        if mb.update_block_id is None:
+            block = self.disk.allocate(records=list(mb.update_points), capacity=self.B)
+            mb.update_block_id = block.block_id
+        else:
+            block = self.disk.read(mb.update_block_id)
+            block.records = list(mb.update_points)
+            self.disk.write(block)
+
+    # -- TD corner structures ----------------------------------------------- #
+    def _td_insert(self, mb: DynamicMetablock, point: PlanarPoint) -> None:
+        """Record a point that descends past ``mb`` in ``TD(mb)``."""
+        mb.td_update_points.append(point)
+        if mb.td_update_block_id is None:
+            block = self.disk.allocate(records=list(mb.td_update_points), capacity=self.B)
+            mb.td_update_block_id = block.block_id
+        else:
+            block = self.disk.read(mb.td_update_block_id)
+            block.records = list(mb.td_update_points)
+            self.disk.write(block)
+        if len(mb.td_update_points) >= self.B:
+            mb.td_points.extend(mb.td_update_points)
+            mb.td_update_points = []
+            self._write_td_update_block(mb)
+            if mb.td_corner is not None:
+                mb.td_corner.destroy()
+            mb.td_corner = CornerStructure(self.disk, mb.td_points)
+        if len(mb.td_points) >= self.capacity:
+            self._ts_reorganisation(mb)
+            self._discard_td(mb)
+
+    def _write_td_update_block(self, mb: DynamicMetablock) -> None:
+        if mb.td_update_block_id is None:
+            return
+        block = self.disk.read(mb.td_update_block_id)
+        block.records = list(mb.td_update_points)
+        self.disk.write(block)
+
+    def _discard_td(self, mb: DynamicMetablock) -> None:
+        mb.td_points = []
+        if mb.td_corner is not None:
+            mb.td_corner.destroy()
+            mb.td_corner = None
+
+    # -- reorganisations ------------------------------------------------------ #
+    def _level_one_reorganisation(self, mb: DynamicMetablock) -> None:
+        """Merge the update block into the main organisations (O(B) I/Os)."""
+        mb.points.extend(mb.update_points)
+        mb.update_points = []
+        self._write_update_block(mb)
+        mb.rebuild_organisations(self.disk)
+        self._write_control_block(mb)
+
+    def _level_two_reorganisation(self, mb: DynamicMetablock) -> None:
+        """Shrink a metablock that reached ``2B^2`` points."""
+        # fold any pending update points in first
+        if mb.update_points:
+            self._level_one_reorganisation(mb)
+        if len(mb.points) < 2 * self.capacity:
+            return
+        if mb.is_leaf:
+            self._split_leaf(mb)
+            return
+
+        by_y = sorted(mb.points, key=lambda p: (p.y, p.x), reverse=True)
+        keep = by_y[: self.capacity]
+        push_down = by_y[self.capacity :]
+        mb.points = keep
+        mb.rebuild_organisations(self.disk)
+        self._write_control_block(mb)
+
+        # Hand every pushed-down point to a child *before* running any child
+        # reorganisation, so that a cascading subtree rebuild (leaf split ->
+        # branching-factor split of ``mb`` itself) can never lose points.
+        receivers: List[DynamicMetablock] = []
+        for point in push_down:
+            child = self._route_child(mb, point)
+            self._stretch_subtree_bounds(child, point)
+            child.update_points.append(point)
+            self._td_insert(mb, point)
+            if child not in receivers:
+                receivers.append(child)
+        version = self._structure_version
+        for child in receivers:
+            if len(child.update_points) >= self.B:
+                self._level_one_reorganisation(child)
+            else:
+                self._write_update_block(child)
+            if len(child.points) + len(child.update_points) >= 2 * self.capacity:
+                self._level_two_reorganisation(child)
+            if self._structure_version != version:
+                # the tree was restructured under us; every pending point is
+                # already owned by some metablock, so it is safe to stop
+                break
+        if mb.parent is not None and self._structure_version == version:
+            self._ts_reorganisation(mb.parent)
+
+    def _split_leaf(self, leaf: DynamicMetablock) -> None:
+        """Split a full leaf into two siblings of ``B^2`` points each."""
+        self._structure_version += 1
+        parent = leaf.parent
+        if parent is None:
+            self._rebuild_whole_tree()
+            return
+        ordered = sorted(leaf.points, key=lambda p: (p.x, p.y))
+        mid = len(ordered) // 2
+        left_points, right_points = ordered[:mid], ordered[mid:]
+
+        new_leaves: List[DynamicMetablock] = []
+        for pts in (left_points, right_points):
+            node = self.node_class()
+            node.is_leaf = True
+            node.parent = parent
+            node.points = list(pts)
+            node.subtree_min_x = min(p.x for p in pts)
+            node.subtree_max_x = max(p.x for p in pts)
+            node.subtree_max_y = max(p.y for p in pts)
+            node.rebuild_organisations(self.disk)
+            self._write_control_block(node)
+            new_leaves.append(node)
+
+        idx = parent.children.index(leaf)
+        self._destroy_subtree(leaf)
+        parent.children[idx : idx + 1] = new_leaves
+        self._write_control_block(parent)
+        self._ts_reorganisation(parent)
+        if len(parent.children) >= 2 * self.B:
+            self._split_internal(parent)
+
+    def _split_internal(self, mb: DynamicMetablock) -> None:
+        """Rebuild the subtree at ``mb`` into two balanced subtrees."""
+        self._structure_version += 1
+        parent = mb.parent
+        points = self._collect_subtree_points(mb)
+        if parent is None:
+            self._rebuild_whole_tree()
+            return
+        ordered = sorted(points, key=lambda p: (p.x, p.y))
+        mid = len(ordered) // 2
+        halves = [ordered[:mid], ordered[mid:]]
+        idx = parent.children.index(mb)
+        self._destroy_subtree(mb)
+        new_nodes: List[Metablock] = []
+        for half in halves:
+            if not half:
+                continue
+            node = self._build(half, parent=parent)
+            self._build_ts_structures(node)
+            new_nodes.append(node)
+        parent.children[idx : idx + 1] = new_nodes
+        self._write_control_block(parent)
+        self._ts_reorganisation(parent)
+        if len(parent.children) >= 2 * self.B:
+            self._split_internal(parent)
+
+    def _rebuild_whole_tree(self) -> None:
+        self._structure_version += 1
+        points = self._collect_subtree_points(self.root) if self.root is not None else []
+        if self.root is not None:
+            self._destroy_subtree(self.root)
+        self.root = self._build(points, parent=None) if points else None
+        if self.root is not None:
+            self._build_ts_structures(self.root)
+
+    def _ts_reorganisation(self, mb: Metablock) -> None:
+        """Rebuild TS structures of every child of ``mb`` from subtree point sets."""
+        if mb.is_leaf or not mb.children:
+            return
+        accumulated: List[PlanarPoint] = []
+        for child in mb.children:
+            child.destroy_ts(self.disk)
+            if accumulated:
+                top = sorted(accumulated, key=lambda p: (p.y, p.x), reverse=True)[: self.capacity]
+                child.ts = blk.build_horizontal(self.disk, top)
+                child.ts_size = len(top)
+            accumulated.extend(self._collect_subtree_points(child))
+
+    # -- helpers -------------------------------------------------------------- #
+    def _collect_subtree_points(self, mb: Metablock) -> List[PlanarPoint]:
+        """Every live point in the subtree (main organisations + update blocks)."""
+        out: List[PlanarPoint] = []
+        stack = [mb]
+        while stack:
+            node = stack.pop()
+            out.extend(node.points)
+            if isinstance(node, DynamicMetablock):
+                out.extend(node.update_points)
+            stack.extend(node.children)
+        return out
+
+    def _destroy_subtree(self, mb: Metablock) -> None:
+        stack = [mb]
+        while stack:
+            node = stack.pop()
+            node.destroy_organisations(self.disk)
+            node.destroy_ts(self.disk)
+            if node.control_block_id is not None:
+                self.disk.free(node.control_block_id)
+                node.control_block_id = None
+            if isinstance(node, DynamicMetablock):
+                if node.update_block_id is not None:
+                    self.disk.free(node.update_block_id)
+                    node.update_block_id = None
+                if node.td_update_block_id is not None:
+                    self.disk.free(node.td_update_block_id)
+                    node.td_update_block_id = None
+                if node.td_corner is not None:
+                    node.td_corner.destroy()
+                    node.td_corner = None
+            stack.extend(node.children)
+
+    # ------------------------------------------------------------------ #
+    # query hooks (extend the static query with the dynamic organisations)
+    # ------------------------------------------------------------------ #
+    def _extra_sources(self, mb: Metablock, q: Any, out: List[PlanarPoint]) -> None:
+        """Read the update block of a visited metablock."""
+        if not isinstance(mb, DynamicMetablock):
+            return
+        if mb.update_block_id is not None and mb.update_points:
+            # one I/O to fetch the update block; the in-memory list is the
+            # authoritative copy (identical content except transiently during
+            # an interrupted batch reorganisation)
+            self.disk.read(mb.update_block_id)
+            out.extend(p for p in mb.update_points if p.x <= q and p.y >= q)
+
+    def _td_sources(self, mb: Metablock, q: Any, out: List[PlanarPoint]) -> None:
+        """Query the TD corner structure of a visited nonleaf metablock."""
+        if not isinstance(mb, DynamicMetablock):
+            return
+        if mb.td_corner is not None:
+            pts, _ = mb.td_corner.query(q)
+            out.extend(pts)
+        if mb.td_update_block_id is not None and mb.td_update_points:
+            self.disk.read(mb.td_update_block_id)
+            out.extend(p for p in mb.td_update_points if p.x <= q and p.y >= q)
+
+    # ------------------------------------------------------------------ #
+    # introspection / invariants
+    # ------------------------------------------------------------------ #
+    def all_points(self) -> List[PlanarPoint]:
+        out: List[PlanarPoint] = []
+        for mb in self.iter_metablocks():
+            out.extend(mb.points)
+            if isinstance(mb, DynamicMetablock):
+                out.extend(mb.update_points)
+        return out
+
+    def check_invariants(self) -> None:
+        if self.root is None:
+            assert self.size == 0
+            return
+        seen = 0
+        for mb in self.iter_metablocks():
+            seen += len(mb.points)
+            if isinstance(mb, DynamicMetablock):
+                seen += len(mb.update_points)
+            assert len(mb.points) <= 2 * self.capacity + self.B
+            if not mb.is_leaf:
+                assert mb.children
+                assert len(mb.children) <= 2 * self.B + 1
+        assert seen == self.size, f"point count mismatch: {seen} != {self.size}"

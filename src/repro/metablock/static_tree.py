@@ -1,0 +1,404 @@
+"""The static metablock tree (Section 3.1, Theorem 3.2).
+
+A metablock tree over ``n`` points in the region ``y >= x`` is a ``B``-ary
+tree of *metablocks*, each representing ``B^2`` points:
+
+* the root holds the ``B^2`` points with the largest y values;
+* the remaining points are divided by x coordinate into ``B`` groups, and a
+  metablock tree is built recursively for each group;
+* a group with at most ``B^2`` points becomes a leaf metablock.
+
+Each metablock stores its points in both a vertically and a horizontally
+oriented blocking (Fig. 9), keeps the bounding boxes and split values of its
+children as control information, stores ``TS(M)`` — the ``B^2`` highest
+points among its left siblings, horizontally blocked (Fig. 10) — and, when
+its region can contain the corner of a diagonal query, a corner structure
+(Lemma 3.1).
+
+The resulting structure occupies ``O(n/B)`` blocks and answers diagonal
+corner queries in ``O(log_B n + t/B)`` I/Os (Theorem 3.2), which is optimal
+(Proposition 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.metablock import blocking as blk
+from repro.metablock.corner import CornerStructure
+from repro.metablock.geometry import BoundingBox, DiagonalCornerQuery, PlanarPoint, dedupe_points
+
+
+class Metablock:
+    """One metablock: ``O(B^2)`` points plus their blocked organisations.
+
+    The ``points`` list is the authoritative record of the metablock's
+    contents and is used only for (re)building organisations and for
+    invariant checks; every query path reads the disk blocks, so I/O counts
+    are faithful.
+    """
+
+    __slots__ = (
+        "points",
+        "children",
+        "is_leaf",
+        "bbox",
+        "subtree_min_x",
+        "subtree_max_x",
+        "subtree_max_y",
+        "vertical",
+        "horizontal",
+        "corner",
+        "ts",
+        "ts_size",
+        "control_block_id",
+        "parent",
+    )
+
+    def __init__(self) -> None:
+        self.points: List[PlanarPoint] = []
+        self.children: List["Metablock"] = []
+        self.is_leaf = True
+        self.bbox: Optional[BoundingBox] = None
+        self.subtree_min_x: Any = None
+        self.subtree_max_x: Any = None
+        self.subtree_max_y: Any = None
+        self.vertical: Optional[blk.Blocking] = None
+        self.horizontal: Optional[blk.Blocking] = None
+        self.corner: Optional[CornerStructure] = None
+        self.ts: Optional[blk.Blocking] = None
+        self.ts_size: int = 0
+        self.control_block_id = None
+        self.parent: Optional["Metablock"] = None
+
+    # -- organisation management ----------------------------------------- #
+    def rebuild_organisations(self, disk) -> None:
+        """(Re)build the vertical/horizontal blockings and corner structure."""
+        self.destroy_organisations(disk)
+        if not self.points:
+            self.bbox = None
+            return
+        self.bbox = BoundingBox.of(self.points)
+        self.vertical = blk.build_vertical(disk, self.points)
+        self.horizontal = blk.build_horizontal(disk, self.points)
+        if self.needs_corner_structure():
+            self.corner = CornerStructure(disk, self.points)
+
+    def needs_corner_structure(self) -> bool:
+        """Whether a diagonal corner can fall inside this metablock's region.
+
+        The corner ``(q, q)`` lies inside the bounding box exactly when
+        ``min_y <= q <= max_x`` is satisfiable, i.e. ``min_y <= max_x``.
+        The paper builds corner structures for the leaf metablocks, the
+        root, and the metablocks on the root-to-rightmost-leaf path; the
+        bounding-box test covers precisely the metablocks whose region the
+        diagonal can enter, which includes those.
+        """
+        if self.bbox is None:
+            return False
+        return self.bbox.min_y <= self.bbox.max_x
+
+    def destroy_organisations(self, disk) -> None:
+        if self.vertical is not None:
+            self.vertical.free(disk)
+            self.vertical = None
+        if self.horizontal is not None:
+            self.horizontal.free(disk)
+            self.horizontal = None
+        if self.corner is not None:
+            self.corner.destroy()
+            self.corner = None
+
+    def destroy_ts(self, disk) -> None:
+        if self.ts is not None:
+            self.ts.free(disk)
+            self.ts = None
+            self.ts_size = 0
+
+    def organisation_block_count(self) -> int:
+        count = 1  # control block
+        if self.vertical is not None:
+            count += len(self.vertical)
+        if self.horizontal is not None:
+            count += len(self.horizontal)
+        if self.corner is not None:
+            count += self.corner.block_count()
+        if self.ts is not None:
+            count += len(self.ts)
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "leaf" if self.is_leaf else f"internal({len(self.children)})"
+        return f"Metablock({kind}, n={len(self.points)})"
+
+
+class StaticMetablockTree:
+    """Optimal static external structure for diagonal corner queries.
+
+    Parameters
+    ----------
+    disk:
+        A :class:`~repro.io.disk.SimulatedDisk` (or buffer manager); its
+        ``block_size`` is the paper's ``B``.
+    points:
+        The data points.  For the optimality guarantees they should satisfy
+        ``y >= x`` (interval endpoints always do); the structure remains
+        correct for arbitrary points.
+    """
+
+    #: node class instantiated by ``_build`` (the dynamic tree overrides it)
+    node_class = Metablock
+
+    def __init__(self, disk, points: Iterable[PlanarPoint]) -> None:
+        self.disk = disk
+        self.B = disk.block_size
+        self.capacity = self.B * self.B
+        pts = list(points)
+        self.size = len(pts)
+        self.root: Optional[Metablock] = None
+        if pts:
+            self.root = self._build(pts, parent=None)
+            self._build_ts_structures(self.root)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(self, points: List[PlanarPoint], parent: Optional[Metablock]) -> Metablock:
+        mb = self.node_class()
+        mb.parent = parent
+        mb.subtree_min_x = min(p.x for p in points)
+        mb.subtree_max_x = max(p.x for p in points)
+        mb.subtree_max_y = max(p.y for p in points)
+
+        if len(points) <= self.capacity:
+            mb.points = list(points)
+            mb.is_leaf = True
+        else:
+            by_y = sorted(points, key=lambda p: (p.y, p.x), reverse=True)
+            mb.points = by_y[: self.capacity]
+            rest = sorted(by_y[self.capacity :], key=lambda p: (p.x, p.y))
+            mb.is_leaf = False
+            group_size = max(1, -(-len(rest) // self.B))  # ceil division
+            for start in range(0, len(rest), group_size):
+                group = rest[start : start + group_size]
+                child = self._build(group, parent=mb)
+                mb.children.append(child)
+        mb.rebuild_organisations(self.disk)
+        self._write_control_block(mb)
+        return mb
+
+    def _write_control_block(self, mb: Metablock) -> None:
+        """Allocate/refresh the constant-size control block of a metablock."""
+        header = {
+            "is_leaf": mb.is_leaf,
+            "n_points": len(mb.points),
+            "children": len(mb.children),
+        }
+        if mb.control_block_id is None:
+            block = self.disk.allocate(records=[], header=header)
+            mb.control_block_id = block.block_id
+        else:
+            block = self.disk.read(mb.control_block_id)
+            block.header.update(header)
+            self.disk.write(block)
+
+    def _build_ts_structures(self, mb: Metablock) -> None:
+        """Build TS(M) for every metablock: the top ``B^2`` points of its left siblings."""
+        if mb.is_leaf:
+            return
+        accumulated: List[PlanarPoint] = []
+        for child in mb.children:
+            child.destroy_ts(self.disk)
+            if accumulated:
+                top = sorted(accumulated, key=lambda p: (p.y, p.x), reverse=True)[: self.capacity]
+                child.ts = blk.build_horizontal(self.disk, top)
+                child.ts_size = len(top)
+            accumulated.extend(child.points)
+        for child in mb.children:
+            self._build_ts_structures(child)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def diagonal_query(self, corner: Any) -> List[PlanarPoint]:
+        """All points with ``x <= corner`` and ``y >= corner``.
+
+        Cost: ``O(log_B n + t/B)`` I/Os (Theorem 3.2).
+        """
+        if self.root is None:
+            return []
+        out: List[PlanarPoint] = []
+        self._query_node(self.root, corner, out)
+        return dedupe_points(out)
+
+    def query(self, query: DiagonalCornerQuery) -> List[PlanarPoint]:
+        """Answer a :class:`DiagonalCornerQuery` object."""
+        return self.diagonal_query(query.corner)
+
+    # -- per-metablock reporting ------------------------------------------ #
+    def _report_own_points(self, mb: Metablock, q: Any, out: List[PlanarPoint]) -> None:
+        """Report the points stored *in* ``mb`` that match the query."""
+        bbox = mb.bbox
+        if bbox is None or bbox.max_y < q or bbox.min_x > q:
+            return
+        corner_inside = bbox.min_x <= q <= bbox.max_x and bbox.min_y <= q <= bbox.max_y
+        if corner_inside and mb.corner is not None:
+            # Type II: the corner falls inside this metablock
+            pts, _ = mb.corner.query(q)
+            out.extend(pts)
+        elif bbox.min_y >= q:
+            if bbox.max_x <= q:
+                # Type III: the whole metablock is inside the query
+                pts, _ = blk.scan_horizontal_downto(self.disk, mb.horizontal, q)
+                out.extend(pts)
+            else:
+                # Type I: crossed by the vertical side only
+                pts, _ = blk.scan_vertical_upto(self.disk, mb.vertical, q)
+                out.extend(p for p in pts if p.y >= q)
+        elif bbox.max_x <= q:
+            # Type IV: crossed by the bottom boundary only
+            pts, _ = blk.scan_horizontal_downto(self.disk, mb.horizontal, q)
+            out.extend(pts)
+        else:
+            # Corner inside the box but no corner structure (defensive
+            # fallback; with the build rule this branch is unreachable).
+            pts, _ = blk.scan_vertical_upto(self.disk, mb.vertical, q)
+            out.extend(p for p in pts if p.y >= q)
+
+    def _extra_sources(self, mb: Metablock, q: Any, out: List[PlanarPoint]) -> None:
+        """Hook for the dynamic tree (update blocks); static tree: nothing."""
+
+    def _ts_points(self, mb: Metablock, q: Any, out: List[PlanarPoint]) -> None:
+        """Read TS(mb) top-down until the query bottom is crossed."""
+        if mb.ts is None:
+            return
+        pts, _ = blk.scan_horizontal_downto(self.disk, mb.ts, q)
+        out.extend(p for p in pts if p.x <= q)
+
+    def _ts_covers(self, mb: Metablock, q: Any, left_siblings: List[Metablock]) -> Optional[bool]:
+        """Decide how to handle the left siblings of ``mb`` for query bottom ``q``.
+
+        Returns ``True`` when TS(mb) alone covers every matching point of
+        the left siblings (and their subtrees), ``False`` when each sibling
+        must be examined individually, and ``None`` when there is no TS
+        information (no left siblings / empty TS).
+        """
+        if mb.ts is None or mb.ts_size == 0:
+            return None
+        ts_bottom = mb.ts.bounds[-1][1]
+        if ts_bottom >= q:
+            # the siblings hold at least ts_size points inside the query;
+            # individual examination is amortized against that output
+            return False
+        full = mb.ts_size >= self.capacity
+        all_leaves = all(s.is_leaf for s in left_siblings)
+        if full or all_leaves:
+            return True
+        return False
+
+    # -- recursion --------------------------------------------------------- #
+    def _query_node(self, mb: Metablock, q: Any, out: List[PlanarPoint]) -> None:
+        if mb.subtree_min_x is not None and mb.subtree_min_x > q:
+            return
+        if mb.subtree_max_y is not None and mb.subtree_max_y < q:
+            return
+        # one control-block read per visited metablock (split values, child
+        # pointers, blocking boundaries) — the O(log_B n) term
+        if mb.control_block_id is not None:
+            self.disk.read(mb.control_block_id)
+
+        self._report_own_points(mb, q, out)
+        self._extra_sources(mb, q, out)
+
+        if mb.is_leaf or not mb.children:
+            return
+
+        # classify children by their subtree x-ranges
+        path_child: Optional[Metablock] = None
+        left_children: List[Metablock] = []
+        for child in mb.children:
+            if child.subtree_min_x is None:
+                continue
+            if child.subtree_max_x <= q:
+                left_children.append(child)
+            elif child.subtree_min_x <= q <= child.subtree_max_x:
+                path_child = child
+            # children entirely to the right of q are skipped
+
+        if path_child is not None and path_child.subtree_max_y >= q:
+            self._query_node(path_child, q, out)
+
+        candidates = [c for c in left_children if c.subtree_max_y is not None and c.subtree_max_y >= q]
+        if not candidates:
+            self._td_sources(mb, q, out)
+            return
+
+        rightmost = max(left_children, key=lambda c: c.subtree_max_x)
+        covered = self._ts_covers(rightmost, q, [c for c in left_children if c is not rightmost])
+        if covered is True:
+            self._ts_points(rightmost, q, out)
+            if rightmost in candidates:
+                self._query_node(rightmost, q, out)
+        else:
+            for child in candidates:
+                self._query_node(child, q, out)
+        self._td_sources(mb, q, out)
+
+    def _td_sources(self, mb: Metablock, q: Any, out: List[PlanarPoint]) -> None:
+        """Hook for the dynamic tree (TD corner structures); static: nothing."""
+
+    # ------------------------------------------------------------------ #
+    # accounting / introspection
+    # ------------------------------------------------------------------ #
+    def block_count(self) -> int:
+        """Blocks used by the whole structure (the ``O(n/B)`` space bound)."""
+        total = 0
+        for mb in self.iter_metablocks():
+            total += mb.organisation_block_count()
+        return total
+
+    def iter_metablocks(self):
+        if self.root is None:
+            return
+        stack = [self.root]
+        while stack:
+            mb = stack.pop()
+            yield mb
+            stack.extend(mb.children)
+
+    def all_points(self) -> List[PlanarPoint]:
+        out: List[PlanarPoint] = []
+        for mb in self.iter_metablocks():
+            out.extend(mb.points)
+        return out
+
+    def height(self) -> int:
+        def depth(mb: Optional[Metablock]) -> int:
+            if mb is None:
+                return 0
+            if not mb.children:
+                return 1
+            return 1 + max(depth(c) for c in mb.children)
+
+        return depth(self.root)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def check_invariants(self) -> None:
+        """Structural invariants used by the test suite (no I/O accounting)."""
+        if self.root is None:
+            assert self.size == 0
+            return
+        total = 0
+        for mb in self.iter_metablocks():
+            total += len(mb.points)
+            if not mb.is_leaf:
+                assert mb.children, "internal metablock must have children"
+                min_y_here = min(p.y for p in mb.points) if mb.points else None
+                for child in mb.children:
+                    if min_y_here is not None and child.points:
+                        assert max(p.y for p in child.points) <= min_y_here, (
+                            "children must hold smaller y values than their parent"
+                        )
+        assert total == self.size, f"point count mismatch: {total} != {self.size}"

@@ -1,0 +1,670 @@
+"""A metablock-tree variant that answers 3-sided queries (Lemmas 4.3–4.4).
+
+Section 4 reduces class indexing over *degenerate* (path-shaped) pieces of a
+class hierarchy to 3-sided range searching: report all points with
+``x1 <= x <= x2`` and ``y >= y0``.  Three-sided queries differ from diagonal
+corner queries in the five ways enumerated in Lemma 4.3; the metablock tree
+is adapted as follows (mirroring the paper's modifications):
+
+1. & 2.  Corners need not lie on the diagonal and both corners may fall in
+   one metablock — every metablock therefore carries a small blocked
+   priority search tree (:class:`~repro.pst.ExternalPST`, Lemma 4.1) over
+   its own ``O(B^2)`` points instead of a corner structure.
+3. Both vertical sides may pass through one metablock — handled by the same
+   per-metablock 3-sided structure.
+4. The two vertical sides may fall on two children of the same metablock —
+   every nonleaf metablock carries a 3-sided structure over the points of
+   *all its children* (``O(B^3)`` points), used exactly once per query, at
+   the divergence node.
+5. A query may extend to the right of the search path as well as to the
+   left — every metablock carries **two** TS structures, one spanning its
+   left siblings and one spanning its right siblings.
+
+The semi-dynamic machinery (update blocks, TD structures — here 3-sided
+rather than corner structures — level I/II reorganisations, branching-factor
+splits) follows Section 3.2 / Lemma 4.4.
+
+Bounds: ``O(n/B)`` blocks, queries in ``O(log_B n + log2 B + t/B)`` I/Os,
+inserts in ``O(log_B n + (log_B n)^2/B)`` amortized I/Os.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from repro.io.disk import BlockId
+from repro.metablock import blocking as blk
+from repro.metablock.geometry import BoundingBox, PlanarPoint, ThreeSidedQuery, dedupe_points
+from repro.pst.external_pst import ExternalPST
+
+
+class ThreeSidedMetablock:
+    """A metablock of the 3-sided variant."""
+
+    __slots__ = (
+        "points",
+        "children",
+        "is_leaf",
+        "bbox",
+        "subtree_min_x",
+        "subtree_max_x",
+        "subtree_max_y",
+        "desc_max_y",
+        "vertical",
+        "horizontal",
+        "pst",
+        "ts_left",
+        "ts_left_size",
+        "ts_right",
+        "ts_right_size",
+        "children_pst",
+        "update_points",
+        "update_block_id",
+        "td_points",
+        "td_update_points",
+        "td_update_block_id",
+        "td_pst",
+        "control_block_id",
+        "parent",
+    )
+
+    def __init__(self) -> None:
+        self.points: List[PlanarPoint] = []
+        self.children: List["ThreeSidedMetablock"] = []
+        self.is_leaf = True
+        self.bbox: Optional[BoundingBox] = None
+        self.subtree_min_x: Any = None
+        self.subtree_max_x: Any = None
+        self.subtree_max_y: Any = None
+        #: largest y of any point residing strictly below this metablock;
+        #: conservative (never underestimates), used as a recursion guard
+        self.desc_max_y: Any = None
+        self.vertical: Optional[blk.Blocking] = None
+        self.horizontal: Optional[blk.Blocking] = None
+        self.pst: Optional[ExternalPST] = None
+        self.ts_left: Optional[blk.Blocking] = None
+        self.ts_left_size = 0
+        self.ts_right: Optional[blk.Blocking] = None
+        self.ts_right_size = 0
+        self.children_pst: Optional[ExternalPST] = None
+        self.update_points: List[PlanarPoint] = []
+        self.update_block_id: Optional[BlockId] = None
+        self.td_points: List[PlanarPoint] = []
+        self.td_update_points: List[PlanarPoint] = []
+        self.td_update_block_id: Optional[BlockId] = None
+        self.td_pst: Optional[ExternalPST] = None
+        self.control_block_id: Optional[BlockId] = None
+        self.parent: Optional["ThreeSidedMetablock"] = None
+
+    # -- organisation management ----------------------------------------- #
+    def rebuild_organisations(self, disk) -> None:
+        self.destroy_organisations(disk)
+        if not self.points:
+            self.bbox = None
+            return
+        self.bbox = BoundingBox.of(self.points)
+        self.vertical = blk.build_vertical(disk, self.points)
+        self.horizontal = blk.build_horizontal(disk, self.points)
+        self.pst = ExternalPST(disk, self.points)
+
+    def destroy_organisations(self, disk) -> None:
+        if self.vertical is not None:
+            self.vertical.free(disk)
+            self.vertical = None
+        if self.horizontal is not None:
+            self.horizontal.free(disk)
+            self.horizontal = None
+        if self.pst is not None:
+            self.pst.destroy()
+            self.pst = None
+
+    def destroy_ts(self, disk) -> None:
+        if self.ts_left is not None:
+            self.ts_left.free(disk)
+            self.ts_left = None
+            self.ts_left_size = 0
+        if self.ts_right is not None:
+            self.ts_right.free(disk)
+            self.ts_right = None
+            self.ts_right_size = 0
+
+    def destroy_children_pst(self) -> None:
+        if self.children_pst is not None:
+            self.children_pst.destroy()
+            self.children_pst = None
+
+    def organisation_block_count(self) -> int:
+        count = 1  # control block
+        for blocking in (self.vertical, self.horizontal, self.ts_left, self.ts_right):
+            if blocking is not None:
+                count += len(blocking)
+        for pst in (self.pst, self.children_pst, self.td_pst):
+            if pst is not None:
+                count += pst.block_count()
+        if self.update_block_id is not None:
+            count += 1
+        if self.td_update_block_id is not None:
+            count += 1
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "leaf" if self.is_leaf else f"internal({len(self.children)})"
+        return f"ThreeSidedMetablock({kind}, n={len(self.points)})"
+
+
+class ThreeSidedMetablockTree:
+    """Semi-dynamic external structure for 3-sided range queries."""
+
+    def __init__(self, disk, points: Iterable[PlanarPoint] = ()) -> None:
+        self.disk = disk
+        self.B = disk.block_size
+        self.capacity = self.B * self.B
+        self._structure_version = 0
+        pts = list(points)
+        self.size = len(pts)
+        self.root: Optional[ThreeSidedMetablock] = None
+        if pts:
+            self.root = self._build(pts, parent=None)
+            self._build_sibling_structures(self.root)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(self, points: List[PlanarPoint], parent) -> ThreeSidedMetablock:
+        mb = ThreeSidedMetablock()
+        mb.parent = parent
+        mb.subtree_min_x = min(p.x for p in points)
+        mb.subtree_max_x = max(p.x for p in points)
+        mb.subtree_max_y = max(p.y for p in points)
+
+        if len(points) <= self.capacity:
+            mb.points = list(points)
+            mb.is_leaf = True
+            mb.desc_max_y = None
+        else:
+            by_y = sorted(points, key=lambda p: (p.y, p.x), reverse=True)
+            mb.points = by_y[: self.capacity]
+            rest = sorted(by_y[self.capacity :], key=lambda p: (p.x, p.y))
+            mb.is_leaf = False
+            mb.desc_max_y = max(p.y for p in rest)
+            group_size = max(1, -(-len(rest) // self.B))
+            for start in range(0, len(rest), group_size):
+                group = rest[start : start + group_size]
+                child = self._build(group, parent=mb)
+                mb.children.append(child)
+        mb.rebuild_organisations(self.disk)
+        self._write_control_block(mb)
+        return mb
+
+    def _write_control_block(self, mb: ThreeSidedMetablock) -> None:
+        header = {
+            "is_leaf": mb.is_leaf,
+            "n_points": len(mb.points),
+            "children": len(mb.children),
+        }
+        if mb.control_block_id is None:
+            block = self.disk.allocate(records=[], header=header)
+            mb.control_block_id = block.block_id
+        else:
+            block = self.disk.read(mb.control_block_id)
+            block.header.update(header)
+            self.disk.write(block)
+
+    def _build_sibling_structures(self, mb: ThreeSidedMetablock) -> None:
+        """Build both TS structures and the children 3-sided structure, recursively."""
+        if mb.is_leaf or not mb.children:
+            return
+        self._rebuild_sibling_structures(mb)
+        for child in mb.children:
+            self._build_sibling_structures(child)
+
+    def _rebuild_sibling_structures(self, mb: ThreeSidedMetablock) -> None:
+        """Rebuild TS-left/TS-right of every child of ``mb`` and ``mb``'s children PST."""
+        if mb.is_leaf or not mb.children:
+            return
+        subtree_sets = [self._collect_subtree_points(c) for c in mb.children]
+        n = len(mb.children)
+        # left-spanning TS structures
+        accumulated: List[PlanarPoint] = []
+        for i, child in enumerate(mb.children):
+            child.destroy_ts(self.disk)
+            if accumulated:
+                top = sorted(accumulated, key=lambda p: (p.y, p.x), reverse=True)[: self.capacity]
+                child.ts_left = blk.build_horizontal(self.disk, top)
+                child.ts_left_size = len(top)
+            accumulated.extend(subtree_sets[i])
+        # right-spanning TS structures
+        accumulated = []
+        for i in range(n - 1, -1, -1):
+            child = mb.children[i]
+            if accumulated:
+                top = sorted(accumulated, key=lambda p: (p.y, p.x), reverse=True)[: self.capacity]
+                child.ts_right = blk.build_horizontal(self.disk, top)
+                child.ts_right_size = len(top)
+            accumulated.extend(subtree_sets[i])
+        # children 3-sided structure (case 4 of Lemma 4.3)
+        mb.destroy_children_pst()
+        child_points: List[PlanarPoint] = []
+        for child in mb.children:
+            child_points.extend(child.points)
+            child_points.extend(child.update_points)
+        if child_points:
+            mb.children_pst = ExternalPST(self.disk, child_points)
+
+    # ------------------------------------------------------------------ #
+    # insertion (Lemma 4.4)
+    # ------------------------------------------------------------------ #
+    def insert(self, point: PlanarPoint) -> None:
+        """Insert a point; amortized ``O(log_B n + (log_B n)^2/B)`` I/Os."""
+        self.size += 1
+        if self.root is None:
+            self.root = ThreeSidedMetablock()
+            self.root.is_leaf = True
+            self.root.subtree_min_x = point.x
+            self.root.subtree_max_x = point.x
+            self.root.subtree_max_y = point.y
+            self.root.rebuild_organisations(self.disk)
+            self._write_control_block(self.root)
+        self._insert_into(self.root, point)
+
+    def insert_many(self, points: Iterable[PlanarPoint]) -> None:
+        for p in points:
+            self.insert(p)
+
+    def _insert_into(self, mb: ThreeSidedMetablock, point: PlanarPoint) -> None:
+        self._stretch_subtree_bounds(mb, point)
+        if mb.is_leaf or self._belongs_here(mb, point):
+            self._add_to_update_block(mb, point)
+            return
+        child = self._route_child(mb, point)
+        if mb.desc_max_y is None or point.y > mb.desc_max_y:
+            mb.desc_max_y = point.y
+        version = self._structure_version
+        self._insert_into(child, point)
+        # TD(mb) is updated only after the point has reached its destination,
+        # so a TD-full rebuild of the sibling structures sees the point in
+        # the children's subtrees (same ordering argument as the diagonal
+        # metablock tree).
+        if self._structure_version == version:
+            self._td_insert(mb, point)
+
+    @staticmethod
+    def _stretch_subtree_bounds(mb: ThreeSidedMetablock, point: PlanarPoint) -> None:
+        if mb.subtree_min_x is None or point.x < mb.subtree_min_x:
+            mb.subtree_min_x = point.x
+        if mb.subtree_max_x is None or point.x > mb.subtree_max_x:
+            mb.subtree_max_x = point.x
+        if mb.subtree_max_y is None or point.y > mb.subtree_max_y:
+            mb.subtree_max_y = point.y
+
+    @staticmethod
+    def _belongs_here(mb: ThreeSidedMetablock, point: PlanarPoint) -> bool:
+        if not mb.points or mb.bbox is None:
+            return True
+        return point.y >= mb.bbox.min_y
+
+    @staticmethod
+    def _route_child(mb: ThreeSidedMetablock, point: PlanarPoint) -> ThreeSidedMetablock:
+        for child in mb.children:
+            if child.subtree_min_x <= point.x <= child.subtree_max_x:
+                return child
+        for child in mb.children:
+            if point.x < child.subtree_min_x:
+                return child
+        return mb.children[-1]
+
+    # -- update blocks ------------------------------------------------------ #
+    def _add_to_update_block(self, mb: ThreeSidedMetablock, point: PlanarPoint) -> None:
+        mb.update_points.append(point)
+        if len(mb.update_points) >= self.B:
+            self._level_one_reorganisation(mb)
+        else:
+            self._write_update_block(mb)
+        if len(mb.points) + len(mb.update_points) >= 2 * self.capacity:
+            self._level_two_reorganisation(mb)
+
+    def _write_update_block(self, mb: ThreeSidedMetablock) -> None:
+        if mb.update_block_id is None:
+            block = self.disk.allocate(records=list(mb.update_points), capacity=self.B)
+            mb.update_block_id = block.block_id
+        else:
+            block = self.disk.read(mb.update_block_id)
+            block.records = list(mb.update_points)
+            self.disk.write(block)
+
+    # -- TD structures ------------------------------------------------------- #
+    def _td_insert(self, mb: ThreeSidedMetablock, point: PlanarPoint) -> None:
+        mb.td_update_points.append(point)
+        if mb.td_update_block_id is None:
+            block = self.disk.allocate(records=list(mb.td_update_points), capacity=self.B)
+            mb.td_update_block_id = block.block_id
+        else:
+            block = self.disk.read(mb.td_update_block_id)
+            block.records = list(mb.td_update_points)
+            self.disk.write(block)
+        if len(mb.td_update_points) >= self.B:
+            mb.td_points.extend(mb.td_update_points)
+            mb.td_update_points = []
+            block = self.disk.read(mb.td_update_block_id)
+            block.records = []
+            self.disk.write(block)
+            if mb.td_pst is not None:
+                mb.td_pst.destroy()
+            mb.td_pst = ExternalPST(self.disk, mb.td_points)
+        if len(mb.td_points) >= self.capacity:
+            self._rebuild_sibling_structures(mb)
+            mb.td_points = []
+            if mb.td_pst is not None:
+                mb.td_pst.destroy()
+                mb.td_pst = None
+
+    # -- reorganisations ------------------------------------------------------ #
+    def _level_one_reorganisation(self, mb: ThreeSidedMetablock) -> None:
+        mb.points.extend(mb.update_points)
+        mb.update_points = []
+        self._write_update_block(mb)
+        mb.rebuild_organisations(self.disk)
+        self._write_control_block(mb)
+
+    def _level_two_reorganisation(self, mb: ThreeSidedMetablock) -> None:
+        if mb.update_points:
+            self._level_one_reorganisation(mb)
+        if len(mb.points) < 2 * self.capacity:
+            return
+        if mb.is_leaf:
+            self._split_leaf(mb)
+            return
+        by_y = sorted(mb.points, key=lambda p: (p.y, p.x), reverse=True)
+        keep = by_y[: self.capacity]
+        push_down = by_y[self.capacity :]
+        mb.points = keep
+        mb.rebuild_organisations(self.disk)
+        self._write_control_block(mb)
+
+        receivers: List[ThreeSidedMetablock] = []
+        for point in push_down:
+            child = self._route_child(mb, point)
+            if mb.desc_max_y is None or point.y > mb.desc_max_y:
+                mb.desc_max_y = point.y
+            self._stretch_subtree_bounds(child, point)
+            child.update_points.append(point)
+            self._td_insert(mb, point)
+            if child not in receivers:
+                receivers.append(child)
+        version = self._structure_version
+        for child in receivers:
+            if len(child.update_points) >= self.B:
+                self._level_one_reorganisation(child)
+            else:
+                self._write_update_block(child)
+            if len(child.points) + len(child.update_points) >= 2 * self.capacity:
+                self._level_two_reorganisation(child)
+            if self._structure_version != version:
+                break
+        if self._structure_version == version:
+            if mb.parent is not None:
+                self._rebuild_sibling_structures(mb.parent)
+            self._rebuild_sibling_structures(mb)
+
+    def _split_leaf(self, leaf: ThreeSidedMetablock) -> None:
+        self._structure_version += 1
+        parent = leaf.parent
+        if parent is None:
+            self._rebuild_whole_tree()
+            return
+        ordered = sorted(leaf.points, key=lambda p: (p.x, p.y))
+        mid = len(ordered) // 2
+        new_leaves: List[ThreeSidedMetablock] = []
+        for pts in (ordered[:mid], ordered[mid:]):
+            node = ThreeSidedMetablock()
+            node.is_leaf = True
+            node.parent = parent
+            node.points = list(pts)
+            node.subtree_min_x = min(p.x for p in pts)
+            node.subtree_max_x = max(p.x for p in pts)
+            node.subtree_max_y = max(p.y for p in pts)
+            node.rebuild_organisations(self.disk)
+            self._write_control_block(node)
+            new_leaves.append(node)
+        idx = parent.children.index(leaf)
+        self._destroy_subtree(leaf)
+        parent.children[idx : idx + 1] = new_leaves
+        self._write_control_block(parent)
+        self._rebuild_sibling_structures(parent)
+        if len(parent.children) >= 2 * self.B:
+            self._split_internal(parent)
+
+    def _split_internal(self, mb: ThreeSidedMetablock) -> None:
+        self._structure_version += 1
+        parent = mb.parent
+        points = self._collect_subtree_points(mb)
+        if parent is None:
+            self._rebuild_whole_tree()
+            return
+        ordered = sorted(points, key=lambda p: (p.x, p.y))
+        mid = len(ordered) // 2
+        idx = parent.children.index(mb)
+        self._destroy_subtree(mb)
+        new_nodes: List[ThreeSidedMetablock] = []
+        for half in (ordered[:mid], ordered[mid:]):
+            if not half:
+                continue
+            node = self._build(half, parent=parent)
+            self._build_sibling_structures(node)
+            new_nodes.append(node)
+        parent.children[idx : idx + 1] = new_nodes
+        self._write_control_block(parent)
+        self._rebuild_sibling_structures(parent)
+        if len(parent.children) >= 2 * self.B:
+            self._split_internal(parent)
+
+    def _rebuild_whole_tree(self) -> None:
+        self._structure_version += 1
+        points = self._collect_subtree_points(self.root) if self.root is not None else []
+        if self.root is not None:
+            self._destroy_subtree(self.root)
+        self.root = self._build(points, parent=None) if points else None
+        if self.root is not None:
+            self._build_sibling_structures(self.root)
+
+    # -- helpers -------------------------------------------------------------- #
+    def _collect_subtree_points(self, mb: ThreeSidedMetablock) -> List[PlanarPoint]:
+        out: List[PlanarPoint] = []
+        stack = [mb]
+        while stack:
+            node = stack.pop()
+            out.extend(node.points)
+            out.extend(node.update_points)
+            stack.extend(node.children)
+        return out
+
+    def _destroy_subtree(self, mb: ThreeSidedMetablock) -> None:
+        stack = [mb]
+        while stack:
+            node = stack.pop()
+            node.destroy_organisations(self.disk)
+            node.destroy_ts(self.disk)
+            node.destroy_children_pst()
+            if node.td_pst is not None:
+                node.td_pst.destroy()
+                node.td_pst = None
+            for bid_attr in ("control_block_id", "update_block_id", "td_update_block_id"):
+                bid = getattr(node, bid_attr)
+                if bid is not None:
+                    self.disk.free(bid)
+                    setattr(node, bid_attr, None)
+            stack.extend(node.children)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query_3sided(self, x1: Any, x2: Any, y0: Any) -> List[PlanarPoint]:
+        """All points with ``x1 <= x <= x2`` and ``y >= y0``."""
+        if x2 < x1 or self.root is None:
+            return []
+        out: List[PlanarPoint] = []
+        self._query_node(self.root, x1, x2, y0, out)
+        return dedupe_points(out)
+
+    def query(self, query: ThreeSidedQuery) -> List[PlanarPoint]:
+        return self.query_3sided(query.x1, query.x2, query.y0)
+
+    def _query_node(self, mb: ThreeSidedMetablock, x1, x2, y0, out: List[PlanarPoint]) -> None:
+        if mb.subtree_min_x is None or mb.subtree_min_x > x2 or mb.subtree_max_x < x1:
+            return
+        if mb.subtree_max_y is not None and mb.subtree_max_y < y0:
+            return
+        if mb.control_block_id is not None:
+            self.disk.read(mb.control_block_id)
+
+        # the metablock's own points (cases 1–3 of Lemma 4.3)
+        if mb.pst is not None:
+            out.extend(mb.pst.query_3sided(x1, x2, y0))
+        if mb.update_block_id is not None and mb.update_points:
+            # one I/O for the update block; the in-memory list is authoritative
+            self.disk.read(mb.update_block_id)
+            out.extend(p for p in mb.update_points if x1 <= p.x <= x2 and p.y >= y0)
+
+        if mb.is_leaf or not mb.children:
+            return
+
+        # inserted points that descended past this metablock
+        if mb.td_pst is not None:
+            out.extend(mb.td_pst.query_3sided(x1, x2, y0))
+        if mb.td_update_block_id is not None and mb.td_update_points:
+            self.disk.read(mb.td_update_block_id)
+            out.extend(p for p in mb.td_update_points if x1 <= p.x <= x2 and p.y >= y0)
+
+        # classify the children against the two vertical sides; ties at group
+        # boundaries can make more than one child overlap a query side, so
+        # boundary children are kept as a list
+        boundaries: List[ThreeSidedMetablock] = []
+        middles: List[ThreeSidedMetablock] = []
+        for child in mb.children:
+            lo, hi = child.subtree_min_x, child.subtree_max_x
+            if lo is None or hi < x1 or lo > x2:
+                continue
+            if x1 <= lo and hi <= x2:
+                middles.append(child)
+            else:
+                boundaries.append(child)
+
+        for child in boundaries:
+            if child.subtree_max_y is not None and child.subtree_max_y >= y0:
+                self._query_node(child, x1, x2, y0, out)
+        if not middles:
+            return
+
+        left_side = [c for c in boundaries if c.subtree_min_x <= x1 <= c.subtree_max_x]
+        right_side = [c for c in boundaries if c.subtree_min_x <= x2 <= c.subtree_max_x]
+        has_left = bool(left_side)
+
+        if has_left and right_side and any(c not in left_side for c in right_side):
+            # case 4 of Lemma 4.3: the two sides diverge at this metablock
+            self._handle_divergence_middles(mb, middles, x1, x2, y0, out)
+        elif has_left:
+            anchor = max(left_side, key=lambda c: c.subtree_max_x)
+            self._handle_sided_middles(anchor, middles, x1, x2, y0, out, side="right")
+        elif right_side:
+            anchor = min(right_side, key=lambda c: c.subtree_min_x)
+            self._handle_sided_middles(anchor, middles, x1, x2, y0, out, side="left")
+        else:
+            # the whole x-extent of this metablock lies inside [x1, x2]
+            for child in middles:
+                if child.subtree_max_y is not None and child.subtree_max_y >= y0:
+                    self._query_node(child, x1, x2, y0, out)
+
+    # -- middle-children strategies ---------------------------------------- #
+    def _handle_divergence_middles(self, mb, middles, x1, x2, y0, out) -> None:
+        """Case 4 of Lemma 4.3: both vertical sides fall on children of ``mb``."""
+        if mb.children_pst is not None:
+            out.extend(mb.children_pst.query_3sided(x1, x2, y0))
+        for child in middles:
+            fully_above = child.bbox is not None and child.bbox.min_y >= y0
+            deep_candidates = child.desc_max_y is not None and child.desc_max_y >= y0
+            if fully_above or deep_candidates:
+                self._query_node(child, x1, x2, y0, out)
+
+    def _handle_sided_middles(self, boundary, middles, x1, x2, y0, out, side: str) -> None:
+        """One-sided case: the query extends past ``boundary`` over its siblings."""
+        ts = boundary.ts_right if side == "right" else boundary.ts_left
+        ts_size = boundary.ts_right_size if side == "right" else boundary.ts_left_size
+        # Only siblings on the ``side`` of the anchor are spanned by its TS
+        # structure; a (tie-induced) middle child on the other side is simply
+        # examined individually.
+        if side == "right":
+            on_side = [c for c in middles if c.subtree_max_x >= boundary.subtree_max_x]
+        else:
+            on_side = [c for c in middles if c.subtree_min_x <= boundary.subtree_min_x]
+        off_side = [c for c in middles if c not in on_side]
+        for child in off_side:
+            if child.subtree_max_y is not None and child.subtree_max_y >= y0:
+                self._query_node(child, x1, x2, y0, out)
+        middles = on_side
+        candidates = [c for c in middles if c.subtree_max_y is not None and c.subtree_max_y >= y0]
+        if not candidates:
+            return
+        covered = False
+        if ts is not None and ts_size > 0:
+            ts_bottom = ts.bounds[-1][1]
+            if ts_bottom < y0 and (ts_size >= self.capacity or all(c.is_leaf for c in middles)):
+                covered = True
+        if covered:
+            pts, _ = blk.scan_horizontal_downto(self.disk, ts, y0)
+            out.extend(p for p in pts if x1 <= p.x <= x2)
+            # deep descendants of middles cannot reach above y0 here (their
+            # metablocks are all crossed by or below the query bottom), except
+            # through the conservative desc_max_y guard:
+            for child in candidates:
+                if child.desc_max_y is not None and child.desc_max_y >= y0 and not child.is_leaf:
+                    self._query_node(child, x1, x2, y0, out)
+        else:
+            for child in candidates:
+                self._query_node(child, x1, x2, y0, out)
+
+    # ------------------------------------------------------------------ #
+    # accounting / introspection
+    # ------------------------------------------------------------------ #
+    def iter_metablocks(self):
+        if self.root is None:
+            return
+        stack = [self.root]
+        while stack:
+            mb = stack.pop()
+            yield mb
+            stack.extend(mb.children)
+
+    def block_count(self) -> int:
+        return sum(mb.organisation_block_count() for mb in self.iter_metablocks())
+
+    def all_points(self) -> List[PlanarPoint]:
+        out: List[PlanarPoint] = []
+        for mb in self.iter_metablocks():
+            out.extend(mb.points)
+            out.extend(mb.update_points)
+        return out
+
+    def height(self) -> int:
+        def depth(mb) -> int:
+            if mb is None:
+                return 0
+            if not mb.children:
+                return 1
+            return 1 + max(depth(c) for c in mb.children)
+
+        return depth(self.root)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def check_invariants(self) -> None:
+        if self.root is None:
+            assert self.size == 0
+            return
+        seen = 0
+        for mb in self.iter_metablocks():
+            seen += len(mb.points) + len(mb.update_points)
+            assert len(mb.points) <= 2 * self.capacity + self.B
+            if not mb.is_leaf:
+                assert mb.children
+        assert seen == self.size, f"point count mismatch: {seen} != {self.size}"

@@ -1,0 +1,13 @@
+"""Blocked (external-memory) priority search trees.
+
+Lemma 4.1 (after Icking, Klein and Ottmann [17]) states that a priority
+search tree in which every node holds ``B`` points answers 3-sided queries
+in ``O(log2 n + t/B)`` I/Os using ``O(n/B)`` blocks, and can be built in
+``O((n/B) log_B n)`` I/Os.  The class-indexing structures of Section 4 use
+these trees as the per-metablock and per-sibling-group "3-sided
+structures".
+"""
+
+from repro.pst.external_pst import ExternalPST
+
+__all__ = ["ExternalPST"]

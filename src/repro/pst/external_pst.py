@@ -1,0 +1,135 @@
+"""A static blocked priority search tree for 3-sided queries (Lemma 4.1).
+
+Structure
+---------
+The tree is binary on the x-dimension.  Every node occupies one disk block
+holding the ``B`` points with the largest y values among the points of its
+subtree that no ancestor holds; the remaining points are split by the median
+x value between the two children.  This is exactly the "priority search tree
+where each node contains B points" described in Lemma 4.1 [17].
+
+A 3-sided query ``x1 <= x <= x2, y >= y0`` walks the at most two root-to-leaf
+search paths for ``x1`` and ``x2`` (``O(log2 n)`` blocks) and, for every
+subtree completely inside ``[x1, x2]``, descends only while nodes keep
+producing output (every such block read either yields ``B`` reported points
+or terminates a branch), giving ``O(log2 n + t/B)`` I/Os.
+
+The structure is static; the metablock-tree variants that need insertions
+rebuild their (small, ``O(B^2)``/``O(B^3)``-point) external PSTs wholesale,
+exactly as prescribed by Lemma 4.4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from repro.io.disk import BlockId
+from repro.metablock.geometry import PlanarPoint, ThreeSidedQuery
+
+
+class ExternalPST:
+    """Static blocked priority search tree over :class:`PlanarPoint` records."""
+
+    def __init__(self, disk, points: Iterable[PlanarPoint] = ()) -> None:
+        self.disk = disk
+        self.B = disk.block_size
+        pts = list(points)
+        self.size = len(pts)
+        self._block_ids: List[BlockId] = []
+        self.root_id: Optional[BlockId] = None
+        if pts:
+            ordered = sorted(pts, key=lambda p: (p.x, p.y))
+            self.root_id = self._build(ordered)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(self, pts: List[PlanarPoint]) -> Optional[BlockId]:
+        """Build recursively from points sorted by x; returns the root block id."""
+        if not pts:
+            return None
+        by_y = sorted(pts, key=lambda p: (p.y, p.x), reverse=True)
+        top = by_y[: self.B]
+        top_ids = set(id(p) for p in top)
+        rest = [p for p in pts if id(p) not in top_ids]  # keeps x order
+        mid = len(pts) // 2
+        split_x = pts[mid].x
+        left_pts = [p for p in rest if p.x < split_x]
+        right_pts = [p for p in rest if p.x >= split_x]
+        # With many equal x values one side can be empty; recursion still
+        # terminates because every level removes its top B points, and the
+        # search-tree invariant (left strictly below split_x) is preserved.
+
+        left_id = self._build(left_pts)
+        right_id = self._build(right_pts)
+        block = self.disk.allocate(
+            records=list(top),
+            header={
+                "split_x": split_x,
+                "left": left_id,
+                "right": right_id,
+                "min_y": min(p.y for p in top),
+            },
+        )
+        self._block_ids.append(block.block_id)
+        return block.block_id
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query_3sided(self, x1: Any, x2: Any, y0: Any) -> List[PlanarPoint]:
+        """All points with ``x1 <= x <= x2`` and ``y >= y0``."""
+        out: List[PlanarPoint] = []
+        self._query(self.root_id, x1, x2, y0, out)
+        return out
+
+    def query(self, query: ThreeSidedQuery) -> List[PlanarPoint]:
+        return self.query_3sided(query.x1, query.x2, query.y0)
+
+    def query_2sided(self, x_max: Any, y_min: Any) -> List[PlanarPoint]:
+        """All points with ``x <= x_max`` and ``y >= y_min``."""
+        out: List[PlanarPoint] = []
+        self._query(self.root_id, None, x_max, y_min, out)
+        return out
+
+    def _query(
+        self,
+        block_id: Optional[BlockId],
+        x1: Optional[Any],
+        x2: Any,
+        y0: Any,
+        out: List[PlanarPoint],
+    ) -> None:
+        if block_id is None:
+            return
+        block = self.disk.read(block_id)
+        for p in block.records:
+            if p.y < y0:
+                continue
+            if (x1 is None or p.x >= x1) and p.x <= x2:
+                out.append(p)
+        # every point below this node has y <= the smallest y stored here;
+        # stop when even the stored points dip below the query bottom
+        if block.header["min_y"] < y0:
+            return
+        split_x = block.header["split_x"]
+        if x1 is None or x1 < split_x:
+            self._query(block.header["left"], x1, x2, y0, out)
+        if x2 >= split_x:
+            self._query(block.header["right"], x1, x2, y0, out)
+
+    # ------------------------------------------------------------------ #
+    # accounting / lifecycle
+    # ------------------------------------------------------------------ #
+    def block_count(self) -> int:
+        return len(self._block_ids)
+
+    def destroy(self) -> None:
+        for bid in self._block_ids:
+            self.disk.free(bid)
+        self._block_ids = []
+        self.root_id = None
+        self.size = 0
+
+    def __len__(self) -> int:
+        return self.size

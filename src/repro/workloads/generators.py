@@ -1,0 +1,178 @@
+"""Synthetic workload generators.
+
+The paper has no experimental section, so the reproduction supplies the
+workloads its analysis implicitly talks about:
+
+* interval collections (uniform, clustered, nested) for the interval
+  management / constraint indexing experiments;
+* planar point sets, both arbitrary and of the ``y >= x`` interval-endpoint
+  shape, plus the staircase set of Proposition 3.3's lower-bound argument;
+* class hierarchies of several shapes (random, balanced, chain — the
+  "degenerate" hierarchy of Lemma 4.3 — and star — the hierarchy of
+  Theorem 2.8's lower bound) and object populations over them.
+
+Every generator takes an explicit ``seed`` so tests and benchmarks are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.classes.hierarchy import ClassHierarchy, ClassObject
+from repro.interval import Interval
+from repro.metablock.geometry import PlanarPoint
+
+
+# --------------------------------------------------------------------------- #
+# intervals
+# --------------------------------------------------------------------------- #
+def random_intervals(
+    n: int,
+    domain: Tuple[float, float] = (0.0, 1_000.0),
+    mean_length: float = 50.0,
+    seed: int = 0,
+) -> List[Interval]:
+    """Uniformly placed intervals with exponentially distributed lengths."""
+    rnd = random.Random(seed)
+    lo, hi = domain
+    out = []
+    for i in range(n):
+        start = rnd.uniform(lo, hi)
+        length = rnd.expovariate(1.0 / mean_length) if mean_length > 0 else 0.0
+        out.append(Interval(start, start + length, payload=i))
+    return out
+
+
+def clustered_intervals(
+    n: int,
+    clusters: int = 10,
+    domain: Tuple[float, float] = (0.0, 1_000.0),
+    spread: float = 5.0,
+    mean_length: float = 20.0,
+    seed: int = 0,
+) -> List[Interval]:
+    """Intervals whose left endpoints concentrate around a few cluster centres."""
+    rnd = random.Random(seed)
+    lo, hi = domain
+    centres = [rnd.uniform(lo, hi) for _ in range(max(1, clusters))]
+    out = []
+    for i in range(n):
+        centre = rnd.choice(centres)
+        start = rnd.gauss(centre, spread)
+        length = rnd.expovariate(1.0 / mean_length) if mean_length > 0 else 0.0
+        out.append(Interval(start, start + length, payload=i))
+    return out
+
+
+def nested_intervals(
+    n: int, domain: Tuple[float, float] = (0.0, 1_000.0), seed: int = 0
+) -> List[Interval]:
+    """A telescope of nested intervals — the worst case for stabbing output size."""
+    rnd = random.Random(seed)
+    lo, hi = domain
+    out = []
+    for i in range(n):
+        shrink = (i + 1) / (2.0 * n + 1.0)
+        jitter = rnd.uniform(0, (hi - lo) * 0.001)
+        out.append(Interval(lo + (hi - lo) * shrink + jitter, hi - (hi - lo) * shrink + jitter, payload=i))
+    return out
+
+
+def interval_points(intervals: Sequence[Interval]) -> List[PlanarPoint]:
+    """Map intervals to the planar points ``(low, high)`` (Proposition 2.2)."""
+    return [PlanarPoint(iv.low, iv.high, payload=iv) for iv in intervals]
+
+
+# --------------------------------------------------------------------------- #
+# points
+# --------------------------------------------------------------------------- #
+def random_points(
+    n: int, domain: Tuple[float, float] = (0.0, 1_000.0), seed: int = 0
+) -> List[PlanarPoint]:
+    """Uniform points in a square (used by the 3-sided structures)."""
+    rnd = random.Random(seed)
+    lo, hi = domain
+    return [PlanarPoint(rnd.uniform(lo, hi), rnd.uniform(lo, hi), payload=i) for i in range(n)]
+
+
+def diagonal_staircase_points(n: int) -> List[PlanarPoint]:
+    """The set ``{(x, x+1) : x in 1..n}`` from the lower bound of Proposition 3.3."""
+    return [PlanarPoint(float(x), float(x + 1), payload=x) for x in range(1, n + 1)]
+
+
+# --------------------------------------------------------------------------- #
+# class hierarchies and objects
+# --------------------------------------------------------------------------- #
+def random_hierarchy(c: int, seed: int = 0, roots: int = 1) -> ClassHierarchy:
+    """A random recursive forest with ``c`` classes and the given number of roots."""
+    if c <= 0:
+        return ClassHierarchy()
+    rnd = random.Random(seed)
+    roots = max(1, min(roots, c))
+    hierarchy = ClassHierarchy()
+    names = [f"C{i}" for i in range(c)]
+    for i, name in enumerate(names):
+        if i < roots:
+            hierarchy.add_class(name)
+        else:
+            hierarchy.add_class(name, names[rnd.randrange(0, i)])
+    return hierarchy
+
+
+def balanced_hierarchy(depth: int, fanout: int, prefix: str = "N") -> ClassHierarchy:
+    """A complete ``fanout``-ary hierarchy of the given depth."""
+    hierarchy = ClassHierarchy()
+    hierarchy.add_class(f"{prefix}0")
+    frontier = [f"{prefix}0"]
+    counter = 1
+    for _ in range(depth):
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(fanout):
+                name = f"{prefix}{counter}"
+                counter += 1
+                hierarchy.add_class(name, parent)
+                next_frontier.append(name)
+        frontier = next_frontier
+    return hierarchy
+
+
+def chain_hierarchy(c: int, prefix: str = "D") -> ClassHierarchy:
+    """The *degenerate* hierarchy of Lemma 4.3: a single chain of ``c`` classes."""
+    hierarchy = ClassHierarchy()
+    previous: Optional[str] = None
+    for i in range(c):
+        name = f"{prefix}{i}"
+        hierarchy.add_class(name, previous)
+        previous = name
+    return hierarchy
+
+
+def star_hierarchy(c: int, prefix: str = "S") -> ClassHierarchy:
+    """The hierarchy of Theorem 2.8: one root with ``c - 1`` leaf children."""
+    hierarchy = ClassHierarchy()
+    hierarchy.add_class(f"{prefix}root")
+    for i in range(max(0, c - 1)):
+        hierarchy.add_class(f"{prefix}{i}", f"{prefix}root")
+    return hierarchy
+
+
+def random_class_objects(
+    hierarchy: ClassHierarchy,
+    n: int,
+    domain: Tuple[float, float] = (0.0, 1_000.0),
+    seed: int = 0,
+    skew_to_leaves: bool = False,
+) -> List[ClassObject]:
+    """Objects with uniform attribute values spread over the hierarchy's classes."""
+    rnd = random.Random(seed)
+    classes = hierarchy.classes()
+    if skew_to_leaves:
+        leaves = [c for c in classes if hierarchy.is_leaf(c)]
+        classes = leaves or classes
+    lo, hi = domain
+    return [
+        ClassObject(rnd.uniform(lo, hi), rnd.choice(classes), payload=i) for i in range(n)
+    ]

@@ -1,0 +1,243 @@
+"""Tests for the constraint data model (Section 2.1) and its 1-D index."""
+
+import math
+import random
+
+import pytest
+
+from repro.constraints import (
+    Constraint,
+    GeneralizedOneDimensionalIndex,
+    GeneralizedRelation,
+    GeneralizedTuple,
+    var,
+)
+from repro.constraints.rectangles import (
+    intersecting_pairs,
+    rectangle_relation,
+    rectangle_tuple,
+    tuples_intersect,
+)
+from repro.constraints.relation import GeneralizedDatabase
+from repro.constraints.terms import UNBOUNDED_HIGH, UNBOUNDED_LOW
+from repro.io import SimulatedDisk
+
+X, Y = var("x"), var("y")
+
+
+class TestConstraint:
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint(X, "!=", 3)
+
+    def test_lhs_must_be_variable(self):
+        with pytest.raises(TypeError):
+            Constraint(3, "<", X)
+
+    def test_evaluate_all_operators(self):
+        assignment = {"x": 5, "y": 7}
+        assert Constraint(X, "<", 6).evaluate(assignment)
+        assert Constraint(X, "<=", 5).evaluate(assignment)
+        assert Constraint(X, "=", 5).evaluate(assignment)
+        assert Constraint(X, ">=", 5).evaluate(assignment)
+        assert Constraint(X, ">", 4).evaluate(assignment)
+        assert Constraint(X, "<", Y).evaluate(assignment)
+        assert not Constraint(Y, "<", X).evaluate(assignment)
+
+    def test_variables(self):
+        assert Constraint(X, "<", Y).variables() == {"x", "y"}
+        assert Constraint(X, "<", 3).variables() == {"x"}
+
+
+class TestGeneralizedTuple:
+    def test_satisfiable_simple_box(self):
+        gt = GeneralizedTuple([Constraint(X, ">=", 1), Constraint(X, "<=", 5)])
+        assert gt.is_satisfiable()
+        assert gt.projection("x") == (1.0, 5.0)
+
+    def test_unsatisfiable_contradiction(self):
+        gt = GeneralizedTuple([Constraint(X, ">", 5), Constraint(X, "<", 3)])
+        assert not gt.is_satisfiable()
+
+    def test_unsatisfiable_strict_cycle(self):
+        gt = GeneralizedTuple([Constraint(X, "<", Y), Constraint(Y, "<", X)])
+        assert not gt.is_satisfiable()
+
+    def test_satisfiable_equality_cycle(self):
+        gt = GeneralizedTuple([Constraint(X, "<=", Y), Constraint(Y, "<=", X)])
+        assert gt.is_satisfiable()
+
+    def test_transitive_propagation_through_variables(self):
+        """x <= y and y <= 5 must bound x's projection."""
+        gt = GeneralizedTuple(
+            [Constraint(X, "<=", Y), Constraint(Y, "<=", 5), Constraint(X, ">=", 1)]
+        )
+        assert gt.projection("x") == (1.0, 5.0)
+        assert gt.projection("y") == (1.0, 5.0)
+
+    def test_projection_unbounded_directions(self):
+        gt = GeneralizedTuple([Constraint(X, ">=", 2)])
+        low, high = gt.projection("x")
+        assert low == 2.0 and high == UNBOUNDED_HIGH
+        low, high = gt.projection("missing")
+        assert low == UNBOUNDED_LOW and high == UNBOUNDED_HIGH
+
+    def test_equality_projection_is_degenerate(self):
+        gt = GeneralizedTuple([Constraint(X, "=", 7)])
+        assert gt.projection("x") == (7.0, 7.0)
+
+    def test_conjoin_creates_new_tuple(self):
+        gt = GeneralizedTuple([Constraint(X, ">=", 0)], name="t")
+        extended = gt.conjoin(Constraint(X, "<=", 3))
+        assert len(gt) == 1 and len(extended) == 2
+        assert extended.name == "t"
+        assert extended.projection("x") == (0.0, 3.0)
+
+    def test_evaluate_point_membership(self):
+        gt = rectangle_tuple("r", 0, 0, 10, 5)
+        assert gt.evaluate({"x": 5, "y": 2})
+        assert not gt.evaluate({"x": 5, "y": 6})
+
+    def test_arity_and_variables(self):
+        gt = rectangle_tuple("r", 0, 0, 1, 1)
+        assert gt.variables() == {"x", "y"}
+        assert gt.arity == 2
+
+    def test_empty_tuple_is_satisfiable_everywhere(self):
+        gt = GeneralizedTuple([])
+        assert gt.is_satisfiable()
+        assert gt.projection("x") == (UNBOUNDED_LOW, UNBOUNDED_HIGH)
+
+
+class TestGeneralizedRelation:
+    def _relation(self):
+        tuples = [
+            GeneralizedTuple([Constraint(X, ">=", i), Constraint(X, "<=", i + 10)], name=i)
+            for i in range(0, 100, 10)
+        ]
+        return GeneralizedRelation(["x"], tuples, name="bands")
+
+    def test_schema_enforced(self):
+        with pytest.raises(ValueError):
+            GeneralizedRelation(["x"], [GeneralizedTuple([Constraint(Y, "<", 1)])])
+
+    def test_add_and_discard(self):
+        rel = self._relation()
+        extra = GeneralizedTuple([Constraint(X, "=", 500)], name="extra")
+        rel.add(extra)
+        assert len(rel) == 11
+        assert rel.discard(extra)
+        assert not rel.discard(extra)
+
+    def test_select_prunes_unsatisfiable(self):
+        rel = self._relation()
+        selected = rel.select(Constraint(X, ">=", 95), Constraint(X, "<=", 98))
+        assert len(selected) == 1
+        unpruned = rel.select(Constraint(X, ">=", 95), Constraint(X, "<=", 98), prune=False)
+        assert len(unpruned) == 10
+
+    def test_contains_point(self):
+        rel = self._relation()
+        assert rel.contains_point({"x": 55})
+        assert not rel.contains_point({"x": 200})
+
+    def test_database_container(self):
+        db = GeneralizedDatabase()
+        db.add_relation(self._relation())
+        assert len(db) == 1
+        assert db["bands"].name == "bands"
+
+
+class TestGeneralizedIndex:
+    def _random_rectangles(self, n, seed=0):
+        rnd = random.Random(seed)
+        rects = []
+        for i in range(n):
+            a, b = rnd.uniform(0, 500), rnd.uniform(0, 500)
+            rects.append((f"r{i}", a, b, a + rnd.uniform(1, 40), b + rnd.uniform(1, 40)))
+        return rects
+
+    def test_attribute_must_exist(self):
+        rel = rectangle_relation(self._random_rectangles(5))
+        with pytest.raises(ValueError):
+            GeneralizedOneDimensionalIndex(SimulatedDisk(8), rel, "z")
+
+    def test_candidate_tuples_match_projection_semantics(self):
+        rel = rectangle_relation(self._random_rectangles(150, seed=1))
+        index = GeneralizedOneDimensionalIndex(SimulatedDisk(8), rel, "x")
+        rnd = random.Random(1)
+        for _ in range(25):
+            lo = rnd.uniform(0, 550)
+            hi = lo + rnd.uniform(0, 80)
+            expected = sorted(
+                gt.name
+                for gt in rel.tuples
+                if gt.projection("x")[0] <= hi and lo <= gt.projection("x")[1]
+            )
+            got = sorted(gt.name for gt in index.candidate_tuples(lo, hi))
+            assert got == expected
+
+    def test_range_query_represents_correct_point_set(self):
+        rel = rectangle_relation(self._random_rectangles(80, seed=2))
+        index = GeneralizedOneDimensionalIndex(SimulatedDisk(8), rel, "x")
+        restricted = index.range_query(100, 200)
+        rnd = random.Random(2)
+        for _ in range(200):
+            point = {"x": rnd.uniform(0, 600), "y": rnd.uniform(0, 600)}
+            in_original = rel.contains_point(point) and 100 <= point["x"] <= 200
+            assert restricted.contains_point(point) == in_original
+
+    def test_insert_updates_index(self):
+        rel = rectangle_relation(self._random_rectangles(30, seed=3))
+        index = GeneralizedOneDimensionalIndex(SimulatedDisk(8), rel, "x")
+        new = rectangle_tuple("fresh", 1000, 0, 1010, 10)
+        index.insert(new)
+        assert "fresh" in {gt.name for gt in index.stabbing_tuples(1005)}
+        assert len(index) == 31
+
+    def test_stabbing_tuples(self):
+        rel = rectangle_relation([("a", 0, 0, 10, 10), ("b", 20, 0, 30, 10)])
+        index = GeneralizedOneDimensionalIndex(SimulatedDisk(4), rel, "x")
+        assert {gt.name for gt in index.stabbing_tuples(5)} == {"a"}
+        assert {gt.name for gt in index.stabbing_tuples(25)} == {"b"}
+        assert index.stabbing_tuples(15) == []
+
+
+class TestRectangleExample:
+    """Example 2.1: all pairs of distinct intersecting rectangles."""
+
+    def _brute(self, rects):
+        out = set()
+        for i, (n1, a1, b1, c1, d1) in enumerate(rects):
+            for n2, a2, b2, c2, d2 in rects[i + 1 :]:
+                if a1 <= c2 and a2 <= c1 and b1 <= d2 and b2 <= d1:
+                    out.add(frozenset((n1, n2)))
+        return out
+
+    def test_rectangle_tuple_validation(self):
+        with pytest.raises(ValueError):
+            rectangle_tuple("bad", 5, 0, 1, 10)
+
+    def test_tuples_intersect_matches_geometry(self):
+        a = rectangle_tuple("a", 0, 0, 10, 10)
+        b = rectangle_tuple("b", 5, 5, 15, 15)
+        c = rectangle_tuple("c", 11, 11, 20, 20)
+        assert tuples_intersect(a, b)
+        assert not tuples_intersect(a, c)
+        assert tuples_intersect(b, c)
+
+    def test_intersecting_pairs_naive_vs_indexed(self):
+        rnd = random.Random(5)
+        rects = []
+        for i in range(60):
+            a, b = rnd.uniform(0, 100), rnd.uniform(0, 100)
+            rects.append((f"r{i}", a, b, a + rnd.uniform(1, 25), b + rnd.uniform(1, 25)))
+        rel = rectangle_relation(rects)
+        index = GeneralizedOneDimensionalIndex(SimulatedDisk(8), rel, "x")
+        expected = self._brute(rects)
+        assert set(map(frozenset, intersecting_pairs(rel))) == expected
+        assert set(map(frozenset, intersecting_pairs(rel, index))) == expected
+
+    def test_touching_rectangles_intersect(self):
+        rel = rectangle_relation([("a", 0, 0, 10, 10), ("b", 10, 10, 20, 20)])
+        assert set(map(frozenset, intersecting_pairs(rel))) == {frozenset(("a", "b"))}

@@ -1,0 +1,168 @@
+"""Tests for label-edges (Lemma 4.5) and rake-and-contract (Lemma 4.6)."""
+
+import math
+
+import pytest
+
+from repro.classes.decomposition import PathPiece, RakePiece, label_edges, rake_and_contract
+from repro.classes.hierarchy import people_hierarchy
+from repro.workloads import balanced_hierarchy, chain_hierarchy, random_hierarchy, star_hierarchy
+
+
+HIERARCHIES = {
+    "people": people_hierarchy(),
+    "chain": chain_hierarchy(17),
+    "star": star_hierarchy(33),
+    "balanced": balanced_hierarchy(3, 2),
+    "random-small": random_hierarchy(20, seed=1),
+    "random-large": random_hierarchy(150, seed=2),
+    "forest": random_hierarchy(40, seed=3, roots=4),
+}
+
+
+class TestLabelEdges:
+    def test_thick_edge_goes_to_largest_subtree(self):
+        h = people_hierarchy()
+        labeling = label_edges(h)
+        # Professor's subtree (2 classes) is larger than Student's (1)
+        assert labeling.thick_child["Person"] == "Professor"
+        assert labeling.thick_child["Professor"] == "AssistantProfessor"
+        assert labeling.thick_child["Student"] is None
+
+    def test_leaves_have_no_thick_child(self):
+        h = random_hierarchy(30, seed=4)
+        labeling = label_edges(h)
+        for cls in h.classes():
+            if h.is_leaf(cls):
+                assert labeling.thick_child[cls] is None
+            else:
+                assert labeling.thick_child[cls] in h.children(cls)
+
+    @pytest.mark.parametrize("shape", sorted(HIERARCHIES))
+    def test_lemma_45_thin_edges_bounded_by_log_c(self, shape):
+        h = HIERARCHIES[shape]
+        labeling = label_edges(h)
+        c = len(h)
+        bound = math.log2(c) if c > 1 else 0
+        for cls in h.classes():
+            assert labeling.thin_edge_count_to_root(cls, h) <= bound + 1e-9
+
+    def test_chain_has_no_thin_edges(self):
+        h = chain_hierarchy(25)
+        labeling = label_edges(h)
+        for cls in h.classes():
+            assert labeling.thin_edge_count_to_root(cls, h) == 0
+
+    def test_star_leaves_have_at_most_one_thin_edge(self):
+        h = star_hierarchy(20)
+        labeling = label_edges(h)
+        thin_counts = {labeling.thin_edge_count_to_root(c, h) for c in h.classes()}
+        assert thin_counts <= {0, 1}
+
+    def test_is_thick_helper(self):
+        h = people_hierarchy()
+        labeling = label_edges(h)
+        assert labeling.is_thick("Professor", h)
+        assert not labeling.is_thick("Student", h)
+        assert not labeling.is_thick("Person", h)  # roots have no parent edge
+
+
+class TestRakeAndContract:
+    @pytest.mark.parametrize("shape", sorted(HIERARCHIES))
+    def test_every_class_has_a_query_plan(self, shape):
+        h = HIERARCHIES[shape]
+        decomposition = rake_and_contract(h)
+        assert set(decomposition.query_plan) == set(h.classes())
+
+    @pytest.mark.parametrize("shape", sorted(HIERARCHIES))
+    def test_every_class_extent_is_stored_somewhere(self, shape):
+        h = HIERARCHIES[shape]
+        decomposition = rake_and_contract(h)
+        for cls in h.classes():
+            assert decomposition.copies_of_extent(cls) >= 1
+
+    @pytest.mark.parametrize("shape", sorted(HIERARCHIES))
+    def test_lemma_46_copies_bounded_by_log_c(self, shape):
+        h = HIERARCHIES[shape]
+        decomposition = rake_and_contract(h)
+        c = len(h)
+        assert decomposition.max_copies() <= math.ceil(math.log2(c)) + 1 if c > 1 else 1
+
+    @pytest.mark.parametrize("shape", sorted(HIERARCHIES))
+    def test_query_plans_cover_full_extents(self, shape):
+        """The piece answering class C must contain the extents of all C's descendants."""
+        h = HIERARCHIES[shape]
+        decomposition = rake_and_contract(h)
+        pieces = {p.piece_id: p for p in decomposition.pieces}
+        for cls in h.classes():
+            piece_id, position = decomposition.query_plan[cls]
+            piece = pieces[piece_id]
+            if isinstance(piece, RakePiece):
+                covered = piece.classes
+            else:
+                covered = set()
+                for pos in range(position, len(piece.nodes)):
+                    covered |= piece.classes_per_node[pos]
+            assert set(h.descendants(cls)) <= covered
+
+    @pytest.mark.parametrize("shape", sorted(HIERARCHIES))
+    def test_query_plan_does_not_overcover(self, shape):
+        """The covered classes are exactly the descendants (no foreign extents)."""
+        h = HIERARCHIES[shape]
+        decomposition = rake_and_contract(h)
+        pieces = {p.piece_id: p for p in decomposition.pieces}
+        for cls in h.classes():
+            piece_id, position = decomposition.query_plan[cls]
+            piece = pieces[piece_id]
+            if isinstance(piece, RakePiece):
+                covered = set(piece.classes)
+            else:
+                covered = set()
+                for pos in range(position, len(piece.nodes)):
+                    covered |= piece.classes_per_node[pos]
+            assert covered == set(h.descendants(cls))
+
+    def test_chain_contracts_to_one_path(self):
+        decomposition = rake_and_contract(chain_hierarchy(9))
+        assert len(decomposition.pieces) == 1
+        piece = decomposition.pieces[0]
+        assert isinstance(piece, PathPiece)
+        assert piece.nodes == [f"D{i}" for i in range(9)]
+
+    def test_star_rakes_leaves_then_handles_root(self):
+        decomposition = rake_and_contract(star_hierarchy(12))
+        rakes = [p for p in decomposition.pieces if isinstance(p, RakePiece)]
+        assert len(rakes) >= 10
+        # the root's piece must cover every class
+        root_piece_id, _ = decomposition.query_plan["Sroot"]
+        piece = next(p for p in decomposition.pieces if p.piece_id == root_piece_id)
+        covered = (
+            piece.classes
+            if isinstance(piece, RakePiece)
+            else set().union(*piece.classes_per_node)
+        )
+        assert len(covered) == 12
+
+    def test_extent_locations_are_consistent_with_pieces(self):
+        h = random_hierarchy(50, seed=9)
+        decomposition = rake_and_contract(h)
+        pieces = {p.piece_id: p for p in decomposition.pieces}
+        for cls, locations in decomposition.extent_locations.items():
+            for piece_id, position in locations:
+                piece = pieces[piece_id]
+                if isinstance(piece, RakePiece):
+                    assert position is None
+                    assert cls in piece.classes
+                else:
+                    assert 0 <= position < len(piece.nodes)
+                    assert cls in piece.classes_per_node[position]
+
+    def test_paths_follow_thick_edges(self):
+        h = random_hierarchy(80, seed=10)
+        labeling = label_edges(h)
+        decomposition = rake_and_contract(h, labeling)
+        for piece in decomposition.pieces:
+            if isinstance(piece, PathPiece):
+                for parent, child in zip(piece.nodes, piece.nodes[1:]):
+                    assert h.parent(child) == parent
+                    assert labeling.thick_child[parent] == child

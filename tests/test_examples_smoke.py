@@ -1,0 +1,62 @@
+"""Smoke tests: the shipped examples run and print what they promise.
+
+The heavier examples are exercised with reduced workloads by importing their
+building blocks; the quickstart is run end-to-end.
+"""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestQuickstart:
+    def test_runs_end_to_end(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "external dynamic interval management" in result.stdout
+        assert "I/Os" in result.stdout
+        assert "class indexing" in result.stdout
+
+
+class TestExampleModulesImportable:
+    @pytest.mark.parametrize(
+        "name",
+        ["quickstart", "temporal_versions", "people_class_hierarchy",
+         "constraint_rectangles", "io_scaling_study"],
+    )
+    def test_importable_without_running_main(self, name):
+        """Every example is importable (its functions can be reused as a library)."""
+        namespace = runpy.run_path(str(EXAMPLES / f"{name}.py"), run_name="not_main")
+        entry_points = ("main", "interval_quickstart", "interval_scaling")
+        assert any(name_ in namespace for name_ in entry_points)
+
+
+class TestExampleBuildingBlocks:
+    def test_temporal_history_builder(self):
+        module = runpy.run_path(str(EXAMPLES / "temporal_versions.py"), run_name="not_main")
+        versions = module["build_history"](seed=1)
+        assert len(versions) > 100
+        assert all(iv.low <= iv.high for iv in versions)
+
+    def test_people_population_builder(self):
+        module = runpy.run_path(str(EXAMPLES / "people_class_hierarchy.py"), run_name="not_main")
+        hierarchy, people = module["build_population"](seed=2)
+        assert set(o.class_name for o in people) <= set(hierarchy.classes())
+        assert len(people) == module["N_PEOPLE"]
+
+    def test_rectangle_builder(self):
+        module = runpy.run_path(str(EXAMPLES / "constraint_rectangles.py"), run_name="not_main")
+        rects = module["build_rectangles"](seed=3)
+        assert len(rects) == module["N_RECTANGLES"]
+        for _, a, b, c, d in rects:
+            assert a <= c and b <= d

@@ -1,0 +1,158 @@
+"""Tests for the class hierarchy model and the label-class procedure (Prop. 2.5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.classes.hierarchy import ClassHierarchy, ClassObject, people_hierarchy
+from repro.workloads import balanced_hierarchy, chain_hierarchy, random_hierarchy, star_hierarchy
+
+
+class TestStructure:
+    def test_add_and_lookup(self):
+        h = ClassHierarchy()
+        h.add_class("A")
+        h.add_class("B", "A")
+        assert "A" in h and "B" in h and "C" not in h
+        assert h.parent("B") == "A"
+        assert h.children("A") == ["B"]
+        assert h.roots() == ["A"]
+        assert len(h) == 2
+
+    def test_duplicate_class_rejected(self):
+        h = ClassHierarchy()
+        h.add_class("A")
+        with pytest.raises(ValueError):
+            h.add_class("A")
+
+    def test_unknown_parent_rejected(self):
+        h = ClassHierarchy()
+        with pytest.raises(KeyError):
+            h.add_class("B", "missing")
+
+    def test_people_hierarchy_shape(self):
+        h = people_hierarchy()
+        assert set(h.classes()) == {"Person", "Professor", "Student", "AssistantProfessor"}
+        assert h.parent("AssistantProfessor") == "Professor"
+        assert h.is_leaf("Student")
+        assert not h.is_leaf("Person")
+        assert h.ancestors("AssistantProfessor") == ["Professor", "Person"]
+        assert set(h.descendants("Professor")) == {"Professor", "AssistantProfessor"}
+        assert h.depth("AssistantProfessor") == 2
+        assert h.max_depth() == 2
+        assert h.subtree_size("Person") == 4
+
+    def test_forest_with_multiple_roots(self):
+        h = ClassHierarchy()
+        h.add_class("X")
+        h.add_class("Y")
+        h.add_class("X1", "X")
+        assert set(h.roots()) == {"X", "Y"}
+        h.validate()
+
+    def test_from_edges(self):
+        h = ClassHierarchy.from_edges([("A", None), ("B", "A"), ("C", "B")])
+        assert h.descendants("A") == ["A", "B", "C"] or set(h.descendants("A")) == {"A", "B", "C"}
+
+    def test_topological_iteration_parents_first(self):
+        h = random_hierarchy(40, seed=1)
+        seen = set()
+        for cls in h.iter_topological():
+            parent = h.parent(cls)
+            assert parent is None or parent in seen
+            seen.add(cls)
+        assert len(seen) == 40
+
+    def test_validate_passes_on_generators(self):
+        for h in (
+            random_hierarchy(30, seed=2),
+            balanced_hierarchy(3, 3),
+            chain_hierarchy(10),
+            star_hierarchy(15),
+        ):
+            h.validate()
+
+
+class TestLabelClass:
+    def test_paper_example_values(self):
+        """Fig. 5: Person=[0,1), Student=1/3, Professor=2/3, Asst.Prof=5/6."""
+        h = people_hierarchy()
+        labels = h.labels()
+        assert labels["Person"] == (Fraction(0), Fraction(1))
+        child_lows = sorted(labels[c][0] for c in ("Professor", "Student"))
+        assert child_lows == [Fraction(1, 3), Fraction(2, 3)]
+        prof_low, prof_high = labels["Professor"]
+        asst_low, asst_high = labels["AssistantProfessor"]
+        assert prof_low <= asst_low and asst_high <= prof_high
+        assert asst_high - asst_low == (prof_high - prof_low) / 2
+
+    def test_descendant_ranges_are_nested(self):
+        h = random_hierarchy(60, seed=3)
+        labels = h.labels()
+        for cls in h.classes():
+            lo, hi = labels[cls]
+            for desc in h.descendants(cls):
+                dlo, dhi = labels[desc]
+                assert lo <= dlo and dhi <= hi
+
+    def test_non_descendant_values_fall_outside_range(self):
+        h = random_hierarchy(60, seed=4)
+        labels = h.labels()
+        for cls in h.classes():
+            lo, hi = labels[cls]
+            descendants = set(h.descendants(cls))
+            for other in h.classes():
+                if other not in descendants:
+                    value = labels[other][0]
+                    assert not (lo <= value < hi)
+
+    def test_class_values_are_distinct(self):
+        h = random_hierarchy(100, seed=5)
+        values = [h.class_value(c) for c in h.classes()]
+        assert len(set(values)) == len(values)
+
+    def test_values_are_exact_fractions(self):
+        h = chain_hierarchy(50)
+        for cls in h.classes():
+            assert isinstance(h.class_value(cls), Fraction)
+
+    def test_deep_chain_does_not_collapse(self):
+        """Float labels would collide beyond ~50 levels; Fractions must not."""
+        h = chain_hierarchy(200)
+        values = [h.class_value(c) for c in h.classes()]
+        assert len(set(values)) == 200
+
+    def test_forest_roots_split_unit_interval(self):
+        h = ClassHierarchy()
+        h.add_class("A")
+        h.add_class("B")
+        h.add_class("C")
+        labels = h.labels()
+        assert labels["A"] == (Fraction(0), Fraction(1, 3))
+        assert labels["B"] == (Fraction(1, 3), Fraction(2, 3))
+        assert labels["C"] == (Fraction(2, 3), Fraction(1))
+
+    def test_classes_by_value_consistent_with_labels(self):
+        h = random_hierarchy(30, seed=6)
+        ordered = h.classes_by_value()
+        values = [h.class_value(c) for c in ordered]
+        assert values == sorted(values)
+
+    def test_labels_recomputed_after_adding_class(self):
+        h = ClassHierarchy()
+        h.add_class("A")
+        first = h.labels()
+        h.add_class("B", "A")
+        second = h.labels()
+        assert "B" in second and "B" not in first
+
+
+class TestClassObject:
+    def test_equality_ignores_payload(self):
+        assert ClassObject(5, "A", payload=1) == ClassObject(5, "A", payload=2)
+
+    def test_fields(self):
+        obj = ClassObject(42.0, "Student", payload={"name": "ada"})
+        assert obj.key == 42.0
+        assert obj.class_name == "Student"
+        assert obj.payload["name"] == "ada"

@@ -1,0 +1,148 @@
+"""End-to-end integration tests combining several subsystems.
+
+These scenarios mirror the three example applications shipped in
+``examples/`` and make sure the public API composes the way the README
+advertises.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro import (
+    ClassHierarchy,
+    ClassIndexer,
+    ClassObject,
+    ExternalIntervalManager,
+    Interval,
+    SimulatedDisk,
+)
+from repro.classes.hierarchy import people_hierarchy
+from repro.constraints import GeneralizedOneDimensionalIndex
+from repro.constraints.rectangles import intersecting_pairs, rectangle_relation
+from repro.workloads import random_class_objects, random_intervals
+
+
+class TestPublicAPI:
+    def test_version_and_exports(self):
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet_from_readme(self):
+        disk = SimulatedDisk(block_size=16)
+        manager = ExternalIntervalManager(disk, [Interval(1, 5), Interval(3, 9)])
+        assert sorted((iv.low, iv.high) for iv in manager.stabbing_query(4)) == [(1, 5), (3, 9)]
+
+
+class TestTemporalDatabaseScenario:
+    """Indexing validity intervals of versioned records (constraint indexing use case)."""
+
+    def test_versioned_record_lookup(self):
+        rnd = random.Random(0)
+        disk = SimulatedDisk(block_size=16)
+        history = []
+        for record_id in range(300):
+            start = rnd.uniform(0, 900)
+            history.append(Interval(start, start + rnd.uniform(1, 80), payload=f"v{record_id}"))
+        manager = ExternalIntervalManager(disk, history)
+
+        # "which record versions were valid at time 400?"
+        alive = manager.stabbing_query(400.0)
+        assert sorted(iv.payload for iv in alive) == sorted(
+            iv.payload for iv in history if iv.contains(400.0)
+        )
+
+        # appending new versions keeps queries consistent
+        fresh = Interval(399.0, 401.0, payload="hotfix")
+        manager.insert(fresh)
+        assert "hotfix" in {iv.payload for iv in manager.stabbing_query(400.0)}
+
+        # audit query: everything overlapping a reporting window
+        window = manager.intersection_query(100.0, 200.0)
+        expected = [iv for iv in history if iv.intersects_range(100.0, 200.0)]
+        assert len(window) == len(expected)
+
+    def test_io_cost_tracked_per_query(self):
+        disk = SimulatedDisk(block_size=16)
+        manager = ExternalIntervalManager(disk, random_intervals(2000, seed=1))
+        with disk.measure() as m:
+            manager.stabbing_query(500.0)
+        assert m.ios > 0
+        assert m.ios < 2000 / 16  # far below a full scan
+
+
+class TestPeopleDatabaseScenario:
+    """Example 2.3/2.4: salary queries against class full extents."""
+
+    def test_salary_queries_across_schemes(self):
+        hierarchy = people_hierarchy()
+        rnd = random.Random(1)
+        objects = []
+        for i in range(400):
+            cls = rnd.choice(hierarchy.classes())
+            objects.append(ClassObject(rnd.uniform(10_000, 200_000), cls, payload=f"person{i}"))
+
+        answers = {}
+        for method in ClassIndexer.methods():
+            index = ClassIndexer(SimulatedDisk(16), hierarchy, objects, method=method)
+            result = index.query("Professor", 50_000, 60_000)
+            answers[method] = sorted(o.payload for o in result)
+        # every scheme gives the same answer
+        assert len(set(map(tuple, answers.values()))) == 1
+        wanted = {"Professor", "AssistantProfessor"}
+        expected = sorted(
+            o.payload for o in objects if o.class_name in wanted and 50_000 <= o.key <= 60_000
+        )
+        assert answers["simple"] == expected
+
+    def test_new_hires_are_queryable(self):
+        hierarchy = people_hierarchy()
+        index = ClassIndexer(SimulatedDisk(8), hierarchy, [], method="combined")
+        index.insert(ClassObject(85_000.0, "AssistantProfessor", payload="ada"))
+        index.insert(ClassObject(95_000.0, "Student", payload="grace"))
+        assert [o.payload for o in index.query("Professor", 80_000, 90_000)] == ["ada"]
+        assert sorted(o.payload for o in index.query("Person", 0, 1e6)) == ["ada", "grace"]
+
+
+class TestSpatialConstraintScenario:
+    """Example 2.1: rectangle data stored as generalized tuples."""
+
+    def test_indexed_rectangle_join_matches_naive(self):
+        rnd = random.Random(2)
+        rects = []
+        for i in range(80):
+            a, b = rnd.uniform(0, 200), rnd.uniform(0, 200)
+            rects.append((f"rect{i}", a, b, a + rnd.uniform(1, 30), b + rnd.uniform(1, 30)))
+        relation = rectangle_relation(rects)
+        index = GeneralizedOneDimensionalIndex(SimulatedDisk(16), relation, "x")
+        naive_pairs = set(map(frozenset, intersecting_pairs(relation)))
+        indexed_pairs = set(map(frozenset, intersecting_pairs(relation, index)))
+        assert naive_pairs == indexed_pairs
+
+    def test_range_restriction_returns_generalized_relation(self):
+        relation = rectangle_relation([("a", 0, 0, 10, 10), ("b", 50, 50, 60, 60)])
+        index = GeneralizedOneDimensionalIndex(SimulatedDisk(8), relation, "x")
+        restricted = index.range_query(5, 20)
+        assert {gt.name for gt in restricted} == {"a"}
+        assert restricted.contains_point({"x": 7, "y": 3})
+        assert not restricted.contains_point({"x": 55, "y": 55})
+
+
+class TestMixedWorkloadScenario:
+    def test_objects_and_intervals_share_a_disk(self):
+        """Several indexes can coexist on one simulated disk with shared accounting."""
+        disk = SimulatedDisk(block_size=16)
+        hierarchy = people_hierarchy()
+        objects = random_class_objects(hierarchy, 300, seed=3)
+        intervals = random_intervals(300, seed=4)
+
+        class_index = ClassIndexer(disk, hierarchy, objects, method="simple")
+        interval_index = ExternalIntervalManager(disk, intervals)
+
+        with disk.measure() as m:
+            class_index.query("Person", 100, 300)
+            interval_index.stabbing_query(250.0)
+        assert m.ios > 0
+        assert disk.blocks_in_use >= class_index.block_count()

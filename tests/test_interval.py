@@ -1,0 +1,65 @@
+"""Unit tests for the Interval record type."""
+
+import pytest
+
+from repro.interval import Interval, intervals_intersecting, intervals_stabbed
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        iv = Interval(1, 5)
+        assert iv.low == 1 and iv.high == 5
+        assert iv.length == 4
+
+    def test_degenerate_interval_allowed(self):
+        iv = Interval(3, 3)
+        assert iv.contains(3)
+        assert iv.length == 0
+
+    def test_reversed_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 1)
+
+    def test_payload_not_part_of_ordering(self):
+        assert Interval(1, 2, payload="a") == Interval(1, 2, payload="b")
+        assert Interval(1, 2) < Interval(1, 3) < Interval(2, 2)
+
+
+class TestPredicates:
+    def test_contains_endpoints(self):
+        iv = Interval(2, 7)
+        assert iv.contains(2) and iv.contains(7) and iv.contains(4.5)
+        assert not iv.contains(1.99) and not iv.contains(7.01)
+
+    def test_intersects_symmetric(self):
+        a, b = Interval(0, 5), Interval(5, 10)
+        assert a.intersects(b) and b.intersects(a)
+        c = Interval(6, 10)
+        assert not a.intersects(c) and not c.intersects(a)
+
+    def test_intersects_range(self):
+        iv = Interval(10, 20)
+        assert iv.intersects_range(0, 10)
+        assert iv.intersects_range(20, 30)
+        assert iv.intersects_range(12, 15)
+        assert not iv.intersects_range(21, 30)
+        assert not iv.intersects_range(0, 9)
+
+    def test_nested_intervals_intersect(self):
+        assert Interval(0, 100).intersects(Interval(40, 60))
+
+    def test_as_point_lies_on_or_above_diagonal(self):
+        x, y = Interval(3, 9).as_point()
+        assert y >= x
+        x, y = Interval(4, 4).as_point()
+        assert y == x
+
+
+class TestBruteForceHelpers:
+    def test_intervals_stabbed(self):
+        ivs = [Interval(0, 10), Interval(5, 6), Interval(20, 30)]
+        assert intervals_stabbed(ivs, 5.5) == [Interval(0, 10), Interval(5, 6)]
+
+    def test_intervals_intersecting(self):
+        ivs = [Interval(0, 10), Interval(5, 6), Interval(20, 30)]
+        assert intervals_intersecting(ivs, 8, 25) == [Interval(0, 10), Interval(20, 30)]

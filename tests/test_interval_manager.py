@@ -1,0 +1,130 @@
+"""Tests for the external interval manager (Proposition 2.2 + Section 3)."""
+
+import random
+
+import pytest
+
+from repro.analysis.complexity import linear_space_bound, metablock_query_bound
+from repro.core import ExternalIntervalManager
+from repro.incore import NaiveIntervalIndex
+from repro.interval import Interval
+from repro.io import SimulatedDisk
+
+from tests.conftest import make_intervals
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("dynamic", [True, False])
+    def test_stabbing_matches_brute_force(self, dynamic):
+        intervals = make_intervals(600, seed=1)
+        disk = SimulatedDisk(8)
+        manager = ExternalIntervalManager(disk, intervals, dynamic=dynamic)
+        naive = NaiveIntervalIndex(intervals)
+        rnd = random.Random(1)
+        for _ in range(40):
+            q = rnd.uniform(-20, 1100)
+            expected = sorted((iv.low, iv.high) for iv in naive.stabbing_query(q))
+            got = sorted((iv.low, iv.high) for iv in manager.stabbing_query(q))
+            assert got == expected
+
+    @pytest.mark.parametrize("dynamic", [True, False])
+    def test_intersection_matches_brute_force(self, dynamic):
+        intervals = make_intervals(600, seed=2)
+        manager = ExternalIntervalManager(SimulatedDisk(8), intervals, dynamic=dynamic)
+        naive = NaiveIntervalIndex(intervals)
+        rnd = random.Random(2)
+        for _ in range(40):
+            lo = rnd.uniform(-20, 1100)
+            hi = lo + rnd.uniform(0, 150)
+            expected = sorted((iv.low, iv.high) for iv in naive.intersection_query(lo, hi))
+            got = sorted((iv.low, iv.high) for iv in manager.intersection_query(lo, hi))
+            assert got == expected
+
+    def test_no_interval_reported_twice(self):
+        intervals = make_intervals(400, seed=3)
+        manager = ExternalIntervalManager(SimulatedDisk(8), intervals)
+        out = manager.intersection_query(200, 600)
+        assert len(out) == len({id(iv) for iv in out})
+
+    def test_incremental_inserts(self):
+        intervals = make_intervals(700, seed=4)
+        manager = ExternalIntervalManager(SimulatedDisk(8), intervals[:300], dynamic=True)
+        for iv in intervals[300:]:
+            manager.insert(iv)
+        assert len(manager) == 700
+        rnd = random.Random(4)
+        naive = NaiveIntervalIndex(intervals)
+        for _ in range(25):
+            q = rnd.uniform(-20, 1100)
+            assert sorted((iv.low, iv.high) for iv in manager.stabbing_query(q)) == sorted(
+                (iv.low, iv.high) for iv in naive.stabbing_query(q)
+            )
+
+    def test_point_intervals(self):
+        intervals = [Interval(float(i), float(i), payload=i) for i in range(100)]
+        manager = ExternalIntervalManager(SimulatedDisk(4), intervals)
+        assert [iv.payload for iv in manager.stabbing_query(42.0)] == [42]
+        assert manager.stabbing_query(42.5) == []
+        assert sorted(iv.payload for iv in manager.intersection_query(10.0, 12.0)) == [10, 11, 12]
+
+    def test_empty_manager(self):
+        manager = ExternalIntervalManager(SimulatedDisk(8), [])
+        assert manager.stabbing_query(1) == []
+        assert manager.intersection_query(0, 10) == []
+
+    def test_reversed_query_range(self):
+        manager = ExternalIntervalManager(SimulatedDisk(8), make_intervals(50, seed=5))
+        assert manager.intersection_query(10, 5) == []
+
+    def test_static_manager_rejects_insert(self):
+        manager = ExternalIntervalManager(SimulatedDisk(8), [], dynamic=False)
+        with pytest.raises(NotImplementedError):
+            manager.insert(Interval(0, 1))
+
+    def test_delete_is_open_problem(self):
+        manager = ExternalIntervalManager(SimulatedDisk(8), [Interval(0, 1)])
+        with pytest.raises(NotImplementedError):
+            manager.delete(Interval(0, 1))
+
+    def test_intervals_accessor(self):
+        intervals = make_intervals(20, seed=6)
+        manager = ExternalIntervalManager(SimulatedDisk(8), intervals)
+        assert sorted((iv.low, iv.high) for iv in manager.intervals()) == sorted(
+            (iv.low, iv.high) for iv in intervals
+        )
+
+
+class TestIOBehaviour:
+    def test_space_is_linear(self):
+        B = 16
+        n = 5_000
+        manager = ExternalIntervalManager(
+            SimulatedDisk(B), make_intervals(n, seed=7), dynamic=False
+        )
+        assert manager.block_count() <= 15 * linear_space_bound(n, B)
+
+    def test_stabbing_query_io_within_bound(self):
+        B = 16
+        n = 10_000
+        disk = SimulatedDisk(B)
+        intervals = make_intervals(n, seed=8, mean_length=20.0)
+        manager = ExternalIntervalManager(disk, intervals, dynamic=False)
+        rnd = random.Random(8)
+        for _ in range(10):
+            q = rnd.uniform(0, 1000)
+            with disk.measure() as m:
+                out = manager.stabbing_query(q)
+            assert m.ios <= 15 * metablock_query_bound(n, B, len(out))
+
+    def test_beats_naive_scan_for_selective_queries(self):
+        """The headline comparison of experiment E4."""
+        B = 16
+        n = 5_000
+        disk = SimulatedDisk(B)
+        intervals = make_intervals(n, seed=9, mean_length=5.0)
+        manager = ExternalIntervalManager(disk, intervals, dynamic=False)
+        # naive external scan cost: one read per block of intervals
+        naive_blocks = -(-n // B)
+        with disk.measure() as m:
+            manager.stabbing_query(500.0)
+        assert m.ios < naive_blocks / 5

