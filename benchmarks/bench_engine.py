@@ -1,0 +1,79 @@
+"""E8 — the Engine facade: batch throughput and backend comparison.
+
+Measures the same stabbing workload through ``Engine.query_many``
+
+* on the in-memory :class:`SimulatedDisk` vs. the file-backed
+  :class:`FileDisk` (identical I/O *counts*; the file backend adds real
+  (de)serialization cost, which is the wall-clock delta pytest-benchmark
+  records), and
+* draining results fully vs. taking only the first hit of each query —
+  the laziness dividend: partially-consumed streams pay only for the
+  blocks they touched.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import Engine, Stab
+from repro.io import FileDisk, SimulatedDisk
+from repro.workloads import random_intervals
+
+from benchmarks.conftest import measure_ios, record
+
+N = 10_000
+B = 16
+
+
+def _queries(count=25):
+    rnd = random.Random(6)
+    return [rnd.uniform(0, 1000) for _ in range(count)]
+
+
+def _build(backend):
+    engine = Engine(backend)
+    engine.create_interval_index("intervals", random_intervals(N, seed=5, mean_length=20.0),
+                                 dynamic=False)
+    return engine
+
+
+@pytest.mark.parametrize("backend_kind", ["memory", "file"])
+def test_engine_batch_stabbing(benchmark, backend_kind, tmp_path):
+    backend = (
+        FileDisk(str(tmp_path / "pages.bin"), block_size=B)
+        if backend_kind == "file"
+        else SimulatedDisk(B)
+    )
+    engine = _build(backend)
+    queries = _queries()
+
+    def run():
+        batch = engine.query_many(("intervals", Stab(q)) for q in queries)
+        return sum(len(r.all()) for r in batch)
+
+    reported, ios = measure_ios(engine.disk, run)
+    record(benchmark, backend=backend_kind, n=N, B=B,
+           avg_output=reported / len(queries), ios_per_query=ios / len(queries))
+    benchmark(run)
+    engine.close()
+
+
+def test_engine_first_hit_laziness(benchmark):
+    engine = _build(SimulatedDisk(B))
+    queries = _queries()
+
+    def run_first():
+        batch = engine.query_many(("intervals", Stab(q)) for q in queries)
+        return sum(1 for r in batch if r.first() is not None)
+
+    def run_full():
+        batch = engine.query_many(("intervals", Stab(q)) for q in queries)
+        return sum(len(r.all()) for r in batch)
+
+    _, first_ios = measure_ios(engine.disk, run_first)
+    _, full_ios = measure_ios(engine.disk, run_full)
+    record(benchmark, n=N, B=B,
+           first_hit_ios=first_ios / len(queries),
+           full_drain_ios=full_ios / len(queries))
+    assert first_ios <= full_ios
+    benchmark(run_first)

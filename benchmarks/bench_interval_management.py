@@ -21,6 +21,7 @@ import random
 import pytest
 
 from repro.core import ExternalIntervalManager
+from repro.engine import Engine, Stab
 from repro.io import SimulatedDisk
 from repro.metablock.geometry import PlanarPoint
 from repro.pst import ExternalPST
@@ -42,15 +43,15 @@ def _queries(count=25):
 
 
 def test_metablock_manager_stabbing(benchmark):
-    intervals = _workload()
-    disk = SimulatedDisk(B)
-    manager = ExternalIntervalManager(disk, intervals, dynamic=False)
+    engine = Engine(SimulatedDisk(B))
+    engine.create_interval_index("intervals", _workload(), dynamic=False)
     queries = _queries()
 
     def run():
-        return sum(len(manager.stabbing_query(q)) for q in queries)
+        batch = engine.query_many(("intervals", Stab(q)) for q in queries)
+        return sum(len(r.all()) for r in batch)
 
-    reported, ios = measure_ios(disk, run)
+    reported, ios = measure_ios(engine.disk, run)
     record(benchmark, structure="metablock", n=N, B=B,
            avg_output=reported / len(queries), ios_per_query=ios / len(queries))
     benchmark(run)

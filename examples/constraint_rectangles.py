@@ -26,8 +26,7 @@ Run with::
 import random
 import time
 
-from repro import SimulatedDisk
-from repro.constraints import GeneralizedOneDimensionalIndex
+from repro import Engine, Range
 from repro.constraints.rectangles import intersecting_pairs, rectangle_relation
 
 N_RECTANGLES = 250
@@ -50,8 +49,8 @@ def main() -> None:
     sample = relation.tuples[0]
     print(f"example tuple: {sample}\n")
 
-    disk = SimulatedDisk(BLOCK_SIZE)
-    index = GeneralizedOneDimensionalIndex(disk, relation, attribute="x")
+    engine = Engine(block_size=BLOCK_SIZE)
+    index = engine.create_constraint_index("rects", relation, attribute="x")
 
     # --- the intersection join of Example 2.1 ------------------------------- #
     start = time.perf_counter()
@@ -70,12 +69,16 @@ def main() -> None:
 
     # --- one-dimensional range restriction ---------------------------------- #
     lo, hi = 200.0, 260.0
-    with disk.measure() as m:
+    with engine.measure() as m:
         restricted = index.range_query(lo, hi)
     print(f"range restriction x in [{lo}, {hi}]:")
     print(f"  tuples in the restricted relation: {len(restricted)} of {len(relation)}")
     print(f"  I/Os: {m.ios}   (scanning the whole relation would read "
           f"{len(relation) // BLOCK_SIZE + 1} blocks)")
+
+    # the same restriction as a lazy stream of tuples (the engine surface)
+    lazy = engine.query("rects", Range(lo, hi))
+    assert len(lazy.all()) == len(restricted) and lazy.ios == m.ios
     some_point = {"x": (lo + hi) / 2, "y": 500.0}
     print(f"  membership of {some_point}: {restricted.contains_point(some_point)}")
 

@@ -13,13 +13,12 @@ Run with::
 
 import random
 
-from repro import SimulatedDisk, StaticMetablockTree
+from repro import ClassRange, Engine, SimulatedDisk, StaticMetablockTree
 from repro.analysis.complexity import (
     combined_class_query_bound,
     metablock_query_bound,
     simple_class_query_bound,
 )
-from repro.classes import CombinedClassIndex, SimpleClassIndex
 from repro.workloads import interval_points, random_class_objects, random_hierarchy, random_intervals
 
 B = 16
@@ -61,12 +60,14 @@ def class_scaling() -> None:
 
         costs = {}
         outputs = 0
-        for name, scheme in (("simple", SimpleClassIndex), ("combined", CombinedClassIndex)):
-            disk = SimulatedDisk(B)
-            index = scheme(disk, hierarchy, objects)
-            with disk.measure() as m:
-                outputs = sum(len(index.query(*q)) for q in queries)
-            costs[name] = m.ios / len(queries)
+        for name in ("simple", "combined"):
+            engine = Engine(block_size=B)
+            engine.create_class_index("people", hierarchy, objects, method=name)
+            batch = engine.query_many(
+                ("people", ClassRange(cls, lo, hi)) for cls, lo, hi in queries
+            )
+            outputs = sum(len(r.all()) for r in batch)
+            costs[name] = sum(r.ios for r in batch) / len(queries)
         t_avg = outputs / len(queries)
         print(
             f"{c:>6} {costs['simple']:>12.1f} "

@@ -23,7 +23,7 @@ Run with::
 
 import random
 
-from repro import ClassIndexer, ClassObject, SimulatedDisk
+from repro import ClassIndexer, ClassObject, ClassRange, Engine
 from repro.classes.hierarchy import people_hierarchy
 
 BLOCK_SIZE = 16
@@ -64,15 +64,15 @@ def main() -> None:
 
     reference = None
     for method in ClassIndexer.methods():
-        disk = SimulatedDisk(BLOCK_SIZE)
-        index = ClassIndexer(disk, hierarchy, people, method=method)
+        engine = Engine(block_size=BLOCK_SIZE)
+        index = engine.create_class_index("people", hierarchy, people, method=method)
         costs = []
         answers = []
-        for cls, lo, hi in queries:
-            with disk.measure() as m:
-                result = index.query(cls, lo, hi)
-            costs.append(m.ios)
+        for result in engine.query_many(
+            ("people", ClassRange(cls, lo, hi)) for cls, lo, hi in queries
+        ):
             answers.append(sorted(o.payload for o in result))
+            costs.append(result.ios)
         if reference is None:
             reference = answers
         assert answers == reference, "every scheme must return identical answers"

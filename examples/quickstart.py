@@ -1,50 +1,42 @@
-"""Quickstart: the two headline indexes in a dozen lines each.
+"""Quickstart: the two headline indexes through the ``Engine`` facade.
 
 Run with::
 
     python examples/quickstart.py
 
-The example builds (1) an external interval index over validity intervals
-and (2) a class index over a small object hierarchy, runs a query on each,
-and prints the exact number of disk-block I/Os the queries cost on the
-simulated disk — the quantity all of the paper's bounds are about.
+The example builds one :class:`~repro.engine.Engine`, hangs (1) an external
+interval index over validity intervals and (2) a class index over a small
+object hierarchy off it, runs a lazy query on each, and prints the exact
+number of disk-block I/Os each query cost — the quantity all of the paper's
+bounds are about.  Swap ``Engine()`` for ``Engine(FileDisk(block_size=16))``
+and the identical workload runs against real pages on disk.
 """
 
-from repro import (
-    ClassHierarchy,
-    ClassIndexer,
-    ClassObject,
-    ExternalIntervalManager,
-    Interval,
-    SimulatedDisk,
-)
+from repro import ClassHierarchy, ClassObject, ClassRange, Engine, Interval, Range, Stab
 
 
-def interval_quickstart() -> None:
+def interval_quickstart(engine: Engine) -> None:
     print("=== external dynamic interval management (Sections 2.1 + 3) ===")
-    disk = SimulatedDisk(block_size=16)
-
     intervals = [Interval(lo, lo + width, payload=f"job-{i}")
                  for i, (lo, width) in enumerate((i * 3.0, 10 + (i % 7)) for i in range(200))]
-    manager = ExternalIntervalManager(disk, intervals)
+    index = engine.create_interval_index("jobs", intervals)
 
-    manager.insert(Interval(300.0, 310.0, payload="hot-job"))
+    engine.insert("jobs", Interval(300.0, 310.0, payload="hot-job"))
 
-    with disk.measure() as m:
-        active = manager.stabbing_query(305.0)
-    print(f"jobs active at t=305: {len(active)} "
-          f"(e.g. {sorted(iv.payload for iv in active)[:3]} ...)")
-    print(f"I/Os for the stabbing query: {m.ios}  "
-          f"(a full scan would read {len(manager) // disk.block_size + 1} blocks)")
+    active = engine.query("jobs", Stab(305.0))        # lazy: no I/O yet
+    names = sorted(iv.payload for iv in active)       # streaming starts here
+    print(f"jobs active at t=305: {len(names)} (e.g. {names[:3]} ...)")
+    print(f"I/Os for the stabbing query: {active.ios}  "
+          f"(bound {active.bound:.1f}; a full scan would read "
+          f"{len(index) // engine.block_size + 1} blocks)")
 
-    with disk.measure() as m:
-        overlapping = manager.intersection_query(100.0, 120.0)
-    print(f"jobs overlapping [100, 120]: {len(overlapping)} in {m.ios} I/Os")
-    print(f"blocks used by the index: {manager.block_count()}")
+    overlapping = engine.query("jobs", Range(100.0, 120.0))
+    print(f"jobs overlapping [100, 120]: {len(overlapping.all())} in {overlapping.ios} I/Os")
+    print(f"blocks used by the index: {index.block_count()}")
     print()
 
 
-def class_quickstart() -> None:
+def class_quickstart(engine: Engine) -> None:
     print("=== class indexing (Sections 2.2 + 4) ===")
     hierarchy = ClassHierarchy()
     hierarchy.add_class("Person")
@@ -57,16 +49,15 @@ def class_quickstart() -> None:
         cls = ("Person", "Professor", "Student", "AssistantProfessor")[i % 4]
         objects.append(ClassObject(key=30_000 + 500.0 * i, class_name=cls, payload=f"p{i}"))
 
-    disk = SimulatedDisk(block_size=16)
-    index = ClassIndexer(disk, hierarchy, objects, method="combined")
+    index = engine.create_class_index("people", hierarchy, objects, method="combined")
 
-    with disk.measure() as m:
-        professors = index.query("Professor", 50_000, 90_000)
-    print(f"professors (full extent) earning 50k-90k: {len(professors)}")
-    print(f"I/Os for the full-extent query: {m.ios}")
+    professors = engine.query("people", ClassRange("Professor", 50_000, 90_000))
+    print(f"professors (full extent) earning 50k-90k: {len(professors.all())}")
+    print(f"I/Os for the full-extent query: {professors.ios} (bound {professors.bound:.1f})")
     print(f"blocks used by the index: {index.block_count()}")
 
 
 if __name__ == "__main__":
-    interval_quickstart()
-    class_quickstart()
+    with Engine(block_size=16) as engine:
+        interval_quickstart(engine)
+        class_quickstart(engine)

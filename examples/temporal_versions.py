@@ -6,22 +6,25 @@ attribute is one interval ``[valid_from, valid_to]``.  Indexing the table on
 time is therefore *dynamic interval management*, which the metablock tree
 solves with optimal I/O (Proposition 2.2 + Theorem 3.2).
 
-The script builds a version history, then answers
+The script builds a version history inside an :class:`~repro.engine.Engine`
+(pass ``--file`` to run it against real pages in a :class:`FileDisk`), then
+answers
 
 * "as-of" queries   — which versions were valid at time ``t``           (stabbing), and
 * "audit" queries   — which versions overlap a reporting window          (intersection),
 
-and compares the measured I/O cost against a naive full scan of the table.
+through lazy :class:`~repro.engine.QueryResult` streams, comparing each
+query's own I/O count against the paper's bound and a naive full scan.
 
 Run with::
 
-    python examples/temporal_versions.py
+    python examples/temporal_versions.py [--file]
 """
 
 import random
+import sys
 
-from repro import ExternalIntervalManager, Interval, SimulatedDisk
-from repro.analysis.complexity import metablock_query_bound
+from repro import Engine, FileDisk, Interval, Range, SimulatedDisk, Stab
 
 BLOCK_SIZE = 32
 N_RECORDS = 4_000
@@ -44,43 +47,50 @@ def build_history(seed: int = 42):
 
 def main() -> None:
     versions = build_history()
-    disk = SimulatedDisk(block_size=BLOCK_SIZE)
-    index = ExternalIntervalManager(disk, versions)
-    scan_blocks = -(-len(versions) // BLOCK_SIZE)
+    backend = (
+        FileDisk(block_size=BLOCK_SIZE) if "--file" in sys.argv[1:]
+        else SimulatedDisk(BLOCK_SIZE)
+    )
+    with Engine(backend) as engine:
+        index = engine.create_interval_index("versions", versions)
+        scan_blocks = -(-len(versions) // BLOCK_SIZE)
 
-    print(f"version history: {len(versions)} versions, page size B={BLOCK_SIZE}")
-    print(f"index size: {index.block_count()} blocks (a plain heap file would be {scan_blocks})")
-    print()
+        print(f"version history: {len(versions)} versions, page size B={BLOCK_SIZE} "
+              f"on {type(backend).__name__}")
+        print(f"index size: {index.block_count()} blocks "
+              f"(a plain heap file would be {scan_blocks})")
+        print()
 
-    print("as-of queries (stabbing):")
-    print(f"{'time':>8} {'versions':>9} {'I/Os':>6} {'bound':>7} {'scan':>6}")
-    for t in (100.0, 400.0, 700.0, 950.0):
-        with disk.measure() as m:
-            alive = index.stabbing_query(t)
-        bound = metablock_query_bound(len(versions), BLOCK_SIZE, len(alive))
-        print(f"{t:8.0f} {len(alive):9d} {m.ios:6d} {bound:7.1f} {scan_blocks:6d}")
-    print()
+        print("as-of queries (stabbing):")
+        print(f"{'time':>8} {'versions':>9} {'I/Os':>6} {'bound':>7} {'scan':>6}")
+        times = (100.0, 400.0, 700.0, 950.0)
+        for t, result in zip(times, engine.query_many(("versions", Stab(t)) for t in times)):
+            alive = result.all()
+            print(f"{t:8.0f} {len(alive):9d} {result.ios:6d} "
+                  f"{result.bound:7.1f} {scan_blocks:6d}")
+        print()
 
-    print("audit queries (intersection with a reporting window):")
-    print(f"{'window':>16} {'versions':>9} {'I/Os':>6} {'scan':>6}")
-    for lo, hi in ((100, 130), (400, 480), (800, 900)):
-        with disk.measure() as m:
-            rows = index.intersection_query(float(lo), float(hi))
-        print(f"[{lo:5d}, {hi:5d}] {len(rows):9d} {m.ios:6d} {scan_blocks:6d}")
-    print()
+        print("audit queries (intersection with a reporting window):")
+        print(f"{'window':>16} {'versions':>9} {'I/Os':>6} {'scan':>6}")
+        for lo, hi in ((100, 130), (400, 480), (800, 900)):
+            rows = engine.query("versions", Range(float(lo), float(hi)))
+            print(f"[{lo:5d}, {hi:5d}] {len(rows.all()):9d} {rows.ios:6d} {scan_blocks:6d}")
+        print()
 
-    # the table keeps growing: new versions are appended as records change
-    print("appending 500 new versions ...")
-    rnd = random.Random(7)
-    with disk.measure() as m:
-        for i in range(500):
-            start = rnd.uniform(900, 1000)
-            index.insert(Interval(start, start + rnd.uniform(1, 30), payload=(f"new-{i}", "v0")))
-    print(f"amortized insert cost: {m.ios / 500:.2f} I/Os per version")
+        # the table keeps growing: new versions are appended as records change
+        print("appending 500 new versions ...")
+        rnd = random.Random(7)
+        with engine.measure() as m:
+            for i in range(500):
+                start = rnd.uniform(900, 1000)
+                engine.insert(
+                    "versions",
+                    Interval(start, start + rnd.uniform(1, 30), payload=(f"new-{i}", "v0")),
+                )
+        print(f"amortized insert cost: {m.ios / 500:.2f} I/Os per version")
 
-    with disk.measure() as m:
-        latest = index.stabbing_query(990.0)
-    print(f"as-of t=990 after the appends: {len(latest)} versions in {m.ios} I/Os")
+        latest = engine.query("versions", Stab(990.0))
+        print(f"as-of t=990 after the appends: {len(latest.all())} versions in {latest.ios} I/Os")
 
 
 if __name__ == "__main__":

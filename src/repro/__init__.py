@@ -9,22 +9,40 @@ A from-scratch reproduction of
 The package implements the paper's data structures (the metablock tree and
 its semi-dynamic and 3-sided variants, blocked priority search trees, the
 class-indexing schemes of Theorems 2.6 and 4.7), the substrates they rely on
-(a simulated disk with exact I/O accounting, external B+-trees, the in-core
-baselines of Section 1.4) and the constraint data model of Section 2.1, plus
-workload generators and benchmark harnesses that regenerate an empirical
-evaluation of every bound the paper proves.
+(pluggable storage backends with exact I/O accounting, external B+-trees,
+the in-core baselines of Section 1.4) and the constraint data model of
+Section 2.1, plus workload generators and benchmark harnesses that
+regenerate an empirical evaluation of every bound the paper proves.
+
+The public entry point is the :class:`Engine`: it owns a storage backend
+(the in-memory :class:`SimulatedDisk` or the file-backed :class:`FileDisk`)
+and a namespace of indexes sharing the uniform :class:`~repro.engine.Index`
+surface.  Queries return lazy :class:`QueryResult` streams that carry their
+own I/O counts next to the paper's predicted bound.
 
 Quickstart
 ----------
->>> from repro import SimulatedDisk, ExternalIntervalManager, Interval
->>> disk = SimulatedDisk(block_size=16)
->>> manager = ExternalIntervalManager(disk, [Interval(1, 5), Interval(3, 9)])
->>> sorted((iv.low, iv.high) for iv in manager.stabbing_query(4))
+>>> from repro import Engine, Interval, Stab
+>>> engine = Engine(block_size=16)
+>>> _ = engine.create_interval_index("temporal", [Interval(1, 5), Interval(3, 9)])
+>>> result = engine.query("temporal", Stab(4))   # lazy: no I/O yet
+>>> sorted((iv.low, iv.high) for iv in result)   # streams block by block
 [(1, 5), (3, 9)]
+>>> result.ios > 0 and result.bound is not None  # measured vs. Theorem 3.2
+True
+
+The pre-engine constructors (``ExternalIntervalManager(disk, ...)``,
+``ClassIndexer(disk, ...)``, ...) remain importable and unchanged.
 """
 
 from repro.interval import Interval
-from repro.io import BufferManager, IOStats, SimulatedDisk
+from repro.io import (
+    BufferManager,
+    FileDisk,
+    IOStats,
+    SimulatedDisk,
+    StorageBackend,
+)
 from repro.btree import BPlusTree
 from repro.core import ClassIndexer, ExternalIntervalManager
 from repro.classes import ClassHierarchy, ClassObject, CombinedClassIndex, SimpleClassIndex
@@ -34,6 +52,14 @@ from repro.constraints import (
     GeneralizedRelation,
     GeneralizedTuple,
     var,
+)
+from repro.engine import (
+    ClassRange,
+    Engine,
+    Index,
+    QueryResult,
+    Range,
+    Stab,
 )
 from repro.metablock import (
     AugmentedMetablockTree,
@@ -45,7 +71,7 @@ from repro.metablock import (
 )
 from repro.pst import ExternalPST
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AugmentedMetablockTree",
@@ -54,20 +80,28 @@ __all__ = [
     "ClassHierarchy",
     "ClassIndexer",
     "ClassObject",
+    "ClassRange",
     "CombinedClassIndex",
     "Constraint",
     "DiagonalCornerQuery",
+    "Engine",
     "ExternalIntervalManager",
     "ExternalPST",
+    "FileDisk",
     "GeneralizedOneDimensionalIndex",
     "GeneralizedRelation",
     "GeneralizedTuple",
     "IOStats",
+    "Index",
     "Interval",
     "PlanarPoint",
+    "QueryResult",
+    "Range",
     "SimpleClassIndex",
     "SimulatedDisk",
+    "Stab",
     "StaticMetablockTree",
+    "StorageBackend",
     "ThreeSidedMetablockTree",
     "ThreeSidedQuery",
     "var",

@@ -152,24 +152,54 @@ class BPlusTree:
             break
         return False
 
-    def range_search(self, lo: Any, hi: Any) -> List[Pair]:
-        """All ``(key, value)`` pairs with ``lo <= key <= hi``.
+    def range_search(
+        self,
+        lo: Any,
+        hi: Any,
+        *,
+        min_inclusive: bool = True,
+        max_inclusive: bool = True,
+    ) -> List[Pair]:
+        """All ``(key, value)`` pairs with key in the given range.
+
+        By default the range is the closed interval ``[lo, hi]``;
+        ``min_inclusive=False`` / ``max_inclusive=False`` open the
+        corresponding endpoint, so callers no longer need a post-filter to
+        discard boundary records.
 
         Cost: ``O(log_B n + t/B)`` I/Os — the paper's reference bound.
         """
-        if lo > hi:
-            return []
-        out: List[Pair] = []
+        return list(
+            self.iter_range(lo, hi, min_inclusive=min_inclusive, max_inclusive=max_inclusive)
+        )
+
+    def iter_range(
+        self,
+        lo: Any,
+        hi: Any,
+        *,
+        min_inclusive: bool = True,
+        max_inclusive: bool = True,
+    ) -> Iterator[Pair]:
+        """Stream ``(key, value)`` pairs in key order, reading leaves lazily.
+
+        The generator descends to the first qualifying leaf on the first
+        ``next()`` and then reads one chained leaf at a time, so consumers
+        that stop early (``itertools.islice``, ``QueryResult.first``) pay
+        only for the blocks they actually touched.
+        """
+        if lo > hi or (lo == hi and not (min_inclusive and max_inclusive)):
+            return
         leaf, _ = self._find_leaf(lo)
         while True:
             for k, v in leaf.records:
-                if k > hi:
-                    return out
-                if k >= lo:
-                    out.append((k, v))
+                if k > hi or (k == hi and not max_inclusive):
+                    return
+                if k > lo or (k == lo and min_inclusive):
+                    yield (k, v)
             next_id = leaf.header["next"]
             if next_id is None:
-                return out
+                return
             leaf = self.disk.read(next_id)
 
     def iter_pairs(self) -> Iterator[Pair]:
@@ -270,6 +300,44 @@ class BPlusTree:
                 self.disk.write(parent)
                 return
             block = parent  # keep splitting upward
+
+    # ------------------------------------------------------------------ #
+    # uniform Index surface (see repro.engine.protocols.Index)
+    # ------------------------------------------------------------------ #
+    def query(self, q: Any) -> "Any":
+        """Answer an engine query descriptor with a lazy ``QueryResult``.
+
+        * :class:`~repro.engine.queries.Range` -> ``(key, value)`` pairs in
+          key order, honouring per-bound inclusivity;
+        * :class:`~repro.engine.queries.Stab` -> values stored under the
+          exact key.
+        """
+        from repro.analysis.complexity import btree_query_bound
+        from repro.engine.queries import Range, Stab
+        from repro.engine.result import QueryResult
+
+        n, b = max(self.size, 2), self.branching
+        if isinstance(q, Range):
+            return QueryResult(
+                lambda: self.iter_range(
+                    q.low, q.high, min_inclusive=q.min_inclusive, max_inclusive=q.max_inclusive
+                ),
+                disk=self.disk,
+                bound=lambda t: btree_query_bound(n, b, t),
+                label=f"{self.name}:range",
+            )
+        if isinstance(q, Stab):
+            return QueryResult(
+                lambda: (v for _, v in self.iter_range(q.x, q.x)),
+                disk=self.disk,
+                bound=lambda t: btree_query_bound(n, b, t),
+                label=f"{self.name}:key",
+            )
+        raise TypeError(f"BPlusTree cannot answer {type(q).__name__} queries")
+
+    def io_stats(self):
+        """Live I/O counters of the backing store."""
+        return self.disk.stats
 
     # ------------------------------------------------------------------ #
     # accounting

@@ -21,7 +21,7 @@ oracles for the paper's structures.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, Iterator, List
 
 from repro.classes.collection import CollectionIndex
 from repro.classes.hierarchy import ClassHierarchy, ClassObject
@@ -42,8 +42,11 @@ class SingleCollectionIndex:
 
     def query(self, class_name: str, low: Any, high: Any) -> List[ClassObject]:
         """Full-extent range query: scan the attribute range, filter by class."""
+        return list(self.iter_query(class_name, low, high))
+
+    def iter_query(self, class_name: str, low: Any, high: Any) -> Iterator[ClassObject]:
         wanted = set(self.hierarchy.descendants(class_name))
-        return [obj for obj in self.collection.range_query(low, high) if obj.class_name in wanted]
+        return (obj for obj in self.collection.iter_range(low, high) if obj.class_name in wanted)
 
     def block_count(self) -> int:
         return self.collection.block_count()
@@ -86,6 +89,9 @@ class FullExtentPerClassIndex:
     def query(self, class_name: str, low: Any, high: Any) -> List[ClassObject]:
         return self.indexes[class_name].range_query(low, high)
 
+    def iter_query(self, class_name: str, low: Any, high: Any) -> Iterator[ClassObject]:
+        return self.indexes[class_name].iter_range(low, high)
+
     def block_count(self) -> int:
         return sum(idx.block_count() for idx in self.indexes.values())
 
@@ -115,10 +121,11 @@ class ExtentPerClassIndex:
 
     def query(self, class_name: str, low: Any, high: Any) -> List[ClassObject]:
         """Query the extent index of every descendant class and merge."""
-        out: List[ClassObject] = []
+        return list(self.iter_query(class_name, low, high))
+
+    def iter_query(self, class_name: str, low: Any, high: Any) -> Iterator[ClassObject]:
         for cls in self.hierarchy.descendants(class_name):
-            out.extend(self.indexes[cls].range_query(low, high))
-        return out
+            yield from self.indexes[cls].iter_range(low, high)
 
     def block_count(self) -> int:
         return sum(idx.block_count() for idx in self.indexes.values())

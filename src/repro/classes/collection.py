@@ -8,7 +8,7 @@ the object-record handling in one place.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List
+from typing import Any, Iterable, Iterator, List
 
 from repro.btree import BPlusTree
 from repro.classes.hierarchy import ClassObject
@@ -34,7 +34,12 @@ class CollectionIndex:
     # -- queries --------------------------------------------------------- #
     def range_query(self, low: Any, high: Any) -> List[ClassObject]:
         """All objects with ``low <= key <= high`` (``O(log_B n + t/B)`` I/Os)."""
-        return [obj for _, obj in self.tree.range_search(low, high)]
+        return list(self.iter_range(low, high))
+
+    def iter_range(self, low: Any, high: Any) -> Iterator[ClassObject]:
+        """Stream the objects with ``low <= key <= high``, leaf by leaf."""
+        for _, obj in self.tree.iter_range(low, high):
+            yield obj
 
     # -- accounting ------------------------------------------------------ #
     def block_count(self) -> int:

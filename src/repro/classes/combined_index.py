@@ -92,14 +92,20 @@ class CombinedClassIndex:
     # ------------------------------------------------------------------ #
     def query(self, class_name: str, low: Any, high: Any) -> List[ClassObject]:
         """Attribute range query against the full extent of ``class_name``."""
+        return list(self.iter_query(class_name, low, high))
+
+    def iter_query(self, class_name: str, low: Any, high: Any):
+        """Stream the answer; rake pieces stream leaf by leaf, path pieces
+        produce their (``O(B^3)``-point bounded) 3-sided answer on demand."""
         if class_name not in self._query_plan:
             raise KeyError(f"unknown class {class_name!r}")
         piece_id, position = self._query_plan[class_name]
         structure = self._structures[piece_id]
         if isinstance(structure, CollectionIndex):
-            return structure.range_query(low, high)
-        points = structure.query_3sided(low, high, position)
-        return [p.payload for p in points]
+            yield from structure.iter_range(low, high)
+        else:
+            for p in structure.query_3sided(low, high, position):
+                yield p.payload
 
     # ------------------------------------------------------------------ #
     # introspection / accounting

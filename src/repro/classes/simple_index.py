@@ -21,7 +21,7 @@ the shape the proof of Theorem 2.6 uses.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.classes.collection import CollectionIndex
 from repro.classes.hierarchy import ClassHierarchy, ClassObject
@@ -122,11 +122,13 @@ class SimpleClassIndex:
     # ------------------------------------------------------------------ #
     def query(self, class_name: str, low: Any, high: Any) -> List[ClassObject]:
         """Attribute range query against the full extent of ``class_name``."""
+        return list(self.iter_query(class_name, low, high))
+
+    def iter_query(self, class_name: str, low: Any, high: Any) -> Iterator[ClassObject]:
+        """Stream the answer, canonical node by canonical node."""
         span_lo, span_hi = self._class_span[class_name]
-        out: List[ClassObject] = []
         for node in self._canonical_cover(span_lo, span_hi + 1):
-            out.extend(self._collections[node].range_query(low, high))
-        return out
+            yield from self._collections[node].iter_range(low, high)
 
     # ------------------------------------------------------------------ #
     # accounting

@@ -3,12 +3,17 @@
 Usage::
 
     python -m repro intervals --n 5000 --block-size 16 --queries 20
+    python -m repro intervals --n 5000 --backend file
     python -m repro classes   --classes 64 --objects 5000 --method combined
     python -m repro tessellation --grid 256 --block-size 64
 
-Each subcommand builds the relevant structure on a deterministic random
-workload, runs a batch of queries, and prints the measured I/O cost next to
-the paper's bound — a terminal-sized version of the benchmark harness.
+Each subcommand builds the relevant index through the
+:class:`~repro.engine.Engine` facade on the selected storage backend
+(``--backend memory`` is the I/O-counting :class:`SimulatedDisk`,
+``--backend file`` runs the same workload against real pages in a
+:class:`FileDisk`), runs a batch of lazy queries, and prints the measured
+I/O cost next to the paper's bound — a terminal-sized version of the
+benchmark harness.
 """
 
 from __future__ import annotations
@@ -18,58 +23,65 @@ import random
 import sys
 from typing import List, Optional
 
-from repro.analysis.complexity import (
-    combined_class_query_bound,
-    metablock_query_bound,
-    simple_class_query_bound,
-)
 from repro.analysis.tessellation import GridTessellation
-from repro.core import ClassIndexer, ExternalIntervalManager
-from repro.io import SimulatedDisk
+from repro.core import ClassIndexer
+from repro.engine import ClassRange, Engine, Stab
+from repro.io import FileDisk, SimulatedDisk
 from repro.workloads import random_class_objects, random_hierarchy, random_intervals
 
 
+def _make_engine(args: argparse.Namespace) -> Engine:
+    if args.backend == "file":
+        return Engine(FileDisk(block_size=args.block_size))
+    return Engine(SimulatedDisk(args.block_size))
+
+
 def _cmd_intervals(args: argparse.Namespace) -> int:
-    disk = SimulatedDisk(args.block_size)
-    intervals = random_intervals(args.n, seed=args.seed, mean_length=args.mean_length)
-    manager = ExternalIntervalManager(disk, intervals)
-    rnd = random.Random(args.seed + 1)
-    queries = [rnd.uniform(0, 1000) for _ in range(args.queries)]
-    with disk.measure() as m:
-        total = sum(len(manager.stabbing_query(q)) for q in queries)
-    t_avg = total / len(queries)
-    ios = m.ios / len(queries)
-    bound = metablock_query_bound(args.n, args.block_size, t_avg)
-    print(f"intervals: n={args.n} B={args.block_size} queries={args.queries}")
-    print(f"  blocks used           : {manager.block_count()}")
-    print(f"  avg output per query  : {t_avg:.1f} intervals")
-    print(f"  avg I/Os per query    : {ios:.1f}")
-    print(f"  bound log_B n + t/B   : {bound:.1f}   (ratio {ios / bound:.2f})")
-    print(f"  naive scan would read : {args.n // args.block_size + 1} blocks per query")
+    with _make_engine(args) as engine:
+        intervals = random_intervals(args.n, seed=args.seed, mean_length=args.mean_length)
+        index = engine.create_interval_index("intervals", intervals)
+        rnd = random.Random(args.seed + 1)
+        batch = engine.query_many(
+            ("intervals", Stab(rnd.uniform(0, 1000))) for _ in range(args.queries)
+        )
+        results = [(len(r.all()), r.ios, r.bound) for r in batch]
+        t_avg = sum(t for t, _, _ in results) / len(results)
+        ios = sum(io for _, io, _ in results) / len(results)
+        bound = sum(b for _, _, b in results) / len(results)
+        print(f"intervals: n={args.n} B={args.block_size} queries={args.queries} "
+              f"backend={args.backend}")
+        print(f"  blocks used           : {index.block_count()}")
+        print(f"  avg output per query  : {t_avg:.1f} intervals")
+        print(f"  avg I/Os per query    : {ios:.1f}")
+        print(f"  bound log_B n + t/B   : {bound:.1f}   (ratio {ios / bound:.2f})")
+        print(f"  naive scan would read : {args.n // args.block_size + 1} blocks per query")
     return 0
 
 
 def _cmd_classes(args: argparse.Namespace) -> int:
     hierarchy = random_hierarchy(args.classes, seed=args.seed)
     objects = random_class_objects(hierarchy, args.objects, seed=args.seed + 1)
-    disk = SimulatedDisk(args.block_size)
-    index = ClassIndexer(disk, hierarchy, objects, method=args.method)
-    rnd = random.Random(args.seed + 2)
-    by_size = sorted(hierarchy.classes(), key=hierarchy.subtree_size, reverse=True)
-    candidates = by_size[: max(4, len(by_size) // 4)]
-    queries = [(rnd.choice(candidates), lo, lo + 60.0) for lo in (rnd.uniform(0, 900) for _ in range(args.queries))]
-    with disk.measure() as m:
-        total = sum(len(index.query(*q)) for q in queries)
-    t_avg = total / len(queries)
-    ios = m.ios / len(queries)
-    simple_bound = simple_class_query_bound(args.objects, args.block_size, args.classes, t_avg)
-    combined_bound = combined_class_query_bound(args.objects, args.block_size, t_avg)
-    print(f"classes: c={args.classes} n={args.objects} B={args.block_size} method={args.method}")
-    print(f"  blocks used          : {index.block_count()}")
-    print(f"  avg output per query : {t_avg:.1f} objects")
-    print(f"  avg I/Os per query   : {ios:.1f}")
-    print(f"  Thm 2.6 bound        : {simple_bound:.1f}")
-    print(f"  Thm 4.7 bound        : {combined_bound:.1f}")
+    with _make_engine(args) as engine:
+        index = engine.create_class_index(
+            "classes", hierarchy, objects, method=args.method
+        )
+        rnd = random.Random(args.seed + 2)
+        by_size = sorted(hierarchy.classes(), key=hierarchy.subtree_size, reverse=True)
+        candidates = by_size[: max(4, len(by_size) // 4)]
+        batch = engine.query_many(
+            ("classes", ClassRange(rnd.choice(candidates), lo, lo + 60.0))
+            for lo in (rnd.uniform(0, 900) for _ in range(args.queries))
+        )
+        results = [(len(r.all()), r.ios, r.bound) for r in batch]
+        t_avg = sum(t for t, _, _ in results) / len(results)
+        ios = sum(io for _, io, _ in results) / len(results)
+        bound = sum(b for _, _, b in results) / len(results)
+        print(f"classes: c={args.classes} n={args.objects} B={args.block_size} "
+              f"method={args.method} backend={args.backend}")
+        print(f"  blocks used          : {index.block_count()}")
+        print(f"  avg output per query : {t_avg:.1f} objects")
+        print(f"  avg I/Os per query   : {ios:.1f}")
+        print(f"  scheme bound         : {bound:.1f}")
     return 0
 
 
@@ -89,12 +101,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend",
+            choices=["memory", "file"],
+            default="memory",
+            help="page store: in-memory SimulatedDisk or file-backed FileDisk",
+        )
+
     p = sub.add_parser("intervals", help="interval-management demo (Theorem 3.2/3.7)")
     p.add_argument("--n", type=int, default=5_000)
     p.add_argument("--block-size", type=int, default=16)
     p.add_argument("--queries", type=int, default=20)
     p.add_argument("--mean-length", type=float, default=25.0)
     p.add_argument("--seed", type=int, default=0)
+    add_backend(p)
     p.set_defaults(func=_cmd_intervals)
 
     p = sub.add_parser("classes", help="class-indexing demo (Theorems 2.6/4.7)")
@@ -104,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queries", type=int, default=20)
     p.add_argument("--method", choices=ClassIndexer.methods(), default="combined")
     p.add_argument("--seed", type=int, default=0)
+    add_backend(p)
     p.set_defaults(func=_cmd_classes)
 
     p = sub.add_parser("tessellation", help="Lemma 2.7 lower-bound demo")

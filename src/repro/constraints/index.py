@@ -16,8 +16,9 @@ range searches over the generalized database:
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional
+from typing import Any, Iterable, Iterator, List, Optional
 
+from repro.analysis.complexity import metablock_query_bound
 from repro.constraints.relation import GeneralizedRelation
 from repro.constraints.terms import Constraint, GeneralizedTuple, Variable
 from repro.core.interval_manager import ExternalIntervalManager
@@ -62,24 +63,72 @@ class GeneralizedOneDimensionalIndex:
     # ------------------------------------------------------------------ #
     def candidate_tuples(self, low: Any, high: Any) -> List[GeneralizedTuple]:
         """Tuples whose generalized key intersects ``[low, high]``."""
-        return [iv.payload for iv in self.manager.intersection_query(low, high)]
+        return list(self.iter_candidates(low, high))
+
+    def iter_candidates(self, low: Any, high: Any) -> Iterator[GeneralizedTuple]:
+        """Stream the tuples whose generalized key intersects ``[low, high]``."""
+        for iv in self.manager.iter_intersection(low, high):
+            yield iv.payload
 
     def stabbing_tuples(self, value: Any) -> List[GeneralizedTuple]:
         """Tuples whose generalized key contains ``value``."""
         return [iv.payload for iv in self.manager.stabbing_query(value)]
 
-    def range_query(self, low: Any, high: Any, prune: bool = True) -> GeneralizedRelation:
-        """The generalized relation restricted to ``low <= attribute <= high``."""
+    def iter_restricted(
+        self, low: Any, high: Any, prune: bool = True
+    ) -> Iterator[GeneralizedTuple]:
+        """Stream candidate tuples conjoined with ``low <= attribute <= high``."""
         x = Variable(self.attribute)
         extra = (Constraint(x, ">=", low), Constraint(x, "<=", high))
-        selected = []
-        for gt in self.candidate_tuples(low, high):
+        for gt in self.iter_candidates(low, high):
             candidate = gt.conjoin(*extra)
             if not prune or candidate.is_satisfiable():
-                selected.append(candidate)
+                yield candidate
+
+    def range_query(self, low: Any, high: Any, prune: bool = True) -> GeneralizedRelation:
+        """The generalized relation restricted to ``low <= attribute <= high``."""
         return GeneralizedRelation(
-            self.relation.variables, selected, name=f"{self.relation.name}:range"
+            self.relation.variables,
+            list(self.iter_restricted(low, high, prune=prune)),
+            name=f"{self.relation.name}:range",
         )
+
+    # ------------------------------------------------------------------ #
+    # uniform Index surface (see repro.engine.protocols.Index)
+    # ------------------------------------------------------------------ #
+    def query(self, q: Any) -> "Any":
+        """Answer an engine query descriptor with a lazy ``QueryResult``.
+
+        * :class:`~repro.engine.queries.Range` -> the restricted (conjoined
+          and satisfiability-pruned) generalized tuples;
+        * :class:`~repro.engine.queries.Stab` -> tuples whose generalized
+          key contains ``q.x``.
+        """
+        from repro.engine.queries import Range, Stab
+        from repro.engine.result import QueryResult
+
+        n, b = max(len(self), 2), self.disk.block_size
+        if isinstance(q, Range):
+            return QueryResult(
+                lambda: self.iter_restricted(q.low, q.high),
+                disk=self.disk,
+                bound=lambda t: metablock_query_bound(n, b, t),
+                label=f"{self.attribute}:range[{q.low},{q.high}]",
+            )
+        if isinstance(q, Stab):
+            return QueryResult(
+                lambda: (iv.payload for iv in self.manager.iter_stabbing(q.x)),
+                disk=self.disk,
+                bound=lambda t: metablock_query_bound(n, b, t),
+                label=f"{self.attribute}:stab@{q.x}",
+            )
+        raise TypeError(
+            f"GeneralizedOneDimensionalIndex cannot answer {type(q).__name__} queries"
+        )
+
+    def io_stats(self):
+        """Live I/O counters of the backing store."""
+        return self.disk.stats
 
     # ------------------------------------------------------------------ #
     # accounting

@@ -17,8 +17,13 @@ examples and benchmarks can switch scheme by name:
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List
+from typing import Any, Iterable, Iterator, List
 
+from repro.analysis.complexity import (
+    btree_query_bound,
+    combined_class_query_bound,
+    simple_class_query_bound,
+)
 from repro.classes.baselines import (
     ExtentPerClassIndex,
     FullExtentPerClassIndex,
@@ -49,6 +54,7 @@ class ClassIndexer:
     ) -> None:
         if method not in _METHODS:
             raise ValueError(f"unknown method {method!r}; choose one of {sorted(_METHODS)}")
+        self.disk = disk
         self.method = method
         self.hierarchy = hierarchy
         self._index = _METHODS[method](disk, hierarchy, objects)
@@ -62,9 +68,57 @@ class ClassIndexer:
         """Insert an object into its class."""
         self._index.insert(obj)
 
-    def query(self, class_name: str, low: Any, high: Any) -> List[ClassObject]:
-        """Attribute range query over the full extent of ``class_name``."""
-        return self._index.query(class_name, low, high)
+    def query(self, query_or_class: Any, low: Any = None, high: Any = None) -> Any:
+        """Attribute range query over the full extent of a class.
+
+        Two calling conventions:
+
+        * ``query(class_name, low, high)`` — the original eager API,
+          returning a ``List[ClassObject]``;
+        * ``query(ClassRange(class_name, low, high))`` — the uniform
+          :class:`~repro.engine.protocols.Index` API, returning a lazy
+          :class:`~repro.engine.result.QueryResult`.
+        """
+        from repro.engine.queries import ClassRange
+        from repro.engine.result import QueryResult
+
+        if isinstance(query_or_class, ClassRange):
+            q = query_or_class
+            return QueryResult(
+                lambda: self.iter_query(q.class_name, q.low, q.high),
+                disk=self.disk,
+                bound=self._bound_fn(),
+                label=f"classes:{self.method}:{q.class_name}",
+            )
+        if not isinstance(query_or_class, str):
+            # any other descriptor object (Stab, Range, ...) would otherwise
+            # fall into the legacy path and die on a confusing KeyError
+            raise TypeError(
+                f"ClassIndexer cannot answer {type(query_or_class).__name__} "
+                "queries; use ClassRange(class_name, low, high)"
+            )
+        return self._index.query(query_or_class, low, high)
+
+    def iter_query(self, class_name: str, low: Any, high: Any) -> Iterator[ClassObject]:
+        """Stream the answer to a full-extent attribute range query."""
+        return self._index.iter_query(class_name, low, high)
+
+    def _bound_fn(self):
+        """The paper's predicted query bound for the active scheme."""
+        n = max(len(self), 2)
+        b = self.disk.block_size
+        c = max(len(self.hierarchy), 2)
+        if self.method == "simple":
+            return lambda t: simple_class_query_bound(n, b, c, t)
+        if self.method == "combined":
+            return lambda t: combined_class_query_bound(n, b, t)
+        # the baselines have no better guarantee than a B+-tree probe per
+        # touched collection; report the single-probe bound as the floor
+        return lambda t: btree_query_bound(n, b, t)
+
+    def io_stats(self):
+        """Live I/O counters of the backing store."""
+        return self.disk.stats
 
     def block_count(self) -> int:
         """Disk blocks used by the underlying structures."""

@@ -24,8 +24,9 @@ bounds.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional
+from typing import Any, Iterable, Iterator, List, Optional
 
+from repro.analysis.complexity import metablock_query_bound
 from repro.btree import BPlusTree
 from repro.interval import Interval
 from repro.metablock.geometry import PlanarPoint
@@ -89,20 +90,63 @@ class ExternalIntervalManager:
     # ------------------------------------------------------------------ #
     def stabbing_query(self, x: Any) -> List[Interval]:
         """All intervals containing ``x`` (``O(log_B n + t/B)`` I/Os)."""
-        points = self._stabbing.diagonal_query(x)
-        return [p.payload for p in points]
+        return list(self.iter_stabbing(x))
 
     def intersection_query(self, low: Any, high: Any) -> List[Interval]:
         """All intervals intersecting ``[low, high]`` (``O(log_B n + t/B)`` I/Os)."""
+        return list(self.iter_intersection(low, high))
+
+    def iter_stabbing(self, x: Any) -> Iterator[Interval]:
+        """Stream the intervals containing ``x``, block by block."""
+        for p in self._stabbing.iter_diagonal_query(x):
+            yield p.payload
+
+    def iter_intersection(self, low: Any, high: Any) -> Iterator[Interval]:
+        """Stream the intervals intersecting ``[low, high]``, block by block."""
         if high < low:
-            return []
+            return
         # types 3 and 4: intervals that contain the left end of the query
-        out = self.stabbing_query(low)
-        # types 1 and 2: intervals whose left endpoint starts inside the query
-        for key, interval in self._endpoints.range_search(low, high):
-            if key > low:
-                out.append(interval)
-        return out
+        yield from self.iter_stabbing(low)
+        # types 1 and 2: intervals whose left endpoint starts strictly inside
+        # the query — the open lower bound replaces the old `key > low`
+        # post-filter (same block reads; boundary records are now skipped
+        # inside the B+-tree scan instead of discarded by the caller)
+        for _, interval in self._endpoints.iter_range(low, high, min_inclusive=False):
+            yield interval
+
+    # ------------------------------------------------------------------ #
+    # uniform Index surface (see repro.engine.protocols.Index)
+    # ------------------------------------------------------------------ #
+    def query(self, q: Any) -> "Any":
+        """Answer an engine query descriptor with a lazy ``QueryResult``.
+
+        * :class:`~repro.engine.queries.Stab` -> stabbing query at ``q.x``;
+        * :class:`~repro.engine.queries.Range` -> intersection query with
+          ``[q.low, q.high]``.
+        """
+        from repro.engine.queries import Range, Stab
+        from repro.engine.result import QueryResult
+
+        n, b = max(len(self), 2), self.disk.block_size
+        if isinstance(q, Stab):
+            return QueryResult(
+                lambda: self.iter_stabbing(q.x),
+                disk=self.disk,
+                bound=lambda t: metablock_query_bound(n, b, t),
+                label=f"intervals:stab@{q.x}",
+            )
+        if isinstance(q, Range):
+            return QueryResult(
+                lambda: self.iter_intersection(q.low, q.high),
+                disk=self.disk,
+                bound=lambda t: metablock_query_bound(n, b, t),
+                label=f"intervals:overlap[{q.low},{q.high}]",
+            )
+        raise TypeError(f"ExternalIntervalManager cannot answer {type(q).__name__} queries")
+
+    def io_stats(self):
+        """Live I/O counters of the backing store."""
+        return self.disk.stats
 
     # ------------------------------------------------------------------ #
     # accounting / introspection

@@ -1,0 +1,45 @@
+"""``repro.engine`` — the public entry point of the reproduction.
+
+The subsystem turns the paper's individual data structures into one
+coherent database surface:
+
+* :class:`~repro.engine.core.Engine` — owns a storage backend plus named
+  indexes (``create_interval_index``, ``create_class_index``, ...), with a
+  ``query_many`` batch API for throughput workloads;
+* :class:`~repro.engine.protocols.Index` — the protocol every index
+  implements (``insert`` / ``query`` / ``block_count`` / ``io_stats``);
+* :class:`~repro.engine.result.QueryResult` — the lazy, I/O-accounted
+  iterable every query returns (``result.ios``, ``result.bound``);
+* the query descriptors of :mod:`repro.engine.queries` (:class:`Stab`,
+  :class:`Range`, :class:`ClassRange`, plus the geometric shapes).
+
+Storage backends live in :mod:`repro.io` and are selected via
+``Engine(backend=...)`` — the same workload runs unchanged on the
+in-memory :class:`~repro.io.SimulatedDisk` and the file-backed
+:class:`~repro.io.FileDisk`.
+"""
+
+from repro.engine.queries import (
+    ClassRange,
+    DiagonalCornerQuery,
+    Range,
+    Stab,
+    ThreeSidedQuery,
+    TwoSidedQuery,
+)
+from repro.engine.result import QueryResult
+from repro.engine.protocols import Index
+from repro.engine.core import DEFAULT_BLOCK_SIZE, Engine
+
+__all__ = [
+    "ClassRange",
+    "DEFAULT_BLOCK_SIZE",
+    "DiagonalCornerQuery",
+    "Engine",
+    "Index",
+    "QueryResult",
+    "Range",
+    "Stab",
+    "ThreeSidedQuery",
+    "TwoSidedQuery",
+]

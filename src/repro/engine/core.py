@@ -1,0 +1,229 @@
+"""The :class:`Engine` — one facade over every index and storage backend.
+
+An engine owns a storage backend (any :class:`~repro.io.StorageBackend`:
+the in-memory :class:`~repro.io.SimulatedDisk`, the file-backed
+:class:`~repro.io.FileDisk`, or either wrapped in a
+:class:`~repro.io.BufferManager`) and a namespace of indexes built on it.
+All index kinds from the paper hang off ``create_*`` constructors and share
+the uniform :class:`~repro.engine.protocols.Index` surface, so application
+code never touches the concrete structures:
+
+>>> from repro import Engine, Interval, Stab
+>>> eng = Engine(block_size=16)
+>>> _ = eng.create_interval_index("temporal", [Interval(1, 5), Interval(3, 9)])
+>>> result = eng.query("temporal", Stab(4))      # lazy: no I/O yet
+>>> sorted((iv.low, iv.high) for iv in result)   # streaming starts here
+[(1, 5), (3, 9)]
+>>> result.ios > 0 and result.bound is not None
+True
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.btree import BPlusTree
+from repro.classes.hierarchy import ClassHierarchy, ClassObject
+from repro.constraints.index import GeneralizedOneDimensionalIndex
+from repro.constraints.relation import GeneralizedRelation
+from repro.core.class_indexer import ClassIndexer
+from repro.core.interval_manager import ExternalIntervalManager
+from repro.engine.result import QueryResult
+from repro.interval import Interval
+from repro.io import BufferManager, SimulatedDisk
+from repro.metablock.geometry import PlanarPoint
+from repro.pst import ExternalPST
+
+DEFAULT_BLOCK_SIZE = 16
+
+
+class Engine:
+    """A database engine over the paper's I/O-efficient index structures.
+
+    Parameters
+    ----------
+    backend:
+        Any :class:`~repro.io.StorageBackend`.  Defaults to a fresh
+        :class:`~repro.io.SimulatedDisk` of ``block_size`` records per page.
+    block_size:
+        Page capacity used when constructing the default backend.  Ignored
+        when an explicit ``backend`` is supplied.
+    buffer_pages:
+        When given, wrap the backend in an LRU
+        :class:`~repro.io.BufferManager` of that many resident pages
+        (the paper's ``O(B^2)`` words of main memory correspond to
+        ``buffer_pages=B``).
+    """
+
+    def __init__(
+        self,
+        backend: Any = None,
+        *,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        buffer_pages: Optional[int] = None,
+    ) -> None:
+        self.backend = backend if backend is not None else SimulatedDisk(block_size)
+        self.disk = (
+            BufferManager(self.backend, buffer_pages) if buffer_pages else self.backend
+        )
+        self._indexes: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # index creation
+    # ------------------------------------------------------------------ #
+    def _claim_name(self, name: str) -> None:
+        """Reject duplicates *before* any blocks are allocated for the index."""
+        if name in self._indexes:
+            raise ValueError(f"an index named {name!r} already exists")
+
+    def _register(self, name: str, index: Any) -> Any:
+        self._indexes[name] = index
+        return index
+
+    def create_interval_index(
+        self, name: str, intervals: Iterable[Interval] = (), *, dynamic: bool = True
+    ) -> ExternalIntervalManager:
+        """Stabbing/intersection index (Proposition 2.2 + Section 3)."""
+        self._claim_name(name)
+        return self._register(
+            name, ExternalIntervalManager(self.disk, intervals, dynamic=dynamic)
+        )
+
+    def create_class_index(
+        self,
+        name: str,
+        hierarchy: ClassHierarchy,
+        objects: Iterable[ClassObject] = (),
+        *,
+        method: str = "simple",
+    ) -> ClassIndexer:
+        """Full-extent class index (Theorems 2.6 / 4.7 or a baseline)."""
+        self._claim_name(name)
+        return self._register(name, ClassIndexer(self.disk, hierarchy, objects, method=method))
+
+    def create_constraint_index(
+        self,
+        name: str,
+        relation: GeneralizedRelation,
+        attribute: str,
+        *,
+        dynamic: bool = True,
+    ) -> GeneralizedOneDimensionalIndex:
+        """Generalized 1-D index over a constraint relation (Section 2.1)."""
+        self._claim_name(name)
+        return self._register(
+            name,
+            GeneralizedOneDimensionalIndex(self.disk, relation, attribute, dynamic=dynamic),
+        )
+
+    def create_point_index(
+        self, name: str, points: Iterable[PlanarPoint] = ()
+    ) -> ExternalPST:
+        """Blocked priority search tree for 3-sided queries (Lemma 4.1)."""
+        self._claim_name(name)
+        return self._register(name, ExternalPST(self.disk, points))
+
+    def create_key_index(self, name: str, pairs: Iterable[Tuple[Any, Any]] = ()) -> BPlusTree:
+        """Plain external B+-tree over ``(key, value)`` pairs (Section 1.4)."""
+        self._claim_name(name)
+        return self._register(name, BPlusTree.bulk_load(self.disk, pairs, name=name))
+
+    def drop_index(self, name: str) -> None:
+        """Forget an index (and free its blocks when it knows how to)."""
+        index = self._indexes.pop(name)
+        destroy = getattr(index, "destroy", None)
+        if callable(destroy):
+            destroy()
+
+    # ------------------------------------------------------------------ #
+    # namespace
+    # ------------------------------------------------------------------ #
+    def index(self, name: str) -> Any:
+        try:
+            return self._indexes[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"no index named {name!r}; have {sorted(self._indexes)}"
+            ) from exc
+
+    def __getitem__(self, name: str) -> Any:
+        return self.index(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._indexes
+
+    def names(self) -> List[str]:
+        return sorted(self._indexes)
+
+    def indexes(self) -> Dict[str, Any]:
+        return dict(self._indexes)
+
+    # ------------------------------------------------------------------ #
+    # the query/update surface
+    # ------------------------------------------------------------------ #
+    def insert(self, name: str, *item: Any) -> None:
+        """Insert a record into the named index.
+
+        B+-tree indexes take ``engine.insert(name, key, value)``; every
+        other index takes the single record object.
+        """
+        self.index(name).insert(*item)
+
+    def query(self, name: str, q: Any) -> QueryResult:
+        """Answer one query descriptor lazily (no I/O until iteration)."""
+        return self.index(name).query(q)
+
+    def query_many(self, queries: Iterable[Tuple[str, Any]]) -> List[QueryResult]:
+        """Batch API: build one lazy result per ``(index_name, descriptor)``.
+
+        Results are independent streams over the shared backend; each
+        carries its own per-query I/O count, so a throughput workload can
+        drain them in any order (or partially) and still report faithful
+        per-query costs.
+        """
+        return [self.query(name, q) for name, q in queries]
+
+    # ------------------------------------------------------------------ #
+    # accounting / lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def block_size(self) -> int:
+        return self.disk.block_size
+
+    def io_stats(self):
+        """Live I/O counters of the backend."""
+        return self.disk.stats
+
+    def measure(self):
+        """Scoped I/O measurement over the whole engine (see ``SimulatedDisk.measure``)."""
+        return self.disk.measure()
+
+    def block_count(self) -> int:
+        """Blocks used by all indexes together (the space bound)."""
+        return sum(ix.block_count() for ix in self._indexes.values())
+
+    def flush(self) -> None:
+        """Write back any buffered dirty pages."""
+        flush = getattr(self.disk, "flush", None)
+        if callable(flush):
+            flush()
+
+    def close(self) -> None:
+        """Flush buffers and close closeable backends (e.g. ``FileDisk``)."""
+        self.flush()
+        close = getattr(self.backend, "close", None)
+        if callable(close):
+            close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = type(self.backend).__name__
+        return (
+            f"Engine(backend={kind}, B={self.block_size}, "
+            f"indexes={self.names()})"
+        )

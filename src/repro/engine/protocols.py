@@ -1,0 +1,48 @@
+"""The ``Index`` protocol: the one shape every index in the engine shares.
+
+The paper's structures solve different problems (stabbing, 3-sided search,
+class extents) but, as database components, they all reduce to the same
+surface: put a record in, stream records matching a query descriptor out,
+account for space and I/O.  The protocol is structural
+(:func:`typing.runtime_checkable`), so the concrete classes —
+:class:`~repro.core.ExternalIntervalManager`,
+:class:`~repro.core.ClassIndexer`,
+:class:`~repro.constraints.GeneralizedOneDimensionalIndex`,
+:class:`~repro.pst.ExternalPST`, :class:`~repro.btree.BPlusTree` — need no
+common base class; they simply all implement these four methods.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from repro.io.counters import IOStats
+
+
+@runtime_checkable
+class Index(Protocol):
+    """Uniform surface of an I/O-efficient index.
+
+    ``query`` takes a descriptor from :mod:`repro.engine.queries` (or one of
+    the geometric query dataclasses) and returns a lazy
+    :class:`~repro.engine.result.QueryResult`; no I/O happens until the
+    result is iterated.  ``insert`` may raise :class:`NotImplementedError`
+    on structures the paper analyses as static (callers can probe with
+    ``getattr(index, 'dynamic', True)``).
+    """
+
+    def insert(self, item: Any) -> None:
+        """Add one record to the index."""
+        ...
+
+    def query(self, q: Any) -> Any:
+        """Answer a query descriptor with a lazy ``QueryResult``."""
+        ...
+
+    def block_count(self) -> int:
+        """Disk blocks used by the structure (the space bound)."""
+        ...
+
+    def io_stats(self) -> IOStats:
+        """Live I/O counters of the structure's storage backend."""
+        ...

@@ -1,0 +1,73 @@
+"""Query descriptors understood by the uniform ``Index.query`` method.
+
+Each descriptor is a small frozen dataclass naming one query shape from the
+paper, carrying a brute-force ``matches`` predicate as the correctness
+oracle.  Geometric shapes (:class:`DiagonalCornerQuery`,
+:class:`ThreeSidedQuery`, ...) are re-exported from
+:mod:`repro.metablock.geometry` so one import site serves the whole engine.
+
+===================  ========================================================
+descriptor           answered by
+===================  ========================================================
+:class:`Stab`        interval indexes (stabbing), B+-trees (exact key),
+                     constraint indexes (point restriction)
+:class:`Range`       interval indexes (intersection), B+-trees (key range,
+                     with per-bound inclusivity), constraint indexes
+:class:`ClassRange`  class indexes (attribute range over a full extent)
+``ThreeSidedQuery``  external PSTs and 3-sided metablock trees
+===================  ========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.metablock.geometry import (  # noqa: F401  (re-exported)
+    DiagonalCornerQuery,
+    ThreeSidedQuery,
+    TwoSidedQuery,
+)
+
+
+@dataclass(frozen=True)
+class Stab:
+    """All records containing / keyed exactly at ``x``."""
+
+    x: Any
+
+    def matches_interval(self, low: Any, high: Any) -> bool:
+        return low <= self.x <= high
+
+
+@dataclass(frozen=True)
+class Range:
+    """All records overlapping / keyed within ``[low, high]``.
+
+    ``min_inclusive`` / ``max_inclusive`` control whether the endpoints
+    belong to the range (B+-tree key semantics; interval intersection always
+    treats the query as a closed interval).
+    """
+
+    low: Any
+    high: Any
+    min_inclusive: bool = True
+    max_inclusive: bool = True
+
+    def matches_key(self, key: Any) -> bool:
+        if key < self.low or key > self.high:
+            return False
+        if key == self.low and not self.min_inclusive:
+            return False
+        if key == self.high and not self.max_inclusive:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class ClassRange:
+    """Attribute range ``[low, high]`` over the full extent of a class."""
+
+    class_name: str
+    low: Any
+    high: Any

@@ -1,0 +1,235 @@
+"""Lazy, I/O-accounted query results.
+
+Every query issued through the :class:`~repro.engine.Engine` (or directly
+through an index's uniform ``query()`` method) returns a
+:class:`QueryResult`: an iterable that
+
+* performs **no I/O until iteration starts** — building a result is free,
+  which is what makes ``query_many`` batches cheap to set up;
+* **streams** hits as the underlying structure produces them, block by
+  block, instead of materialising a Python list up front;
+* carries its own **per-query I/O accounting** (``result.ios``,
+  ``result.stats``) measured around the streaming iterator, so interleaved
+  queries on a shared backend attribute I/Os correctly; and
+* knows the **paper's predicted bound** for the query (``result.bound``),
+  computed from the structure's size, the page size ``B`` and the number of
+  hits reported so far.
+
+Once exhausted, results are cached: re-iterating replays the hits without
+touching the disk again.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Optional
+
+from repro.io.counters import IOStats
+
+
+class QueryResult:
+    """A lazy stream of query hits with per-query I/O accounting.
+
+    Parameters
+    ----------
+    source:
+        Zero-argument callable returning the hit iterator.  It is invoked on
+        first iteration, never earlier — laziness is the contract.
+    disk:
+        The storage backend whose counters attribute this query's I/Os.
+        ``None`` disables accounting (``stats`` stays zero).
+    bound:
+        Optional callable ``t -> predicted I/Os`` implementing the paper's
+        bound for this query shape (e.g. ``O(log_B n + t/B)``).
+    label:
+        Cosmetic tag used in ``repr`` and engine diagnostics.
+    """
+
+    def __init__(
+        self,
+        source: Callable[[], Iterable[Any]],
+        disk: Any = None,
+        bound: Optional[Callable[[int], float]] = None,
+        label: str = "query",
+    ) -> None:
+        self._source = source
+        self._disk = disk
+        self._bound_fn = bound
+        self.label = label
+        self._iterator: Optional[Iterator[Any]] = None
+        self._pump_iter: Optional[Iterator[Any]] = None
+        self._cache: List[Any] = []
+        self._exhausted = False
+        self._started = False
+        self._error: Optional[BaseException] = None
+        self.stats = IOStats()
+
+    # ------------------------------------------------------------------ #
+    # iteration
+    # ------------------------------------------------------------------ #
+    def _pump(self) -> Iterator[Any]:
+        """Drain the underlying iterator, attributing I/Os step by step."""
+        try:
+            yield from self._pump_inner()
+        except GeneratorExit:
+            raise
+        except BaseException as exc:
+            # remember the failure: a generator dies on the first raise, and a
+            # later re-iteration must re-raise instead of silently serving the
+            # truncated cache as if the query had completed
+            self._error = exc
+            raise
+
+    def _pump_inner(self) -> Iterator[Any]:
+        if self._iterator is None:
+            self._started = True
+            if self._disk is not None:
+                before = self._counters()
+                self._iterator = iter(self._source())
+                self._account(before)
+            else:
+                self._iterator = iter(self._source())
+        while True:
+            if self._disk is not None:
+                before = self._counters()
+                try:
+                    item = next(self._iterator)
+                except StopIteration:
+                    self._account(before)
+                    self._exhausted = True
+                    return
+                self._account(before)
+            else:
+                try:
+                    item = next(self._iterator)
+                except StopIteration:
+                    self._exhausted = True
+                    return
+            self._cache.append(item)
+            yield item
+
+    def _counters(self):
+        """The backend counters as a plain tuple (cheap per-record bracketing)."""
+        s = self._disk.stats
+        return (s.reads, s.writes, s.cache_hits, s.allocations, s.frees)
+
+    def _account(self, before) -> None:
+        reads, writes, hits, allocs, frees = before
+        s = self._disk.stats
+        self.stats.reads += s.reads - reads
+        self.stats.writes += s.writes - writes
+        self.stats.cache_hits += s.cache_hits - hits
+        self.stats.allocations += s.allocations - allocs
+        self.stats.frees += s.frees - frees
+
+    def __iter__(self) -> Iterator[Any]:
+        # replay what is cached, then continue streaming; supports several
+        # (even interleaved) consumers without re-running the query
+        i = 0
+        pump = None
+        while True:
+            if i < len(self._cache):
+                yield self._cache[i]
+                i += 1
+                continue
+            if self._exhausted:
+                return
+            if self._error is not None:
+                raise self._error
+            if pump is None:
+                pump = self._pump_singleton()
+            try:
+                next(pump)
+            except StopIteration:
+                return
+
+    def _pump_singleton(self) -> Iterator[Any]:
+        """One shared pump per result so concurrent iterations do not race."""
+        if self._pump_iter is None:
+            self._pump_iter = self._pump()
+        return self._pump_iter
+
+    # ------------------------------------------------------------------ #
+    # materialisation helpers
+    # ------------------------------------------------------------------ #
+    def all(self) -> List[Any]:
+        """Exhaust the stream and return every hit as a list."""
+        for _ in self:
+            pass
+        return list(self._cache)
+
+    to_list = all
+
+    def first(self, default: Any = None) -> Any:
+        """The first hit, or ``default`` when the result is empty."""
+        for item in self:
+            return item
+        return default
+
+    def __len__(self) -> int:
+        """Number of hits (exhausts the stream)."""
+        return len(self.all())
+
+    def __bool__(self) -> bool:
+        """Whether the query reported at least one hit (may read one block)."""
+        sentinel = object()
+        return self.first(sentinel) is not sentinel
+
+    def __getitem__(self, index):
+        """List-style access (materialises as far as needed; back-compat)."""
+        if isinstance(index, slice):
+            return self.all()[index]
+        if index < 0:
+            return self.all()[index]
+        for i, item in enumerate(self):
+            if i == index:
+                return item
+        raise IndexError(index)
+
+    def __eq__(self, other: Any) -> bool:
+        """Compare by materialised contents, so pre-redesign callers that
+        tested ``structure.query(q) == [...]`` keep working (exhausts the
+        stream)."""
+        if isinstance(other, QueryResult):
+            return self.all() == other.all()
+        if isinstance(other, (list, tuple)):
+            return self.all() == list(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable-by-iteration; equality is by contents
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def started(self) -> bool:
+        """Whether iteration (and therefore I/O) has begun."""
+        return self._started
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    @property
+    def count(self) -> int:
+        """Hits reported so far (does not force materialisation)."""
+        return len(self._cache)
+
+    @property
+    def ios(self) -> int:
+        """I/Os performed on behalf of this query so far."""
+        return self.stats.total
+
+    @property
+    def bound(self) -> Optional[float]:
+        """The paper's predicted I/O bound at the current output size ``t``.
+
+        ``None`` when the creating index supplied no bound.  For the final
+        bound, exhaust the result first (e.g. ``result.all()``).
+        """
+        if self._bound_fn is None:
+            return None
+        return self._bound_fn(self.count)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "exhausted" if self._exhausted else ("streaming" if self._started else "pending")
+        return f"QueryResult({self.label!r}, {state}, t={self.count}, ios={self.ios})"

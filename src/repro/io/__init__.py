@@ -8,21 +8,30 @@ subpackage provides that cost model as an executable substrate:
   reads and writes are counted,
 * :class:`~repro.io.buffer.BufferManager` — an LRU buffer pool modelling the
   ``O(B^2)`` words of main memory the paper assumes,
+* :class:`~repro.io.filedisk.FileDisk` — the same page store backed by a
+  real file on disk,
 * :class:`~repro.io.counters.IOStats` — the counters every benchmark reports.
 
-All external data structures in this repository (B+-trees, metablock trees,
-blocked priority search trees) allocate their pages from a
-:class:`SimulatedDisk` and therefore have exact, deterministic I/O costs.
+The common contract is :class:`~repro.io.backend.StorageBackend`: all
+external data structures in this repository (B+-trees, metablock trees,
+blocked priority search trees) allocate their pages from *some* backend and
+therefore have exact, deterministic I/O costs regardless of where the pages
+physically live.
 """
 
-from repro.io.counters import IOStats
+from repro.io.counters import IOStats, Measurement
 from repro.io.disk import Block, BlockId, SimulatedDisk
 from repro.io.buffer import BufferManager
+from repro.io.backend import StorageBackend
+from repro.io.filedisk import FileDisk
 
 __all__ = [
     "Block",
     "BlockId",
     "BufferManager",
+    "FileDisk",
     "IOStats",
+    "Measurement",
     "SimulatedDisk",
+    "StorageBackend",
 ]

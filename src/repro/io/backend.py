@@ -1,0 +1,76 @@
+"""The storage-backend protocol every external structure builds on.
+
+The paper's cost model only requires a page store: fixed-capacity blocks,
+each read or write counting as one I/O.  :class:`StorageBackend` captures
+that contract structurally, so the data structures are agnostic to *where*
+the pages live:
+
+* :class:`~repro.io.disk.SimulatedDisk` — in-memory pages (the default;
+  exact, deterministic I/O counts),
+* :class:`~repro.io.filedisk.FileDisk` — real pages serialized to a file on
+  disk, same accounting,
+* :class:`~repro.io.buffer.BufferManager` — an LRU buffer pool layered over
+  either of the above.
+
+Any object satisfying this protocol can be passed wherever a ``disk`` is
+expected, including :class:`~repro.engine.Engine` via ``Engine(backend=...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ContextManager, Dict, List, Optional, Protocol, runtime_checkable
+
+from repro.io.counters import IOStats, Measurement
+from repro.io.disk import Block, BlockId
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """Structural interface of a block store with I/O accounting.
+
+    Implementations must treat :meth:`read` and :meth:`write` as one I/O
+    each (buffer pools may absorb reads as cache hits), and must enforce the
+    per-block record capacity on write.
+
+    Mutating a block returned by :meth:`read` or :meth:`allocate` does *not*
+    persist the change until :meth:`write` is called.  ``SimulatedDisk``
+    happens to alias live objects, but file-backed stores round-trip through
+    serialization — structures must not rely on aliasing.
+    """
+
+    block_size: int
+    stats: IOStats
+
+    def allocate(
+        self,
+        records: Optional[List[Any]] = None,
+        header: Optional[Dict[str, Any]] = None,
+        capacity: Optional[int] = None,
+    ) -> Block:
+        """Allocate and persist a new block (one write I/O)."""
+        ...
+
+    def free(self, block_id: BlockId) -> None:
+        """Release a block (not an I/O)."""
+        ...
+
+    def read(self, block_id: BlockId) -> Block:
+        """Fetch a block (one read I/O, unless absorbed by a cache)."""
+        ...
+
+    def write(self, block: Block) -> None:
+        """Persist a block (one write I/O, possibly deferred by a cache)."""
+        ...
+
+    def peek(self, block_id: BlockId) -> Block:
+        """Inspect a block without accounting (tests/invariant checks only)."""
+        ...
+
+    @property
+    def blocks_in_use(self) -> int:
+        """Number of live blocks (the space bound)."""
+        ...
+
+    def measure(self) -> ContextManager[Measurement]:
+        """Scoped I/O measurement (see :meth:`SimulatedDisk.measure`)."""
+        ...

@@ -53,6 +53,9 @@ class BufferManager:
     def blocks_in_use(self) -> int:
         return self.disk.blocks_in_use
 
+    def block_ids(self) -> List[BlockId]:
+        return self.disk.block_ids()
+
     def measure(self):
         return self.disk.measure()
 

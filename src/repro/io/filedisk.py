@@ -1,0 +1,221 @@
+"""A file-backed page store: the paper's disk model over real disk pages.
+
+:class:`FileDisk` implements the same :class:`~repro.io.backend.StorageBackend`
+contract as :class:`~repro.io.disk.SimulatedDisk`, but every block lives in
+an append-only page file on the real filesystem.  Reads seek and
+deserialize; writes append a fresh version of the page and advance the
+in-memory offset table (a tiny log-structured store).  I/O accounting is
+identical to the simulated disk, so every bound-checking experiment runs
+unchanged against real pages.
+
+Because a read deserializes a *fresh copy* of the page, ``FileDisk`` is the
+honest implementation of the disk contract: structures that forget a
+``write`` after mutating a page, or that rely on two reads aliasing the
+same Python object, fail loudly here.  The repository's structures carry
+stable record uids (see :class:`~repro.metablock.geometry.PlanarPoint`)
+precisely so that identity-based deduplication survives the round-trip.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.io.counters import IOStats, Measurement
+from repro.io.disk import Block, BlockId
+
+
+class FileDisk:
+    """An append-only, pickle-serialized page file with I/O counting.
+
+    Parameters
+    ----------
+    path:
+        Page-file location.  When omitted, a temporary file is created and
+        removed again on :meth:`close`.  The offset table lives in memory
+        only, so page files are per-instance scratch space, not reopenable
+        databases: a *non-empty* existing file is refused unless
+        ``overwrite=True`` (constructing always starts from an empty file).
+    block_size:
+        The page capacity ``B`` in records, as for ``SimulatedDisk``.
+    overwrite:
+        Allow truncating a non-empty existing file at ``path``.
+
+    Notes
+    -----
+    * The offset table (block id -> byte extent) is the only in-memory
+      state; pages themselves are always round-tripped through the file.
+    * Overwriting a page appends a new version; :meth:`compact` reclaims
+      the superseded extents.  ``blocks_in_use`` counts live blocks, which
+      is the quantity the paper's space bounds are about.
+    """
+
+    def __init__(
+        self, path: Optional[str] = None, block_size: int = 16, *, overwrite: bool = False
+    ) -> None:
+        if block_size < 2:
+            raise ValueError("block_size must be at least 2")
+        self.block_size = block_size
+        self.stats = IOStats()
+        self._extents: Dict[BlockId, Tuple[int, int]] = {}
+        self._capacities: Dict[BlockId, int] = {}
+        self._next_id: BlockId = 0
+        self._owns_file = path is None
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="repro-filedisk-", suffix=".pages")
+            os.close(fd)
+        elif not overwrite and os.path.exists(path) and os.path.getsize(path) > 0:
+            raise ValueError(
+                f"refusing to truncate non-empty page file {path!r}; "
+                "pass overwrite=True to allow it"
+            )
+        self.path = path
+        self._file = open(path, "w+b")
+        self._end = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def _append(self, block: Block) -> None:
+        payload = pickle.dumps(
+            (block.capacity, block.records, block.header), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        self._file.seek(self._end)
+        self._file.write(payload)
+        self._extents[block.block_id] = (self._end, len(payload))
+        self._capacities[block.block_id] = block.capacity
+        self._end += len(payload)
+
+    def _load(self, block_id: BlockId) -> Block:
+        try:
+            offset, length = self._extents[block_id]
+        except KeyError as exc:
+            raise KeyError(f"no such block: {block_id}") from exc
+        self._file.seek(offset)
+        capacity, records, header = pickle.loads(self._file.read(length))
+        return Block(block_id, capacity, records, header)
+
+    # ------------------------------------------------------------------ #
+    # StorageBackend surface
+    # ------------------------------------------------------------------ #
+    def allocate(
+        self,
+        records: Optional[List[Any]] = None,
+        header: Optional[Dict[str, Any]] = None,
+        capacity: Optional[int] = None,
+    ) -> Block:
+        """Allocate a new block and persist it (one write I/O)."""
+        self._check_open()
+        block_id = self._next_id
+        self._next_id += 1
+        block = Block(block_id, capacity or self.block_size, records, header)
+        self._append(block)
+        self.stats.allocations += 1
+        self.stats.writes += 1
+        return block
+
+    def free(self, block_id: BlockId) -> None:
+        """Release a block.  Freeing is not an I/O; space is reclaimed by compact()."""
+        if block_id in self._extents:
+            del self._extents[block_id]
+            del self._capacities[block_id]
+            self.stats.frees += 1
+
+    def read(self, block_id: BlockId) -> Block:
+        """Read and deserialize a block from the page file (one I/O)."""
+        self._check_open()
+        block = self._load(block_id)
+        self.stats.reads += 1
+        return block
+
+    def write(self, block: Block) -> None:
+        """Persist a block (one I/O; appends a new page version)."""
+        self._check_open()
+        if block.block_id not in self._extents:
+            raise KeyError(f"no such block: {block.block_id}")
+        if len(block.records) > block.capacity:
+            raise ValueError(
+                f"block {block.block_id} overfull: "
+                f"{len(block.records)} > capacity {block.capacity}"
+            )
+        self._append(block)
+        self.stats.writes += 1
+
+    def peek(self, block_id: BlockId) -> Block:
+        """Deserialize a block without counting an I/O (tests/invariants only)."""
+        self._check_open()
+        return self._load(block_id)
+
+    # ------------------------------------------------------------------ #
+    # accounting helpers (same surface as SimulatedDisk)
+    # ------------------------------------------------------------------ #
+    @property
+    def blocks_in_use(self) -> int:
+        return len(self._extents)
+
+    def block_ids(self) -> List[BlockId]:
+        return list(self._extents.keys())
+
+    @contextmanager
+    def measure(self) -> Iterator[Measurement]:
+        measurement = Measurement(before=self.stats.snapshot())
+        try:
+            yield measurement
+        finally:
+            measurement.after = self.stats.snapshot()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def file_bytes(self) -> int:
+        """Current size of the page file, including superseded versions."""
+        return self._end
+
+    def compact(self) -> int:
+        """Rewrite the page file keeping only live block versions.
+
+        Returns the number of bytes reclaimed.  Not an I/O in the model (it
+        is maintenance, not query/update work).
+        """
+        self._check_open()
+        before = self._end
+        live = {bid: self._load(bid) for bid in self._extents}
+        self._file.seek(0)
+        self._file.truncate()
+        self._end = 0
+        for block in live.values():
+            self._append(block)
+        return before - self._end
+
+    def close(self) -> None:
+        """Close the page file (and delete it when it was a temporary)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._file.close()
+        if self._owns_file:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError(f"FileDisk({self.path!r}) is closed")
+
+    def __enter__(self) -> "FileDisk":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FileDisk(path={self.path!r}, B={self.block_size}, "
+            f"blocks={self.blocks_in_use}, {self.stats})"
+        )

@@ -18,8 +18,12 @@ All structures in :mod:`repro.metablock` store :class:`PlanarPoint` records.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List
+
+#: monotone source of record uids; every constructed point gets a fresh one
+_POINT_UIDS = itertools.count()
 
 
 @dataclass(frozen=True, order=True)
@@ -29,11 +33,20 @@ class PlanarPoint:
     For interval management the point is ``(low, high)`` and therefore lies
     on or above the diagonal ``y = x``; the structures do not require that,
     except where a theorem explicitly assumes it (noted per class).
+
+    Every point carries a ``uid``: a process-unique record identity that is
+    preserved by (de)serialization.  Structures that store the same record
+    in several blocks (update blocks, corner structures, TS blockings) use
+    it to deduplicate query output — object identity is not sufficient on
+    storage backends that round-trip pages through a file.
     """
 
     x: Any
     y: Any
     payload: Any = field(default=None, compare=False)
+    uid: int = field(
+        default_factory=lambda: next(_POINT_UIDS), compare=False, repr=False
+    )
 
     def as_tuple(self) -> tuple:
         return (self.x, self.y)
@@ -149,17 +162,18 @@ class BoundingBox:
 def dedupe_points(points: Iterable[PlanarPoint]) -> List[PlanarPoint]:
     """Remove duplicate reports while preserving order.
 
-    Identity is object identity: the dynamic structures store *references*
-    to the same :class:`PlanarPoint` record in every block that mentions it
-    (the update block, the TD corner structure, ...), so a record surfaced
-    through two organisations (see DESIGN.md, "Double-reporting") is
-    reported once while two distinct records that happen to share
-    coordinates are both kept.
+    Identity is the record ``uid``: the structures store the same
+    :class:`PlanarPoint` record in every block that mentions it (the update
+    block, the TD corner structure, ...), so a record surfaced through two
+    organisations (see DESIGN.md, "Double-reporting") is reported once while
+    two distinct records that happen to share coordinates are both kept.
+    The uid survives serialization, so deduplication also works on backends
+    (``FileDisk``) where two reads of the same page yield distinct objects.
     """
     seen = set()
     out: List[PlanarPoint] = []
     for p in points:
-        key = id(p)
+        key = p.uid
         if key in seen:
             continue
         seen.add(key)

@@ -26,7 +26,7 @@ from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.metablock import blocking as blk
 from repro.metablock.corner import CornerStructure
-from repro.metablock.geometry import BoundingBox, DiagonalCornerQuery, PlanarPoint, dedupe_points
+from repro.metablock.geometry import BoundingBox, DiagonalCornerQuery, PlanarPoint
 
 
 class Metablock:
@@ -225,11 +225,19 @@ class StaticMetablockTree:
 
         Cost: ``O(log_B n + t/B)`` I/Os (Theorem 3.2).
         """
+        return list(self.iter_diagonal_query(corner))
+
+    def iter_diagonal_query(self, corner: Any):
+        """Stream the answer to a diagonal corner query, metablock by metablock.
+
+        The generator performs no I/O until the first ``next()`` and then
+        reads blocks only as far as the consumer iterates; output is
+        deduplicated by record uid on the fly, so the stream is exactly
+        :meth:`diagonal_query` without the up-front materialisation.
+        """
         if self.root is None:
-            return []
-        out: List[PlanarPoint] = []
-        self._query_node(self.root, corner, out)
-        return dedupe_points(out)
+            return
+        yield from self._iter_query_node(self.root, corner, set())
 
     def query(self, query: DiagonalCornerQuery) -> List[PlanarPoint]:
         """Answer a :class:`DiagonalCornerQuery` object."""
@@ -297,7 +305,16 @@ class StaticMetablockTree:
         return False
 
     # -- recursion --------------------------------------------------------- #
-    def _query_node(self, mb: Metablock, q: Any, out: List[PlanarPoint]) -> None:
+    @staticmethod
+    def _emit(points: List[PlanarPoint], seen: set):
+        """Yield points not yet reported (dedupe by record uid, see geometry)."""
+        for p in points:
+            if p.uid in seen:
+                continue
+            seen.add(p.uid)
+            yield p
+
+    def _iter_query_node(self, mb: Metablock, q: Any, seen: set):
         if mb.subtree_min_x is not None and mb.subtree_min_x > q:
             return
         if mb.subtree_max_y is not None and mb.subtree_max_y < q:
@@ -307,8 +324,10 @@ class StaticMetablockTree:
         if mb.control_block_id is not None:
             self.disk.read(mb.control_block_id)
 
-        self._report_own_points(mb, q, out)
-        self._extra_sources(mb, q, out)
+        chunk: List[PlanarPoint] = []
+        self._report_own_points(mb, q, chunk)
+        self._extra_sources(mb, q, chunk)
+        yield from self._emit(chunk, seen)
 
         if mb.is_leaf or not mb.children:
             return
@@ -326,23 +345,24 @@ class StaticMetablockTree:
             # children entirely to the right of q are skipped
 
         if path_child is not None and path_child.subtree_max_y >= q:
-            self._query_node(path_child, q, out)
+            yield from self._iter_query_node(path_child, q, seen)
 
         candidates = [c for c in left_children if c.subtree_max_y is not None and c.subtree_max_y >= q]
-        if not candidates:
-            self._td_sources(mb, q, out)
-            return
-
-        rightmost = max(left_children, key=lambda c: c.subtree_max_x)
-        covered = self._ts_covers(rightmost, q, [c for c in left_children if c is not rightmost])
-        if covered is True:
-            self._ts_points(rightmost, q, out)
-            if rightmost in candidates:
-                self._query_node(rightmost, q, out)
-        else:
-            for child in candidates:
-                self._query_node(child, q, out)
-        self._td_sources(mb, q, out)
+        if candidates:
+            rightmost = max(left_children, key=lambda c: c.subtree_max_x)
+            covered = self._ts_covers(rightmost, q, [c for c in left_children if c is not rightmost])
+            if covered is True:
+                chunk = []
+                self._ts_points(rightmost, q, chunk)
+                yield from self._emit(chunk, seen)
+                if rightmost in candidates:
+                    yield from self._iter_query_node(rightmost, q, seen)
+            else:
+                for child in candidates:
+                    yield from self._iter_query_node(child, q, seen)
+        chunk = []
+        self._td_sources(mb, q, chunk)
+        yield from self._emit(chunk, seen)
 
     def _td_sources(self, mb: Metablock, q: Any, out: List[PlanarPoint]) -> None:
         """Hook for the dynamic tree (TD corner structures); static: nothing."""

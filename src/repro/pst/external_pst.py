@@ -21,8 +21,9 @@ exactly as prescribed by Lemma 4.4.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional
+from typing import Any, Iterable, Iterator, List, Optional
 
+from repro.analysis.complexity import external_pst_query_bound
 from repro.io.disk import BlockId
 from repro.metablock.geometry import PlanarPoint, ThreeSidedQuery
 
@@ -75,31 +76,70 @@ class ExternalPST:
         return block.block_id
 
     # ------------------------------------------------------------------ #
+    # updates (wholesale rebuild, as prescribed by Lemma 4.4)
+    # ------------------------------------------------------------------ #
+    def insert(self, point: PlanarPoint) -> None:
+        """Insert one point by rebuilding the structure (``O(n/B)`` I/Os).
+
+        The paper never inserts into a blocked PST in place: the metablock
+        variants keep their external PSTs small (``O(B^2)``/``O(B^3)``
+        points) and rebuild them wholesale (Lemma 4.4).  This method is that
+        rebuild, exposed so the PST satisfies the uniform ``Index`` surface.
+        """
+        pts = self._collect_points()
+        pts.append(point)
+        self.destroy()
+        ordered = sorted(pts, key=lambda p: (p.x, p.y))
+        self.size = len(ordered)
+        self.root_id = self._build(ordered)
+
+    def _collect_points(self) -> List[PlanarPoint]:
+        """Read every block back from disk (the rebuild's ``O(n/B)`` scan)."""
+        out: List[PlanarPoint] = []
+        for bid in self._block_ids:
+            out.extend(self.disk.read(bid).records)
+        return out
+
+    # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
     def query_3sided(self, x1: Any, x2: Any, y0: Any) -> List[PlanarPoint]:
         """All points with ``x1 <= x <= x2`` and ``y >= y0``."""
-        out: List[PlanarPoint] = []
-        self._query(self.root_id, x1, x2, y0, out)
-        return out
+        return list(self.iter_3sided(x1, x2, y0))
 
-    def query(self, query: ThreeSidedQuery) -> List[PlanarPoint]:
-        return self.query_3sided(query.x1, query.x2, query.y0)
+    def iter_3sided(self, x1: Any, x2: Any, y0: Any) -> Iterator[PlanarPoint]:
+        """Stream the 3-sided answer, reading one node block at a time."""
+        return self._iter_query(self.root_id, x1, x2, y0)
+
+    def query(self, q: Any) -> "Any":
+        """Answer a query descriptor with a lazy ``QueryResult``.
+
+        Accepts :class:`~repro.metablock.geometry.ThreeSidedQuery` (and,
+        via the engine, anything with ``x1``/``x2``/``y0`` fields).
+        """
+        from repro.engine.result import QueryResult
+
+        if not isinstance(q, ThreeSidedQuery):
+            raise TypeError(f"ExternalPST cannot answer {type(q).__name__} queries")
+        n, b = max(self.size, 2), self.B
+        return QueryResult(
+            lambda: self.iter_3sided(q.x1, q.x2, q.y0),
+            disk=self.disk,
+            bound=lambda t: external_pst_query_bound(n, b, t),
+            label=f"pst:3sided[{q.x1},{q.x2}]x[{q.y0},inf)",
+        )
 
     def query_2sided(self, x_max: Any, y_min: Any) -> List[PlanarPoint]:
         """All points with ``x <= x_max`` and ``y >= y_min``."""
-        out: List[PlanarPoint] = []
-        self._query(self.root_id, None, x_max, y_min, out)
-        return out
+        return list(self._iter_query(self.root_id, None, x_max, y_min))
 
-    def _query(
+    def _iter_query(
         self,
         block_id: Optional[BlockId],
         x1: Optional[Any],
         x2: Any,
         y0: Any,
-        out: List[PlanarPoint],
-    ) -> None:
+    ) -> Iterator[PlanarPoint]:
         if block_id is None:
             return
         block = self.disk.read(block_id)
@@ -107,20 +147,24 @@ class ExternalPST:
             if p.y < y0:
                 continue
             if (x1 is None or p.x >= x1) and p.x <= x2:
-                out.append(p)
+                yield p
         # every point below this node has y <= the smallest y stored here;
         # stop when even the stored points dip below the query bottom
         if block.header["min_y"] < y0:
             return
         split_x = block.header["split_x"]
         if x1 is None or x1 < split_x:
-            self._query(block.header["left"], x1, x2, y0, out)
+            yield from self._iter_query(block.header["left"], x1, x2, y0)
         if x2 >= split_x:
-            self._query(block.header["right"], x1, x2, y0, out)
+            yield from self._iter_query(block.header["right"], x1, x2, y0)
 
     # ------------------------------------------------------------------ #
     # accounting / lifecycle
     # ------------------------------------------------------------------ #
+    def io_stats(self):
+        """Live I/O counters of the backing store."""
+        return self.disk.stats
+
     def block_count(self) -> int:
         return len(self._block_ids)
 

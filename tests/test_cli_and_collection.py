@@ -58,7 +58,7 @@ class TestCLI:
                 ["classes", "--classes", "12", "--objects", "300", "--queries", "5",
                  "--method", method]
             ) == 0
-        assert "Thm 4.7 bound" in capsys.readouterr().out
+        assert "scheme bound" in capsys.readouterr().out
 
     def test_tessellation_command(self, capsys):
         assert main(["tessellation", "--grid", "64", "--block-size", "16"]) == 0

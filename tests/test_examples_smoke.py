@@ -4,6 +4,7 @@ The heavier examples are exercised with reduced workloads by importing their
 building blocks; the quickstart is run end-to-end.
 """
 
+import os
 import runpy
 import subprocess
 import sys
@@ -12,6 +13,14 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+#: the examples import ``repro`` from a subprocess, which sees neither the
+#: pytest ``pythonpath`` setting nor an editable install of this checkout
+_ENV = {
+    **os.environ,
+    "PYTHONPATH": os.pathsep.join(
+        p for p in (str(EXAMPLES.parent / "src"), os.environ.get("PYTHONPATH")) if p
+    ),
+}
 
 
 class TestQuickstart:
@@ -21,6 +30,7 @@ class TestQuickstart:
             capture_output=True,
             text=True,
             timeout=120,
+            env=_ENV,
         )
         assert result.returncode == 0, result.stderr
         assert "external dynamic interval management" in result.stdout
