@@ -54,9 +54,19 @@ from repro.constraints import (
     var,
 )
 from repro.engine import (
+    And,
+    Bound,
     ClassRange,
+    Collection,
+    EndpointRange,
     Engine,
     Index,
+    Limit,
+    Not,
+    Or,
+    OrderBy,
+    Plan,
+    QueryPlanner,
     QueryResult,
     Range,
     Stab,
@@ -71,19 +81,23 @@ from repro.metablock import (
 )
 from repro.pst import ExternalPST
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "And",
     "AugmentedMetablockTree",
     "BPlusTree",
+    "Bound",
     "BufferManager",
     "ClassHierarchy",
     "ClassIndexer",
     "ClassObject",
     "ClassRange",
+    "Collection",
     "CombinedClassIndex",
     "Constraint",
     "DiagonalCornerQuery",
+    "EndpointRange",
     "Engine",
     "ExternalIntervalManager",
     "ExternalPST",
@@ -94,7 +108,13 @@ __all__ = [
     "IOStats",
     "Index",
     "Interval",
+    "Limit",
+    "Not",
+    "Or",
+    "OrderBy",
+    "Plan",
     "PlanarPoint",
+    "QueryPlanner",
     "QueryResult",
     "Range",
     "SimpleClassIndex",

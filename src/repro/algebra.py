@@ -1,0 +1,68 @@
+"""Operator support for the composable query algebra.
+
+Every query descriptor in the engine — the leaves of
+:mod:`repro.engine.queries`, the geometric shapes of
+:mod:`repro.metablock.geometry`, and the combinator nodes themselves —
+mixes in :class:`AlgebraicQuery`, which supplies
+
+* the combinator operators ``&`` (:class:`~repro.engine.queries.And`),
+  ``|`` (:class:`~repro.engine.queries.Or`) and ``~``
+  (:class:`~repro.engine.queries.Not`), and
+* the modifier constructors :meth:`AlgebraicQuery.limit` and
+  :meth:`AlgebraicQuery.order_by`.
+
+The mixin lives in its own dependency-free module so that both
+``repro.engine.queries`` and ``repro.metablock.geometry`` can import it
+without creating a cycle (``queries`` already imports ``geometry``); the
+combinator classes are imported lazily inside each operator.
+
+Every node in the algebra also exposes a brute-force ``matches(record)``
+oracle, so a composed query can always be evaluated against a plain list of
+records — that is what keeps planner-chosen plans testable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Union
+
+
+class AlgebraicQuery:
+    """Mixin: ``&``/``|``/``~`` combinators plus ``limit``/``order_by``."""
+
+    def __and__(self, other: "AlgebraicQuery") -> Any:
+        from repro.engine.queries import And
+
+        return And(self, other)
+
+    def __or__(self, other: "AlgebraicQuery") -> Any:
+        from repro.engine.queries import Or
+
+        return Or(self, other)
+
+    def __invert__(self) -> Any:
+        from repro.engine.queries import Not
+
+        return Not(self)
+
+    def limit(self, n: int) -> Any:
+        """At most ``n`` records of this query's answer."""
+        from repro.engine.queries import Limit
+
+        return Limit(self, n)
+
+    def order_by(
+        self,
+        key: Optional[Union[str, Callable[[Any], Any]]] = None,
+        *,
+        reverse: bool = False,
+    ) -> Any:
+        """This query's answer sorted by ``key`` (attribute name or callable)."""
+        from repro.engine.queries import OrderBy
+
+        return OrderBy(self, key, reverse=reverse)
+
+    def matches(self, record: Any) -> bool:
+        """Brute-force oracle: whether ``record`` belongs to the answer."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the matches oracle"
+        )

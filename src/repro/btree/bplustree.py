@@ -19,7 +19,7 @@ bulk loading from sorted data.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
 from repro.io.disk import Block, BlockId
 
@@ -334,6 +334,20 @@ class BPlusTree:
                 label=f"{self.name}:key",
             )
         raise TypeError(f"BPlusTree cannot answer {type(q).__name__} queries")
+
+    def supports(self, q: Any) -> bool:
+        """Exact-key (:class:`Stab`) and key-range (:class:`Range`) shapes."""
+        from repro.engine.queries import Range, Stab
+
+        return isinstance(q, (Stab, Range))
+
+    def cost(self, q: Any) -> "Any":
+        """Section 1.1: ``O(log_B n + t/B)`` I/Os per search."""
+        from repro.analysis.complexity import btree_query_bound
+        from repro.engine.protocols import Bound
+
+        n, b = max(self.size, 2), self.branching
+        return Bound.of("log_B n + t/B", lambda t: btree_query_bound(n, b, t))
 
     def io_stats(self):
         """Live I/O counters of the backing store."""

@@ -18,9 +18,13 @@ hierarchies cannot collide due to floating-point rounding.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: monotone source of record uids; every constructed object gets a fresh one
+_OBJECT_UIDS = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -35,11 +39,17 @@ class ClassObject:
         The class the object belongs to (its extent).
     payload:
         Arbitrary application data carried along (not indexed).
+    uid:
+        Process-unique, serialization-stable record identity (used by the
+        query planner's union deduplication; not part of equality).
     """
 
     key: Any
     class_name: str
     payload: Any = field(default=None, compare=False)
+    uid: int = field(
+        default_factory=lambda: next(_OBJECT_UIDS), compare=False, repr=False
+    )
 
 
 class ClassHierarchy:

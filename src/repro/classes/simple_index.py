@@ -21,7 +21,7 @@ the shape the proof of Theorem 2.6 uses.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Tuple
 
 from repro.classes.collection import CollectionIndex
 from repro.classes.hierarchy import ClassHierarchy, ClassObject

@@ -3,9 +3,10 @@
 Usage::
 
     python -m repro intervals --n 5000 --block-size 16 --queries 20
-    python -m repro intervals --n 5000 --backend file
+    python -m repro intervals --n 5000 --backend file --buffer-pages 16
     python -m repro classes   --classes 64 --objects 5000 --method combined
     python -m repro tessellation --grid 256 --block-size 64
+    python -m repro explain   --n 5000 --stab 42 --endpoint low 10 20 --limit 5
 
 Each subcommand builds the relevant index through the
 :class:`~repro.engine.Engine` facade on the selected storage backend
@@ -25,15 +26,18 @@ from typing import List, Optional
 
 from repro.analysis.tessellation import GridTessellation
 from repro.core import ClassIndexer
-from repro.engine import ClassRange, Engine, Stab
+from repro.engine import And, ClassRange, EndpointRange, Engine, Range, Stab
 from repro.io import FileDisk, SimulatedDisk
 from repro.workloads import random_class_objects, random_hierarchy, random_intervals
 
 
 def _make_engine(args: argparse.Namespace) -> Engine:
-    if args.backend == "file":
-        return Engine(FileDisk(block_size=args.block_size))
-    return Engine(SimulatedDisk(args.block_size))
+    backend = (
+        FileDisk(block_size=args.block_size)
+        if args.backend == "file"
+        else SimulatedDisk(args.block_size)
+    )
+    return Engine(backend, buffer_pages=getattr(args, "buffer_pages", None))
 
 
 def _cmd_intervals(args: argparse.Namespace) -> int:
@@ -94,6 +98,44 @@ def _cmd_tessellation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _compose_explain_query(args: argparse.Namespace):
+    """Build the conjunction described by the ``explain`` flags."""
+    parts = []
+    if args.stab is not None:
+        parts.append(Stab(args.stab))
+    if args.range is not None:
+        parts.append(Range(args.range[0], args.range[1]))
+    for side, lo, hi in args.endpoint or ():
+        parts.append(EndpointRange(side, float(lo), float(hi)))
+    if not parts:
+        parts.append(Stab(500.0))
+    q = parts[0] if len(parts) == 1 else And(*parts)
+    if args.order_by:
+        q = q.order_by(args.order_by)
+    if args.limit is not None:
+        q = q.limit(args.limit)
+    return q
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    q = _compose_explain_query(args)
+    with _make_engine(args) as engine:
+        intervals = random_intervals(args.n, seed=args.seed, mean_length=args.mean_length)
+        engine.create_collection("intervals", intervals)
+        plan = engine.explain("intervals", q)
+        print(f"query : {q!r}")
+        print("plan  :")
+        print("  " + plan.describe().replace("\n", "\n  "))
+        print(f"predicted I/Os (t=0) : {plan.bound.pages:.1f}")
+        result = engine.query("intervals", q)
+        t = len(result.all())
+        print(f"observed : t={t} ios={result.ios} "
+              f"bound(t)={result.bound:.1f}")
+        if result.plan != plan:  # user-facing invariant; must survive -O
+            raise RuntimeError("executed plan differs from explain()")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -107,6 +149,14 @@ def build_parser() -> argparse.ArgumentParser:
             choices=["memory", "file"],
             default="memory",
             help="page store: in-memory SimulatedDisk or file-backed FileDisk",
+        )
+        p.add_argument(
+            "--buffer-pages",
+            type=int,
+            default=None,
+            metavar="PAGES",
+            help="wrap the backend in an LRU BufferManager of this many "
+                 "resident pages (the paper's O(B^2) main memory is PAGES=B)",
         )
 
     p = sub.add_parser("intervals", help="interval-management demo (Theorem 3.2/3.7)")
@@ -132,6 +182,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grid", type=int, default=256)
     p.add_argument("--block-size", type=int, default=64)
     p.set_defaults(func=_cmd_tessellation)
+
+    p = sub.add_parser(
+        "explain",
+        help="show the planner's chosen plan and predicted bound for a "
+             "composed query over a multi-index interval collection",
+    )
+    p.add_argument("--n", type=int, default=5_000)
+    p.add_argument("--block-size", type=int, default=16)
+    p.add_argument("--mean-length", type=float, default=25.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--stab", type=float, default=None, metavar="X",
+                   help="conjoin a stabbing query at X")
+    p.add_argument("--range", type=float, nargs=2, default=None,
+                   metavar=("LO", "HI"), help="conjoin an intersection query")
+    p.add_argument("--endpoint", action="append", nargs=3, default=None,
+                   metavar=("SIDE", "LO", "HI"),
+                   help="conjoin an endpoint range (SIDE is 'low' or 'high'); "
+                        "repeatable")
+    p.add_argument("--order-by", choices=["low", "high"], default=None)
+    p.add_argument("--limit", type=int, default=None)
+    add_backend(p)
+    p.set_defaults(func=_cmd_explain)
 
     return parser
 

@@ -16,7 +16,7 @@ range searches over the generalized database:
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Optional
+from typing import Any, Iterator, List
 
 from repro.analysis.complexity import metablock_query_bound
 from repro.constraints.relation import GeneralizedRelation
@@ -125,6 +125,19 @@ class GeneralizedOneDimensionalIndex:
         raise TypeError(
             f"GeneralizedOneDimensionalIndex cannot answer {type(q).__name__} queries"
         )
+
+    def supports(self, q: Any) -> bool:
+        """Point (:class:`Stab`) and range (:class:`Range`) restrictions."""
+        from repro.engine.queries import Range, Stab
+
+        return isinstance(q, (Stab, Range))
+
+    def cost(self, q: Any) -> "Any":
+        """Section 2.1 via Theorem 3.2: ``O(log_B n + t/B)`` I/Os."""
+        from repro.engine.protocols import Bound
+
+        n, b = max(len(self), 2), self.disk.block_size
+        return Bound.of("log_B n + t/B", lambda t: metablock_query_bound(n, b, t))
 
     def io_stats(self):
         """Live I/O counters of the backing store."""

@@ -116,6 +116,45 @@ class ClassIndexer:
         # touched collection; report the single-probe bound as the floor
         return lambda t: btree_query_bound(n, b, t)
 
+    def supports(self, q: Any) -> bool:
+        """Full-extent attribute ranges (:class:`ClassRange`) over known classes."""
+        from repro.engine.queries import ClassRange
+
+        return isinstance(q, ClassRange) and q.class_name in self.hierarchy
+
+    def cost(self, q: Any) -> Any:
+        """The active scheme's query bound (Theorem 2.6 / 4.7 or the baseline)."""
+        from repro.engine.protocols import Bound
+
+        formula = {
+            "simple": "log2 c * log_B n + t/B",
+            "combined": "log_B n + log2 B + t/B",
+        }.get(self.method, "log_B n + t/B")
+        return Bound.of(formula, self._bound_fn())
+
+    def bind(self, q: Any) -> Any:
+        """Attach this indexer's hierarchy to ``ClassRange`` oracle nodes.
+
+        The planner rewrites residual predicates through this hook so their
+        ``matches`` oracles test full-extent membership (descendants) rather
+        than exact class equality.
+        """
+        from dataclasses import replace
+
+        from repro.engine.queries import And, ClassRange, Limit, Not, Or, OrderBy
+
+        if isinstance(q, ClassRange) and q.hierarchy is None:
+            return replace(q, hierarchy=self.hierarchy)
+        if isinstance(q, (And, Or)):
+            return type(q)(*(self.bind(p) for p in q.parts))
+        if isinstance(q, Not):
+            return Not(self.bind(q.part))
+        if isinstance(q, Limit):
+            return Limit(self.bind(q.part), q.n)
+        if isinstance(q, OrderBy):
+            return OrderBy(self.bind(q.part), q.key, reverse=q.reverse)
+        return q
+
     def io_stats(self):
         """Live I/O counters of the backing store."""
         return self.disk.stats

@@ -24,7 +24,7 @@ bounds.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Optional
+from typing import Any, Iterable, Iterator, List
 
 from repro.analysis.complexity import metablock_query_bound
 from repro.btree import BPlusTree
@@ -143,6 +143,19 @@ class ExternalIntervalManager:
                 label=f"intervals:overlap[{q.low},{q.high}]",
             )
         raise TypeError(f"ExternalIntervalManager cannot answer {type(q).__name__} queries")
+
+    def supports(self, q: Any) -> bool:
+        """Stabbing (:class:`Stab`) and intersection (:class:`Range`) shapes."""
+        from repro.engine.queries import Range, Stab
+
+        return isinstance(q, (Stab, Range))
+
+    def cost(self, q: Any) -> "Any":
+        """Theorem 3.2/3.7: ``O(log_B n + t/B)`` I/Os per query."""
+        from repro.engine.protocols import Bound
+
+        n, b = max(len(self), 2), self.disk.block_size
+        return Bound.of("log_B n + t/B", lambda t: metablock_query_bound(n, b, t))
 
     def io_stats(self):
         """Live I/O counters of the backing store."""

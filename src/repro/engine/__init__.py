@@ -4,14 +4,25 @@ The subsystem turns the paper's individual data structures into one
 coherent database surface:
 
 * :class:`~repro.engine.core.Engine` — owns a storage backend plus named
-  indexes (``create_interval_index``, ``create_class_index``, ...), with a
-  ``query_many`` batch API for throughput workloads;
+  indexes (``create_interval_index``, ``create_collection``, ...), with a
+  ``query_many`` batch API and ``explain`` for plan inspection;
 * :class:`~repro.engine.protocols.Index` — the protocol every index
-  implements (``insert`` / ``query`` / ``block_count`` / ``io_stats``);
+  implements (``insert`` / ``query`` / ``supports`` / ``cost`` /
+  ``block_count`` / ``io_stats``), with :class:`~repro.engine.protocols.
+  Bound` as the predicted-cost currency;
+* the **query algebra** of :mod:`repro.engine.queries` — leaves
+  (:class:`Stab`, :class:`Range`, :class:`EndpointRange`,
+  :class:`ClassRange`, the geometric shapes) composed with ``&``/``|``/
+  ``~`` (:class:`And`/:class:`Or`/:class:`Not`) and the
+  :class:`Limit`/:class:`OrderBy` modifiers, every node carrying a
+  brute-force ``matches`` oracle;
+* :class:`~repro.engine.collection.Collection` — several physical indexes
+  over one logical record set, planned across by the
+  :class:`~repro.engine.planner.QueryPlanner`, whose chosen
+  :class:`~repro.engine.planner.Plan` is what ``Engine.explain`` returns;
 * :class:`~repro.engine.result.QueryResult` — the lazy, I/O-accounted
-  iterable every query returns (``result.ios``, ``result.bound``);
-* the query descriptors of :mod:`repro.engine.queries` (:class:`Stab`,
-  :class:`Range`, :class:`ClassRange`, plus the geometric shapes).
+  iterable every query returns (``result.ios``, ``result.bound``,
+  ``result.plan``), with ``limit()``/``pages()`` cursors.
 
 Storage backends live in :mod:`repro.io` and are selected via
 ``Engine(backend=...)`` — the same workload runs unchanged on the
@@ -20,23 +31,44 @@ in-memory :class:`~repro.io.SimulatedDisk` and the file-backed
 """
 
 from repro.engine.queries import (
+    And,
     ClassRange,
     DiagonalCornerQuery,
+    EndpointRange,
+    Limit,
+    Not,
+    Or,
+    OrderBy,
     Range,
     Stab,
     ThreeSidedQuery,
     TwoSidedQuery,
 )
 from repro.engine.result import QueryResult
-from repro.engine.protocols import Index
+from repro.engine.protocols import Bound, Index
+from repro.engine.planner import BOUND_SLACK, BOUND_SLACK_PAGES, Accessor, Plan, QueryPlanner
+from repro.engine.collection import Collection
 from repro.engine.core import DEFAULT_BLOCK_SIZE, Engine
 
 __all__ = [
+    "Accessor",
+    "And",
+    "BOUND_SLACK",
+    "BOUND_SLACK_PAGES",
+    "Bound",
     "ClassRange",
+    "Collection",
     "DEFAULT_BLOCK_SIZE",
     "DiagonalCornerQuery",
+    "EndpointRange",
     "Engine",
     "Index",
+    "Limit",
+    "Not",
+    "Or",
+    "OrderBy",
+    "Plan",
+    "QueryPlanner",
     "QueryResult",
     "Range",
     "Stab",

@@ -1,0 +1,252 @@
+"""Multi-index ``Collection``: several physical structures, one record set.
+
+The paper gives one provably-good structure per query shape; a real
+workload composes shapes.  A :class:`Collection` owns *several* physical
+indexes over one logical set of records — the canonical interval
+collection (:meth:`Collection.for_intervals`) keeps
+
+* an :class:`~repro.core.ExternalIntervalManager` (stabbing /
+  intersection, Theorem 3.2/3.7),
+* a B+-tree over **low** endpoints, and
+* a B+-tree over **high** endpoints,
+
+all on the same storage backend, kept in sync by :meth:`insert`.  Queries
+go through a :class:`~repro.engine.planner.QueryPlanner` that picks the
+cheapest physical index per shape: ``Stab``/``Range`` run on the interval
+manager, ``EndpointRange`` on the matching endpoint tree, conjunctions
+push the cheapest conjunct down and post-filter the rest, disjunctions
+union deduplicated subplans, and anything else (e.g. a bare ``Not``)
+falls back to a full scan of the low-endpoint tree filtered through the
+query's ``matches`` oracle.
+
+A ``Collection`` itself satisfies the
+:class:`~repro.engine.protocols.Index` protocol, so it registers in the
+:class:`~repro.engine.Engine` namespace like any other index
+(``engine.create_collection(...)``) and answers ``engine.query`` /
+``engine.explain`` calls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Optional
+
+from repro.analysis.complexity import log_b
+from repro.engine.planner import Accessor, Plan, QueryPlanner
+from repro.engine.protocols import Bound
+from repro.engine.queries import EndpointRange, Range, Stab
+from repro.engine.result import QueryResult
+
+
+class Collection:
+    """Several physical indexes over one logical record set.
+
+    Build one with :meth:`for_intervals` (the canonical configuration) or
+    assemble a custom one by calling :meth:`attach` per physical index.
+    The collection keeps the logical records in memory as the brute-force
+    :meth:`oracle` substrate — the planner's answers are always checkable
+    against ``[r for r in records if q.matches(r)]``.
+    """
+
+    def __init__(self, disk: Any, *, name: str = "collection") -> None:
+        self.disk = disk
+        self.name = name
+        self._records: List[Any] = []
+        self._accessors: List[Accessor] = []
+        self._inserters: List[Callable[[Any], None]] = []
+        self._planner = QueryPlanner(self._accessors, disk=disk)
+
+    # ------------------------------------------------------------------ #
+    # assembly
+    # ------------------------------------------------------------------ #
+    def attach(
+        self,
+        name: str,
+        index: Any,
+        *,
+        translate: Callable[[Any], Optional[Any]],
+        run: Callable[[Any], Iterable[Any]],
+        insert: Optional[Callable[[Any], None]] = None,
+        scan: Optional[Callable[[], Iterable[Any]]] = None,
+        scan_bound: Optional[Callable[[], Bound]] = None,
+    ) -> Any:
+        """Attach one physical index.
+
+        ``translate`` maps a logical query node to this index's query (or
+        ``None``); ``run`` streams logical records for a translated query;
+        ``insert`` (when given) is called on every :meth:`insert` so the
+        index stays in sync; ``scan``/``scan_bound`` advertise the
+        full-scan fallback.  Earlier-attached indexes win cost ties.
+        """
+        self._accessors.append(
+            Accessor(
+                name=name,
+                index=index,
+                translate=translate,
+                run=run,
+                scan=scan,
+                scan_bound=scan_bound,
+                rewrite=getattr(index, "bind", None),
+            )
+        )
+        if insert is not None:
+            self._inserters.append(insert)
+        return index
+
+    @classmethod
+    def for_intervals(
+        cls,
+        disk: Any,
+        intervals: Iterable[Any] = (),
+        *,
+        name: str = "intervals",
+        dynamic: bool = True,
+    ) -> "Collection":
+        """The canonical interval collection (manager + endpoint B+-trees)."""
+        from repro.btree import BPlusTree
+        from repro.core.interval_manager import ExternalIntervalManager
+
+        items = list(intervals)
+        coll = cls(disk, name=name)
+        coll._records = list(items)
+
+        manager = ExternalIntervalManager(disk, items, dynamic=dynamic)
+        coll.attach(
+            "interval-manager",
+            manager,
+            translate=lambda q: q if isinstance(q, (Stab, Range)) else None,
+            run=lambda pq: manager.query(pq),
+            # attached first: on static collections manager.insert raises
+            # before any other physical index has been touched
+            insert=manager.insert,
+        )
+
+        def endpoint_tree(side: str) -> BPlusTree:
+            tree = BPlusTree.bulk_load(
+                disk,
+                ((getattr(iv, side), iv) for iv in items),
+                name=f"{side}-endpoints",
+            )
+
+            def translate(q: Any) -> Optional[Any]:
+                if isinstance(q, EndpointRange) and q.side == side:
+                    return Range(
+                        q.low,
+                        q.high,
+                        min_inclusive=q.min_inclusive,
+                        max_inclusive=q.max_inclusive,
+                    )
+                return None
+
+            coll.attach(
+                f"{side}-endpoints",
+                tree,
+                translate=translate,
+                run=lambda pq: (iv for _, iv in tree.query(pq)),
+                insert=lambda iv: tree.insert(getattr(iv, side), iv),
+                # only one scan provider is needed; the low tree volunteers
+                scan=(lambda: (iv for _, iv in tree.iter_pairs())) if side == "low" else None,
+                # priced arithmetically (leaves are at least half full, so a
+                # full scan reads <= 2n/B leaf blocks plus the root path) —
+                # walking the tree to count blocks here would itself cost
+                # O(n/B) per plan() call
+                scan_bound=(
+                    (
+                        lambda: Bound.of(
+                            "log_B n + 2n/B (full scan)",
+                            lambda t, tree=tree: log_b(max(tree.size, 2), tree.branching)
+                            + 2.0 * max(tree.size, 1) / tree.branching,
+                        )
+                    )
+                    if side == "low"
+                    else None
+                ),
+            )
+            return tree
+
+        endpoint_tree("low")
+        endpoint_tree("high")
+        return coll
+
+    # ------------------------------------------------------------------ #
+    # the uniform Index surface
+    # ------------------------------------------------------------------ #
+    def insert(self, record: Any) -> None:
+        """Insert one logical record into every physical index."""
+        # the manager raises on static collections *before* any state changes
+        for insert in self._inserters:
+            insert(record)
+        self._records.append(record)
+
+    def query(self, q: Any) -> QueryResult:
+        """Plan ``q``, execute the cheapest plan, return the lazy result.
+
+        The executed plan rides along as ``result.plan`` and is identical
+        to what :meth:`plan` / ``Engine.explain`` report for the same query.
+        """
+        return self._planner.query(q)
+
+    def plan(self, q: Any) -> Plan:
+        """The plan :meth:`query` would execute (pure; no I/O)."""
+        return self._planner.plan(q)
+
+    explain = plan
+
+    def supports(self, q: Any) -> bool:
+        """Whether some plan serves ``q`` (the scan fallback makes this broad)."""
+        try:
+            self._planner.plan(q)
+        except TypeError:
+            return False
+        return True
+
+    def cost(self, q: Any) -> Bound:
+        """The predicted bound of the plan :meth:`query` would choose."""
+        return self._planner.plan(q).bound
+
+    def oracle(self, q: Any) -> List[Any]:
+        """Brute-force answer over the in-memory records (the test oracle).
+
+        ``Limit`` is honoured as a cap, ``OrderBy`` as a sort, mirroring
+        the planner's modifier semantics.
+        """
+        from repro.engine.queries import Limit, OrderBy
+
+        base, modifiers = QueryPlanner._peel(q)
+        out = [r for r in self._records if base.matches(r)]
+        for m in modifiers:
+            if isinstance(m, OrderBy):
+                out.sort(key=m.key_fn(), reverse=m.reverse)
+            elif isinstance(m, Limit):
+                out = out[: m.n]
+        return out
+
+    def block_count(self) -> int:
+        """Blocks used by all physical indexes together."""
+        return sum(acc.index.block_count() for acc in self._accessors)
+
+    def io_stats(self):
+        """Live I/O counters of the shared backing store."""
+        return self.disk.stats
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def physical(self) -> List[str]:
+        """Names of the attached physical indexes, in attachment order."""
+        return [acc.name for acc in self._accessors]
+
+    def records(self) -> List[Any]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Collection({self.name!r}, n={len(self)}, "
+            f"physical={self.physical})"
+        )

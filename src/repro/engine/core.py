@@ -20,7 +20,8 @@ True
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from types import MappingProxyType
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.btree import BPlusTree
 from repro.classes.hierarchy import ClassHierarchy, ClassObject
@@ -28,6 +29,9 @@ from repro.constraints.index import GeneralizedOneDimensionalIndex
 from repro.constraints.relation import GeneralizedRelation
 from repro.core.class_indexer import ClassIndexer
 from repro.core.interval_manager import ExternalIntervalManager
+from repro.engine.collection import Collection
+from repro.engine.planner import Plan, QueryPlanner
+from repro.engine.queries import COMPOSED
 from repro.engine.result import QueryResult
 from repro.interval import Interval
 from repro.io import BufferManager, SimulatedDisk
@@ -128,9 +132,33 @@ class Engine:
         self._claim_name(name)
         return self._register(name, BPlusTree.bulk_load(self.disk, pairs, name=name))
 
+    def create_collection(
+        self,
+        name: str,
+        intervals: Iterable[Interval] = (),
+        *,
+        dynamic: bool = True,
+    ) -> Collection:
+        """Multi-index interval :class:`~repro.engine.collection.Collection`.
+
+        Owns an interval manager *plus* B+-trees over both endpoints, kept
+        in sync on insert; queries go through the cost-aware
+        :class:`~repro.engine.planner.QueryPlanner` (see ``explain``).
+        """
+        self._claim_name(name)
+        return self._register(
+            name, Collection.for_intervals(self.disk, intervals, name=name, dynamic=dynamic)
+        )
+
     def drop_index(self, name: str) -> None:
-        """Forget an index (and free its blocks when it knows how to)."""
-        index = self._indexes.pop(name)
+        """Forget an index (and free its blocks when it knows how to).
+
+        The name becomes immediately reusable by the ``create_*``
+        constructors.  Unknown names raise the same descriptive
+        :class:`KeyError` as :meth:`index`.
+        """
+        index = self.index(name)
+        del self._indexes[name]
         destroy = getattr(index, "destroy", None)
         if callable(destroy):
             destroy()
@@ -155,8 +183,10 @@ class Engine:
     def names(self) -> List[str]:
         return sorted(self._indexes)
 
-    def indexes(self) -> Dict[str, Any]:
-        return dict(self._indexes)
+    @property
+    def indexes(self) -> Mapping[str, Any]:
+        """Read-only live view of the index namespace (name -> index)."""
+        return MappingProxyType(self._indexes)
 
     # ------------------------------------------------------------------ #
     # the query/update surface
@@ -170,8 +200,37 @@ class Engine:
         self.index(name).insert(*item)
 
     def query(self, name: str, q: Any) -> QueryResult:
-        """Answer one query descriptor lazily (no I/O until iteration)."""
-        return self.index(name).query(q)
+        """Answer one query descriptor lazily (no I/O until iteration).
+
+        Plain descriptors go straight to the named index.  Composed algebra
+        nodes (``And``/``Or``/``Not``/``Limit``/``OrderBy``) are routed
+        through the :class:`~repro.engine.planner.QueryPlanner`:
+        :class:`~repro.engine.collection.Collection` indexes plan across
+        all their physical structures, every other index gets a
+        single-index planner (pushdown of the cheapest supported part,
+        residual ``matches`` post-filter for the rest).
+        """
+        index = self.index(name)
+        if isinstance(index, Collection):
+            return index.query(q)
+        if isinstance(q, COMPOSED):
+            return QueryPlanner.for_index(name, index, disk=self.disk).query(q)
+        result = index.query(q)
+        if isinstance(result, QueryResult) and index.supports(q):
+            # same trivial pushdown plan explain() reports for this query
+            result.plan = Plan("index", name, q, None, index.cost(q))
+        return result
+
+    def explain(self, name: str, q: Any) -> Plan:
+        """The :class:`~repro.engine.planner.Plan` that :meth:`query` would
+        execute for ``q`` on the named index — structured, pure, no I/O.
+
+        Executed results carry the identical plan as ``result.plan``.
+        """
+        index = self.index(name)
+        if isinstance(index, Collection):
+            return index.plan(q)
+        return QueryPlanner.for_index(name, index, disk=self.disk).plan(q)
 
     def query_many(self, queries: Iterable[Tuple[str, Any]]) -> List[QueryResult]:
         """Batch API: build one lazy result per ``(index_name, descriptor)``.

@@ -1,22 +1,70 @@
-"""The ``Index`` protocol: the one shape every index in the engine shares.
+"""The ``Index`` protocol and the ``Bound`` capability surface.
 
 The paper's structures solve different problems (stabbing, 3-sided search,
 class extents) but, as database components, they all reduce to the same
 surface: put a record in, stream records matching a query descriptor out,
-account for space and I/O.  The protocol is structural
+account for space and I/O, and *advertise* which query shapes they serve at
+which predicted cost.  The protocol is structural
 (:func:`typing.runtime_checkable`), so the concrete classes —
 :class:`~repro.core.ExternalIntervalManager`,
 :class:`~repro.core.ClassIndexer`,
 :class:`~repro.constraints.GeneralizedOneDimensionalIndex`,
-:class:`~repro.pst.ExternalPST`, :class:`~repro.btree.BPlusTree` — need no
-common base class; they simply all implement these four methods.
+:class:`~repro.pst.ExternalPST`, :class:`~repro.btree.BPlusTree`, the
+metablock trees, and the multi-index
+:class:`~repro.engine.collection.Collection` — need no common base class;
+they simply all implement these six methods.
+
+``supports``/``cost`` are what the
+:class:`~repro.engine.planner.QueryPlanner` consumes: per candidate
+(index, sub-query) pair it asks the index whether it can serve the shape
+and what the paper predicts it will pay, then executes the cheapest plan.
 """
 
 from __future__ import annotations
 
-from typing import Any, Protocol, runtime_checkable
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Protocol, runtime_checkable
 
 from repro.io.counters import IOStats
+
+
+@dataclass(frozen=True)
+class Bound:
+    """A predicted I/O bound: a formula from the paper plus its evaluation.
+
+    ``pages`` is the output-independent part of the bound (the formula at
+    ``t = 0``, e.g. the ``log_B n`` search cost) — it is what the planner
+    compares when choosing among candidate plans, since the output size is
+    unknown before execution.  ``at(t)`` evaluates the full formula at
+    output size ``t``; equality and hashing ignore it so plans built for the
+    same query compare equal.
+    """
+
+    formula: str
+    pages: float
+    at: Optional[Callable[[int], float]] = field(default=None, compare=False, repr=False)
+
+    def __call__(self, t: int = 0) -> float:
+        """Predicted I/Os at output size ``t``."""
+        if self.at is None:
+            return self.pages
+        return self.at(t)
+
+    @classmethod
+    def of(cls, formula: str, fn: Callable[[int], float]) -> "Bound":
+        """Build a bound from a ``t -> pages`` function (``pages = fn(0)``)."""
+        return cls(formula, fn(0), fn)
+
+    def __add__(self, other: "Bound") -> "Bound":
+        """Sum of two bounds (union plans execute both sides)."""
+        if not isinstance(other, Bound):
+            return NotImplemented
+        left, right = self, other
+        return Bound(
+            f"{left.formula} + {right.formula}",
+            left.pages + right.pages,
+            at=lambda t: left(t) + right(t),
+        )
 
 
 @runtime_checkable
@@ -29,6 +77,11 @@ class Index(Protocol):
     result is iterated.  ``insert`` may raise :class:`NotImplementedError`
     on structures the paper analyses as static (callers can probe with
     ``getattr(index, 'dynamic', True)``).
+
+    ``supports``/``cost`` form the capability surface the
+    :class:`~repro.engine.planner.QueryPlanner` plans against: ``supports``
+    must be total (``False`` for unknown descriptors, never an exception)
+    and ``cost`` may assume ``supports(q)`` is true.
     """
 
     def insert(self, item: Any) -> None:
@@ -37,6 +90,14 @@ class Index(Protocol):
 
     def query(self, q: Any) -> Any:
         """Answer a query descriptor with a lazy ``QueryResult``."""
+        ...
+
+    def supports(self, q: Any) -> bool:
+        """Whether this index can serve the query shape directly."""
+        ...
+
+    def cost(self, q: Any) -> Bound:
+        """The paper's predicted I/O bound for serving ``q`` here."""
         ...
 
     def block_count(self) -> int:

@@ -1,28 +1,54 @@
-"""Query descriptors understood by the uniform ``Index.query`` method.
+"""The composable query algebra understood by ``Index.query`` and the planner.
 
-Each descriptor is a small frozen dataclass naming one query shape from the
-paper, carrying a brute-force ``matches`` predicate as the correctness
-oracle.  Geometric shapes (:class:`DiagonalCornerQuery`,
-:class:`ThreeSidedQuery`, ...) are re-exported from
-:mod:`repro.metablock.geometry` so one import site serves the whole engine.
+Leaves are small frozen dataclasses naming one query shape from the paper.
+Every node — leaf, combinator or modifier — carries a brute-force
+``matches(record)`` predicate as the correctness oracle, so any composed
+query can be checked against a plain list of records.  Geometric shapes
+(:class:`DiagonalCornerQuery`, :class:`ThreeSidedQuery`, ...) are
+re-exported from :mod:`repro.metablock.geometry` and participate in the
+same algebra.
 
-===================  ========================================================
-descriptor           answered by
-===================  ========================================================
-:class:`Stab`        interval indexes (stabbing), B+-trees (exact key),
-                     constraint indexes (point restriction)
-:class:`Range`       interval indexes (intersection), B+-trees (key range,
-                     with per-bound inclusivity), constraint indexes
-:class:`ClassRange`  class indexes (attribute range over a full extent)
-``ThreeSidedQuery``  external PSTs and 3-sided metablock trees
-===================  ========================================================
+Composing queries::
+
+    q = Stab(42.0) & EndpointRange("low", 10, 20)     # conjunction
+    q = Stab(3.0) | Stab(9.0)                         # union
+    q = Range(0, 50) & ~Stab(25.0)                    # negation (residual)
+    q = Range(0, 50).order_by("low").limit(10)        # modifiers
+
+===========================  ================================================
+descriptor                   answered by
+===========================  ================================================
+:class:`Stab`                interval indexes (stabbing), B+-trees (exact
+                             key), constraint indexes (point restriction)
+:class:`Range`               interval indexes (intersection), B+-trees (key
+                             range, with per-bound inclusivity), constraint
+                             indexes
+:class:`EndpointRange`       endpoint B+-trees inside a
+                             :class:`~repro.engine.collection.Collection`
+:class:`ClassRange`          class indexes (attribute range over a full
+                             extent)
+``ThreeSidedQuery``          external PSTs and 3-sided metablock trees
+``DiagonalCornerQuery``      metablock trees
+:class:`And` / :class:`Or`   the :class:`~repro.engine.planner.QueryPlanner`
+/ :class:`Not`               (index pushdown + residual post-filter / union
+                             with dedup / scan fallback)
+:class:`Limit` /             applied by the planner on top of any plan,
+:class:`OrderBy`             preserving laziness where possible
+===========================  ================================================
+
+``matches(record)`` interprets the record by shape: objects with
+``low``/``high`` attributes are treated as closed intervals,
+:class:`~repro.metablock.geometry.PlanarPoint`-like objects (``x``/``y``)
+as the interval ``[x, y]`` of the stabbing reduction, ``(key, value)``
+pairs by their key, and anything else as a bare key.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple, Union
 
+from repro.algebra import AlgebraicQuery
 from repro.metablock.geometry import (  # noqa: F401  (re-exported)
     DiagonalCornerQuery,
     ThreeSidedQuery,
@@ -30,8 +56,31 @@ from repro.metablock.geometry import (  # noqa: F401  (re-exported)
 )
 
 
+def _as_interval(record: Any) -> Optional[Tuple[Any, Any]]:
+    """The closed interval a record denotes, or ``None`` for key records."""
+    low = getattr(record, "low", None)
+    high = getattr(record, "high", None)
+    if low is not None and high is not None:
+        return low, high
+    x = getattr(record, "x", None)
+    y = getattr(record, "y", None)
+    if x is not None and y is not None:
+        return x, y
+    return None
+
+
+def _as_key(record: Any) -> Any:
+    """The scalar key a record denotes (``(key, value)`` pairs use the key)."""
+    if isinstance(record, tuple) and len(record) == 2:
+        return record[0]
+    return record
+
+
+# --------------------------------------------------------------------------- #
+# leaves
+# --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
-class Stab:
+class Stab(AlgebraicQuery):
     """All records containing / keyed exactly at ``x``."""
 
     x: Any
@@ -39,9 +88,15 @@ class Stab:
     def matches_interval(self, low: Any, high: Any) -> bool:
         return low <= self.x <= high
 
+    def matches(self, record: Any) -> bool:
+        bounds = _as_interval(record)
+        if bounds is not None:
+            return self.matches_interval(*bounds)
+        return _as_key(record) == self.x
+
 
 @dataclass(frozen=True)
-class Range:
+class Range(AlgebraicQuery):
     """All records overlapping / keyed within ``[low, high]``.
 
     ``min_inclusive`` / ``max_inclusive`` control whether the endpoints
@@ -63,11 +118,174 @@ class Range:
             return False
         return True
 
+    def matches(self, record: Any) -> bool:
+        bounds = _as_interval(record)
+        if bounds is not None:
+            low, high = bounds
+            return low <= self.high and self.low <= high
+        return self.matches_key(_as_key(record))
+
 
 @dataclass(frozen=True)
-class ClassRange:
-    """Attribute range ``[low, high]`` over the full extent of a class."""
+class EndpointRange(AlgebraicQuery):
+    """Interval records whose ``side`` endpoint lies within ``[low, high]``.
+
+    ``side`` is ``"low"`` or ``"high"``.  This is *not* the same as interval
+    intersection: ``EndpointRange("low", a, b)`` asks for intervals that
+    *start* inside ``[a, b]``.  Inside a
+    :class:`~repro.engine.collection.Collection` it is served optimally by
+    the B+-tree over that endpoint.
+    """
+
+    side: str
+    low: Any
+    high: Any
+    min_inclusive: bool = True
+    max_inclusive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.side not in ("low", "high"):
+            raise ValueError(f"side must be 'low' or 'high', not {self.side!r}")
+
+    def endpoint(self, record: Any) -> Any:
+        bounds = _as_interval(record)
+        if bounds is None:
+            return _as_key(record)
+        return bounds[0] if self.side == "low" else bounds[1]
+
+    def matches(self, record: Any) -> bool:
+        v = self.endpoint(record)
+        if v < self.low or v > self.high:
+            return False
+        if v == self.low and not self.min_inclusive:
+            return False
+        if v == self.high and not self.max_inclusive:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class ClassRange(AlgebraicQuery):
+    """Attribute range ``[low, high]`` over the full extent of a class.
+
+    The ``hierarchy`` field (optional, excluded from equality) lets the
+    ``matches`` oracle test full-extent membership — without it only exact
+    class membership is checked.  :meth:`repro.core.ClassIndexer.bind`
+    attaches the indexer's hierarchy to residual predicates automatically.
+    """
 
     class_name: str
     low: Any
     high: Any
+    hierarchy: Any = field(default=None, compare=False, repr=False)
+
+    def matches(self, record: Any) -> bool:
+        key = getattr(record, "key", None)
+        if key is None or key < self.low or key > self.high:
+            return False
+        cls = getattr(record, "class_name", None)
+        if self.hierarchy is not None:
+            return cls in self.hierarchy.descendants(self.class_name)
+        return cls == self.class_name
+
+
+# --------------------------------------------------------------------------- #
+# combinators
+# --------------------------------------------------------------------------- #
+def _flatten(kind: type, parts: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    flat = []
+    for p in parts:
+        if isinstance(p, kind):
+            flat.extend(p.parts)
+        else:
+            flat.append(p)
+    return tuple(flat)
+
+
+@dataclass(frozen=True, init=False)
+class And(AlgebraicQuery):
+    """Conjunction: records matching *every* part (nested ``And``s flatten)."""
+
+    parts: Tuple[Any, ...]
+
+    def __init__(self, *parts: Any) -> None:
+        object.__setattr__(self, "parts", _flatten(And, parts))
+
+    def matches(self, record: Any) -> bool:
+        return all(p.matches(record) for p in self.parts)
+
+
+@dataclass(frozen=True, init=False)
+class Or(AlgebraicQuery):
+    """Disjunction: records matching *any* part (nested ``Or``s flatten)."""
+
+    parts: Tuple[Any, ...]
+
+    def __init__(self, *parts: Any) -> None:
+        object.__setattr__(self, "parts", _flatten(Or, parts))
+
+    def matches(self, record: Any) -> bool:
+        return any(p.matches(record) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Not(AlgebraicQuery):
+    """Complement: records *not* matching ``part``.
+
+    Alone it forces a scan plan (only available on a
+    :class:`~repro.engine.collection.Collection`); inside an :class:`And`
+    it rides along as a free residual post-filter.
+    """
+
+    part: Any
+
+    def matches(self, record: Any) -> bool:
+        return not self.part.matches(record)
+
+
+# --------------------------------------------------------------------------- #
+# modifiers
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Limit(AlgebraicQuery):
+    """At most ``n`` records of ``part``'s answer (streaming; lazy)."""
+
+    part: Any
+    n: int
+
+    def matches(self, record: Any) -> bool:
+        # membership oracle of the underlying query; the cardinality cap is a
+        # property of the stream, not of any single record
+        return self.part.matches(record)
+
+
+@dataclass(frozen=True)
+class OrderBy(AlgebraicQuery):
+    """``part``'s answer sorted by ``key`` (attribute name or callable).
+
+    Sorting materialises the stream; combined with :class:`Limit` on top the
+    tail past the limit is never yielded, but the sort itself must see every
+    record.
+    """
+
+    part: Any
+    key: Optional[Union[str, Callable[[Any], Any]]] = None
+    reverse: bool = False
+
+    def matches(self, record: Any) -> bool:
+        return self.part.matches(record)
+
+    def key_fn(self) -> Callable[[Any], Any]:
+        if self.key is None:
+            return lambda record: record
+        if callable(self.key):
+            return self.key
+        attr = self.key
+        return lambda record: getattr(record, attr)
+
+
+#: modifier node types the planner peels off the top of a query
+MODIFIERS = (Limit, OrderBy)
+
+#: node types that require planning (no single index answers them directly)
+COMPOSED = (And, Or, Not, Limit, OrderBy)

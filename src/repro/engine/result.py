@@ -62,6 +62,9 @@ class QueryResult:
         self._started = False
         self._error: Optional[BaseException] = None
         self.stats = IOStats()
+        #: the executed :class:`~repro.engine.planner.Plan` when this result
+        #: came out of the query planner; ``None`` for direct index queries
+        self.plan: Optional[Any] = None
 
     # ------------------------------------------------------------------ #
     # iteration
@@ -164,6 +167,45 @@ class QueryResult:
         for item in self:
             return item
         return default
+
+    # ------------------------------------------------------------------ #
+    # cursors
+    # ------------------------------------------------------------------ #
+    def limit(self, n: int) -> "QueryResult":
+        """A lazy result over the first ``n`` hits.
+
+        Shares this result's stream (and cache), so taking a limit after
+        partial consumption replays cached hits for free; the underlying
+        query is never drained past ``n`` records.
+        """
+        if n < 0:
+            raise ValueError(f"limit must be non-negative, not {n}")
+        from itertools import islice
+
+        return QueryResult(
+            lambda: islice(iter(self), n),
+            disk=self._disk,
+            bound=self._bound_fn,
+            label=f"{self.label}|limit({n})",
+        )
+
+    def pages(self, size: int):
+        """Cursor-style pagination: yield successive lists of ``size`` hits.
+
+        Lazy like iteration itself — each page's blocks are read only when
+        that page is requested, so ``next(result.pages(100))`` pays for the
+        first ~``100/B`` blocks only.
+        """
+        if size <= 0:
+            raise ValueError(f"page size must be positive, not {size}")
+        page: List[Any] = []
+        for item in self:
+            page.append(item)
+            if len(page) == size:
+                yield page
+                page = []
+        if page:
+            yield page
 
     def __len__(self) -> int:
         """Number of hits (exhausts the stream)."""

@@ -9,8 +9,12 @@ carrying a payload (the tuple, the object identifier, ...).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
+
+#: monotone source of record uids; every constructed interval gets a fresh one
+_INTERVAL_UIDS = itertools.count()
 
 
 @dataclass(frozen=True, order=True)
@@ -20,11 +24,20 @@ class Interval:
     The ordering (by ``low`` then ``high``) is the one used by the B+-tree
     component of the interval manager; the payload does not participate in
     comparisons.
+
+    Every interval carries a ``uid``: a process-unique record identity that
+    survives (de)serialization (it pickles as a normal field).  The query
+    planner's union plans deduplicate by it, so the *same* stored record
+    reached through two physical indexes is reported once while two
+    value-identical records stay two records.
     """
 
     low: Any
     high: Any
     payload: Any = field(default=None, compare=False)
+    uid: int = field(
+        default_factory=lambda: next(_INTERVAL_UIDS), compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.high < self.low:

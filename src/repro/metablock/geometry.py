@@ -22,6 +22,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List
 
+from repro.algebra import AlgebraicQuery
+
 #: monotone source of record uids; every constructed point gets a fresh one
 _POINT_UIDS = itertools.count()
 
@@ -56,7 +58,7 @@ class PlanarPoint:
 
 
 @dataclass(frozen=True)
-class DiagonalCornerQuery:
+class DiagonalCornerQuery(AlgebraicQuery):
     """``x <= corner`` and ``y >= corner`` — corner anchored on ``x = y``."""
 
     corner: Any
@@ -70,7 +72,7 @@ class DiagonalCornerQuery:
 
 
 @dataclass(frozen=True)
-class TwoSidedQuery:
+class TwoSidedQuery(AlgebraicQuery):
     """``x <= x_max`` and ``y >= y_min`` (corner anywhere)."""
 
     x_max: Any
@@ -84,7 +86,7 @@ class TwoSidedQuery:
 
 
 @dataclass(frozen=True)
-class ThreeSidedQuery:
+class ThreeSidedQuery(AlgebraicQuery):
     """``x1 <= x <= x2`` and ``y >= y0``."""
 
     x1: Any
@@ -103,7 +105,7 @@ class ThreeSidedQuery:
 
 
 @dataclass(frozen=True)
-class RangeQuery:
+class RangeQuery(AlgebraicQuery):
     """A general two-dimensional range query ``x1<=x<=x2, y1<=y<=y2``."""
 
     x1: Any

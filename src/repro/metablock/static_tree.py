@@ -22,7 +22,7 @@ corner queries in ``O(log_B n + t/B)`` I/Os (Theorem 3.2), which is optimal
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, List, Optional
 
 from repro.metablock import blocking as blk
 from repro.metablock.corner import CornerStructure
@@ -242,6 +242,18 @@ class StaticMetablockTree:
     def query(self, query: DiagonalCornerQuery) -> List[PlanarPoint]:
         """Answer a :class:`DiagonalCornerQuery` object."""
         return self.diagonal_query(query.corner)
+
+    def supports(self, q: Any) -> bool:
+        """Diagonal corner queries (Fig. 1's innermost class)."""
+        return isinstance(q, DiagonalCornerQuery)
+
+    def cost(self, q: Any) -> Any:
+        """Theorem 3.2: ``O(log_B n + t/B)`` I/Os per query."""
+        from repro.analysis.complexity import metablock_query_bound
+        from repro.engine.protocols import Bound
+
+        n, b = max(self.size, 2), self.B
+        return Bound.of("log_B n + t/B", lambda t: metablock_query_bound(n, b, t))
 
     # -- per-metablock reporting ------------------------------------------ #
     def _report_own_points(self, mb: Metablock, q: Any, out: List[PlanarPoint]) -> None:

@@ -509,6 +509,20 @@ class ThreeSidedMetablockTree:
     def query(self, query: ThreeSidedQuery) -> List[PlanarPoint]:
         return self.query_3sided(query.x1, query.x2, query.y0)
 
+    def supports(self, q: Any) -> bool:
+        """3-sided query shapes (Lemma 4.4)."""
+        return isinstance(q, ThreeSidedQuery)
+
+    def cost(self, q: Any) -> Any:
+        """Lemma 4.4: ``O(log_B n + log2 B + t/B)`` I/Os per query."""
+        from repro.analysis.complexity import three_sided_query_bound
+        from repro.engine.protocols import Bound
+
+        n, b = max(self.size, 2), self.B
+        return Bound.of(
+            "log_B n + log2 B + t/B", lambda t: three_sided_query_bound(n, b, t)
+        )
+
     def _query_node(self, mb: ThreeSidedMetablock, x1, x2, y0, out: List[PlanarPoint]) -> None:
         if mb.subtree_min_x is None or mb.subtree_min_x > x2 or mb.subtree_max_x < x1:
             return

@@ -129,6 +129,17 @@ class ExternalPST:
             label=f"pst:3sided[{q.x1},{q.x2}]x[{q.y0},inf)",
         )
 
+    def supports(self, q: Any) -> bool:
+        """3-sided query shapes (Lemma 4.1)."""
+        return isinstance(q, ThreeSidedQuery)
+
+    def cost(self, q: Any) -> "Any":
+        """Lemma 4.1: ``O(log2 n + t/B)`` I/Os per 3-sided query."""
+        from repro.engine.protocols import Bound
+
+        n, b = max(self.size, 2), self.B
+        return Bound.of("log2 n + t/B", lambda t: external_pst_query_bound(n, b, t))
+
     def query_2sided(self, x_max: Any, y_min: Any) -> List[PlanarPoint]:
         """All points with ``x <= x_max`` and ``y >= y_min``."""
         return list(self._iter_query(self.root_id, None, x_max, y_min))

@@ -1,0 +1,337 @@
+"""The composable query algebra, the cost-aware planner, and Collections.
+
+Acceptance criteria covered here:
+
+* every composed query in the suite returns **exactly** the brute-force
+  oracle result set (``q.matches`` over the logical records) on both
+  storage backends;
+* ``Engine.explain`` reports the plan the executed result actually carries
+  (``result.plan``); and
+* observed ``ios`` never exceeds the predicted bound's page count by more
+  than the documented slack (``BOUND_SLACK * bound(t) +
+  BOUND_SLACK_PAGES``, see :mod:`repro.engine.planner`).
+"""
+
+import pytest
+
+from repro import (
+    And,
+    Bound,
+    ClassHierarchy,
+    ClassObject,
+    ClassRange,
+    Collection,
+    EndpointRange,
+    Engine,
+    FileDisk,
+    Index,
+    Interval,
+    Limit,
+    Not,
+    Or,
+    OrderBy,
+    Range,
+    SimulatedDisk,
+    Stab,
+)
+from repro.engine.planner import BOUND_SLACK, BOUND_SLACK_PAGES
+
+from tests.conftest import make_intervals
+
+B = 8
+
+
+def _backend(kind, tmp_path):
+    if kind == "file":
+        return FileDisk(str(tmp_path / "pages.bin"), block_size=B)
+    return SimulatedDisk(block_size=B)
+
+
+def _payloads(records):
+    return sorted(r.payload for r in records)
+
+
+# --------------------------------------------------------------------------- #
+# the algebra itself
+# --------------------------------------------------------------------------- #
+class TestAlgebra:
+    def test_operators_build_combinators(self):
+        q = Stab(1) & Range(0, 2) | ~Stab(5)
+        assert isinstance(q, Or)
+        assert isinstance(q.parts[0], And)
+        assert isinstance(q.parts[1], Not)
+
+    def test_nested_ands_and_ors_flatten(self):
+        q = (Stab(1) & Stab(2)) & Stab(3)
+        assert q.parts == (Stab(1), Stab(2), Stab(3))
+        q = (Stab(1) | Stab(2)) | (Stab(3) | Stab(4))
+        assert len(q.parts) == 4
+
+    def test_modifier_constructors(self):
+        q = Range(0, 9).order_by("low", reverse=True).limit(3)
+        assert isinstance(q, Limit) and q.n == 3
+        assert isinstance(q.part, OrderBy) and q.part.reverse
+
+    def test_matches_oracles_on_intervals(self):
+        iv = Interval(3.0, 7.0, payload="p")
+        assert Stab(5.0).matches(iv) and not Stab(8.0).matches(iv)
+        assert Range(6.0, 9.0).matches(iv) and not Range(7.5, 9.0).matches(iv)
+        assert EndpointRange("low", 2.0, 4.0).matches(iv)
+        assert not EndpointRange("high", 2.0, 4.0).matches(iv)
+        assert (Stab(5.0) & ~Range(10.0, 20.0)).matches(iv)
+        assert (Stab(9.0) | EndpointRange("high", 7.0, 7.0)).matches(iv)
+        assert not (Stab(9.0) & EndpointRange("high", 7.0, 7.0)).matches(iv)
+
+    def test_matches_oracles_on_keys_and_pairs(self):
+        assert Stab(4).matches(4) and Stab(4).matches((4, "value"))
+        assert Range(1, 5, max_inclusive=False).matches((4, "v"))
+        assert not Range(1, 5, max_inclusive=False).matches((5, "v"))
+
+    def test_classrange_oracle_with_and_without_hierarchy(self):
+        h = ClassHierarchy()
+        h.add_class("Root")
+        h.add_class("A", "Root")
+        obj = ClassObject(5.0, "A", payload=1)
+        assert not ClassRange("Root", 0, 10).matches(obj)  # exact-only
+        from dataclasses import replace
+
+        bound_q = replace(ClassRange("Root", 0, 10), hierarchy=h)
+        assert bound_q.matches(obj)
+
+    def test_endpoint_range_side_validated(self):
+        with pytest.raises(ValueError):
+            EndpointRange("middle", 0, 1)
+
+    def test_geometric_shapes_join_the_algebra(self):
+        from repro import PlanarPoint, ThreeSidedQuery
+
+        q = ThreeSidedQuery(0, 10, 5) & ~ThreeSidedQuery(3, 4, 0)
+        p = PlanarPoint(2, 8)
+        assert q.matches(p)
+        assert not q.matches(PlanarPoint(3.5, 8))
+
+
+# --------------------------------------------------------------------------- #
+# planner-chosen plans vs. the oracle, on both backends
+# --------------------------------------------------------------------------- #
+COMPOSED_QUERIES = [
+    Stab(400.0) & Range(350.0, 450.0),
+    Stab(400.0) & EndpointRange("low", 350.0, 400.0),
+    EndpointRange("high", 400.0, 500.0),
+    EndpointRange("low", 100.0, 200.0, min_inclusive=False),
+    Range(100.0, 300.0) & ~Stab(200.0),
+    Stab(100.0) | Stab(900.0),
+    (Stab(100.0) & Range(50.0, 150.0)) | EndpointRange("low", 800.0, 850.0),
+    Not(Stab(500.0)),
+    Or(),  # matches nothing; still plannable via the scan fallback
+    And(Stab(400.0)),
+    Range(0.0, 1000.0).order_by("low").limit(13),
+    (Stab(400.0) & EndpointRange("low", 0.0, 500.0)).order_by("high", reverse=True),
+    Stab(400.0).limit(4),
+]
+
+
+@pytest.mark.parametrize("backend_kind", ["memory", "file"])
+@pytest.mark.parametrize("q", COMPOSED_QUERIES, ids=repr)
+def test_planner_matches_oracle_explain_and_bound(tmp_path, backend_kind, q):
+    intervals = make_intervals(250, seed=3, mean_length=120.0)
+    with Engine(_backend(backend_kind, tmp_path)) as engine:
+        coll = engine.create_collection("c", intervals)
+        plan = engine.explain("c", q)
+        result = engine.query("c", q)
+        got = result.all()
+        want = coll.oracle(q)
+
+        # Limit picks *some* n records; everything else is exact
+        if isinstance(q, Limit) and not isinstance(q.part, OrderBy):
+            assert len(got) == min(q.n, len(coll.oracle(q.part)))
+            assert all(q.matches(r) for r in got)
+        else:
+            assert _payloads(got) == _payloads(want), backend_kind
+
+        # explain() reports the executed plan
+        assert result.plan == plan
+
+        # observed I/Os within the documented slack of the predicted bound
+        assert result.ios <= BOUND_SLACK * result.bound + BOUND_SLACK_PAGES, (
+            q,
+            result.ios,
+            result.bound,
+        )
+
+
+@pytest.mark.parametrize("backend_kind", ["memory", "file"])
+def test_cross_backend_composed_results_agree(tmp_path, backend_kind):
+    """And/Or compositions return identical sets on SimulatedDisk and FileDisk."""
+    intervals = make_intervals(180, seed=9, mean_length=90.0)
+    queries = [
+        Stab(300.0) & Range(250.0, 350.0),
+        Stab(100.0) | EndpointRange("low", 500.0, 600.0),
+        Range(0.0, 500.0) & ~EndpointRange("high", 0.0, 300.0),
+    ]
+    reference = Engine(SimulatedDisk(block_size=B))
+    ref_coll = reference.create_collection("c", intervals)
+    with Engine(_backend(backend_kind, tmp_path)) as engine:
+        engine.create_collection("c", intervals)
+        for q in queries:
+            want = _payloads(ref_coll.oracle(q))
+            assert _payloads(engine.query("c", q)) == want
+            assert _payloads(reference.query("c", q)) == want
+
+
+# --------------------------------------------------------------------------- #
+# plan shape: the planner picks the physically right index
+# --------------------------------------------------------------------------- #
+class TestPlanChoice:
+    @pytest.fixture()
+    def engine(self):
+        eng = Engine(block_size=B)
+        eng.create_collection("c", make_intervals(300, seed=1))
+        return eng
+
+    def test_stab_goes_to_the_interval_manager(self, engine):
+        plan = engine.explain("c", Stab(500.0))
+        assert plan.kind == "index" and plan.index == "interval-manager"
+        assert plan.residual is None
+
+    def test_endpoint_goes_to_the_matching_btree(self, engine):
+        for side in ("low", "high"):
+            plan = engine.explain("c", EndpointRange(side, 10.0, 20.0))
+            assert plan.index == f"{side}-endpoints"
+
+    def test_and_pushes_one_part_down_keeps_rest_residual(self, engine):
+        q = Stab(500.0) & EndpointRange("low", 400.0, 500.0)
+        plan = engine.explain("c", q)
+        assert plan.kind == "index"
+        assert plan.residual is not None
+
+    @pytest.mark.parametrize("backend_kind", ["memory", "file"])
+    def test_union_keeps_value_identical_records_but_dedupes_shared_hits(
+        self, tmp_path, backend_kind
+    ):
+        """Dedup is by record identity (uid), not by value: two equal
+        intervals both survive a union, while one record reached through
+        both branches is reported once — on both backends."""
+        with Engine(_backend(backend_kind, tmp_path)) as eng:
+            coll = eng.create_collection("c", [Interval(1.0, 10.0), Interval(1.0, 10.0)])
+            overlapping = Stab(5.0) | Stab(6.0)  # both branches hit both records
+            assert len(eng.query("c", overlapping).all()) == 2
+            assert len(coll.oracle(overlapping)) == 2
+
+    def test_plain_index_plain_descriptor_still_carries_the_plan(self, engine):
+        eng = Engine(block_size=B)
+        eng.create_interval_index("ivs", [Interval(0, 1)])
+        result = eng.query("ivs", Stab(0.5))
+        assert result.plan == eng.explain("ivs", Stab(0.5))
+        assert result.plan is not None
+
+    def test_planning_performs_no_io(self, engine):
+        before = engine.io_stats().snapshot()
+        engine.explain("c", Stab(500.0) & EndpointRange("low", 0.0, 500.0))
+        engine.explain("c", ~Stab(500.0))  # scan bound priced arithmetically
+        assert engine.io_stats().diff(before).total == 0
+
+    def test_or_builds_a_union_with_per_part_bounds(self, engine):
+        plan = engine.explain("c", Stab(1.0) | EndpointRange("low", 5.0, 6.0))
+        assert plan.kind == "union" and len(plan.subplans) == 2
+        assert plan.bound.pages == pytest.approx(
+            sum(sub.bound.pages for sub in plan.subplans)
+        )
+
+    def test_bare_not_falls_back_to_scan(self, engine):
+        plan = engine.explain("c", ~Stab(500.0))
+        assert plan.kind == "scan"
+        assert "scan" in plan.bound.formula
+
+    def test_scan_costs_more_than_an_index_plan(self, engine):
+        scan = engine.explain("c", ~Stab(500.0))
+        idx = engine.explain("c", Stab(500.0))
+        assert scan.bound.pages > idx.bound.pages
+
+    def test_describe_is_printable(self, engine):
+        text = engine.explain("c", (Stab(1.0) | Stab(2.0)).limit(3)).describe()
+        assert "Union" in text and "limit 3" in text
+
+    def test_unsupported_shape_raises(self, engine):
+        from repro import ThreeSidedQuery
+
+        engine.create_key_index("kv", [(1, "a")])
+        # no conjunct is supported and a plain B+-tree has no scan fallback
+        with pytest.raises(TypeError):
+            engine.explain("kv", ThreeSidedQuery(0, 1, 0) & ThreeSidedQuery(2, 3, 0))
+
+
+# --------------------------------------------------------------------------- #
+# Collection behaviour
+# --------------------------------------------------------------------------- #
+class TestCollection:
+    def test_satisfies_the_index_protocol(self, disk):
+        coll = Collection.for_intervals(disk, make_intervals(40))
+        assert isinstance(coll, Index)
+        assert coll.supports(Stab(1.0) & Range(0.0, 2.0))
+        assert isinstance(coll.cost(Stab(1.0)), Bound)
+
+    def test_insert_keeps_all_physical_indexes_in_sync(self, disk):
+        coll = Collection.for_intervals(disk, make_intervals(50, seed=2))
+        new = Interval(123.0, 456.0, payload="new")
+        coll.insert(new)
+        assert "new" in {iv.payload for iv in coll.query(Stab(300.0))}
+        assert "new" in {iv.payload for iv in coll.query(EndpointRange("low", 123.0, 123.0))}
+        assert "new" in {iv.payload for iv in coll.query(EndpointRange("high", 456.0, 456.0))}
+        assert len(coll) == 51
+
+    def test_static_collection_rejects_inserts_atomically(self, disk):
+        coll = Collection.for_intervals(disk, make_intervals(30), dynamic=False)
+        with pytest.raises(NotImplementedError):
+            coll.insert(Interval(0.0, 1.0, payload="x"))
+        # nothing was half-applied: the endpoint trees saw no insert either
+        assert coll.query(EndpointRange("low", 0.0, 0.0)).all() == []
+        assert len(coll) == 30
+
+    def test_block_count_sums_physical_indexes(self, disk):
+        coll = Collection.for_intervals(disk, make_intervals(100))
+        assert coll.block_count() >= sum(
+            acc.index.block_count() for acc in coll._accessors[1:]
+        )
+
+    def test_engine_namespace_and_repr(self):
+        engine = Engine(block_size=B)
+        coll = engine.create_collection("c", make_intervals(10))
+        assert engine["c"] is coll
+        assert "interval-manager" in repr(coll)
+        with pytest.raises(ValueError):
+            engine.create_collection("c")
+
+
+# --------------------------------------------------------------------------- #
+# engine namespace satellites
+# --------------------------------------------------------------------------- #
+class TestEngineNamespace:
+    def test_indexes_is_a_read_only_live_view(self):
+        engine = Engine(block_size=B)
+        engine.create_interval_index("a", [Interval(0, 1)])
+        view = engine.indexes
+        assert set(view) == {"a"}
+        with pytest.raises(TypeError):
+            view["b"] = object()
+        engine.create_key_index("b", [(1, "x")])
+        assert set(view) == {"a", "b"}  # live, not a snapshot
+
+    def test_drop_index_reclaims_the_name(self):
+        engine = Engine(block_size=B)
+        engine.create_interval_index("a", [Interval(0, 1)])
+        engine.drop_index("a")
+        assert "a" not in engine
+        engine.create_key_index("a", [(1, "x")])  # name reusable
+        assert "a" in engine
+
+    def test_drop_index_unknown_name_raises_descriptive_keyerror(self):
+        engine = Engine(block_size=B)
+        with pytest.raises(KeyError, match="no index named"):
+            engine.drop_index("ghost")
+
+    def test_repr_names_backend_and_indexes(self):
+        engine = Engine(block_size=B)
+        engine.create_interval_index("ivs", [Interval(0, 1)])
+        text = repr(engine)
+        assert "SimulatedDisk" in text and "ivs" in text

@@ -69,3 +69,27 @@ class TestCLI:
     def test_unknown_method_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             main(["classes", "--method", "bogus"])
+
+    def test_buffer_pages_accepted_on_engine_subcommands(self, capsys):
+        assert main(["intervals", "--n", "300", "--queries", "3",
+                     "--buffer-pages", "8"]) == 0
+        assert main(["classes", "--classes", "8", "--objects", "200",
+                     "--queries", "3", "--buffer-pages", "8"]) == 0
+        assert "avg I/Os per query" in capsys.readouterr().out
+
+    def test_explain_command_prints_plan_and_bound(self, capsys):
+        assert main(["explain", "--n", "400", "--stab", "42",
+                     "--endpoint", "low", "10", "40", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "plan" in out
+        assert "Index(interval-manager)" in out
+        assert "residual filter" in out
+        assert "limit 5" in out
+        assert "predicted I/Os" in out and "observed" in out
+
+    def test_explain_command_union_and_file_backend(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # FileDisk writes its page file here
+        assert main(["explain", "--n", "200", "--backend", "file",
+                     "--endpoint", "low", "0", "50",
+                     "--endpoint", "high", "10", "60"]) == 0
+        assert "Index(" in capsys.readouterr().out

@@ -42,7 +42,7 @@ class TestExampleModulesImportable:
     @pytest.mark.parametrize(
         "name",
         ["quickstart", "temporal_versions", "people_class_hierarchy",
-         "constraint_rectangles", "io_scaling_study"],
+         "constraint_rectangles", "io_scaling_study", "planner_tour"],
     )
     def test_importable_without_running_main(self, name):
         """Every example is importable (its functions can be reused as a library)."""
@@ -70,3 +70,19 @@ class TestExampleBuildingBlocks:
         assert len(rects) == module["N_RECTANGLES"]
         for _, a, b, c, d in rects:
             assert a <= c and b <= d
+
+
+class TestPlannerTour:
+    def test_runs_end_to_end(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "planner_tour.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=_ENV,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Index(interval-manager)" in result.stdout
+        assert "residual filter" in result.stdout
+        assert "Union" in result.stdout
+        assert "pagination" in result.stdout

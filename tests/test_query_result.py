@@ -1,0 +1,177 @@
+"""Edge semantics of :class:`~repro.engine.result.QueryResult`.
+
+Covers the satellite checklist: double iteration, ``len``/``bool`` before
+and after consumption, ``ios`` monotonicity, the ``limit()``/``pages()``
+cursors, and cross-backend (SimulatedDisk vs. FileDisk) equivalence of
+composed ``And``/``Or`` queries checked against the ``matches`` oracles.
+"""
+
+import pytest
+
+from repro import (
+    EndpointRange,
+    Engine,
+    FileDisk,
+    Interval,
+    QueryResult,
+    Range,
+    SimulatedDisk,
+    Stab,
+)
+
+from tests.conftest import make_intervals
+
+B = 8
+
+
+def _engine(kind="memory", tmp_path=None):
+    backend = (
+        FileDisk(str(tmp_path / "pages.bin"), block_size=B)
+        if kind == "file"
+        else SimulatedDisk(block_size=B)
+    )
+    engine = Engine(backend)
+    engine.create_interval_index("ivs", make_intervals(300, seed=7, mean_length=80.0))
+    return engine
+
+
+class TestIterationSemantics:
+    def test_double_iteration_replays_identical_hits_without_new_io(self):
+        engine = _engine()
+        result = engine.query("ivs", Stab(500.0))
+        first = list(result)
+        ios_after_first = result.ios
+        assert first
+        second = list(result)
+        assert second == first
+        assert result.ios == ios_after_first
+
+    def test_interleaved_consumers_share_one_stream(self):
+        engine = _engine()
+        result = engine.query("ivs", Range(100.0, 900.0))
+        it1, it2 = iter(result), iter(result)
+        a, b = next(it1), next(it2)
+        assert a == b
+        rest1, rest2 = list(it1), list(it2)
+        assert [a] + rest1 == [b] + rest2
+
+    def test_len_and_bool_before_consumption(self):
+        engine = _engine()
+        hit = engine.query("ivs", Stab(500.0))
+        assert not hit.started
+        assert bool(hit)                  # reads at most a few blocks
+        assert hit.count >= 1             # only what bool() needed
+        assert len(hit) == len(hit.all())  # len() exhausts
+        assert hit.exhausted
+
+        empty = engine.query("ivs", Stab(-1e9))
+        assert len(empty) == 0 and not bool(empty)
+        assert list(empty) == []
+
+    def test_len_and_bool_after_consumption_are_stable(self):
+        engine = _engine()
+        result = engine.query("ivs", Stab(500.0))
+        n = len(result.all())
+        ios = result.ios
+        assert len(result) == n and bool(result) is (n > 0)
+        assert result.ios == ios  # neither re-ran the query
+
+
+class TestIosMonotonicity:
+    def test_ios_never_decreases_while_streaming(self):
+        engine = _engine()
+        result = engine.query("ivs", Range(0.0, 1000.0))
+        assert result.ios == 0  # lazy: nothing before iteration
+        seen = 0
+        last = 0
+        for _ in result:
+            seen += 1
+            assert result.ios >= last
+            last = result.ios
+        assert result.exhausted and seen == result.count
+        assert result.ios == last  # exhaustion adds no surprise I/Os
+
+    def test_partial_consumption_costs_no_more_than_full(self):
+        engine = _engine()
+        partial = engine.query("ivs", Range(0.0, 1000.0))
+        for i, _ in enumerate(partial):
+            if i >= 5:
+                break
+        full = engine.query("ivs", Range(0.0, 1000.0))
+        full.all()
+        assert 0 < partial.ios <= full.ios
+
+
+class TestCursors:
+    def test_limit_is_lazy_and_cheaper_than_full_drain(self):
+        engine = _engine()
+        full = engine.query("ivs", Range(0.0, 1000.0))
+        n_full = len(full.all())
+        limited = engine.query("ivs", Range(0.0, 1000.0)).limit(3)
+        hits = limited.all()
+        assert len(hits) == 3 < n_full
+        assert limited.ios < full.ios
+
+    def test_limit_validates_and_handles_oversize(self):
+        engine = _engine()
+        with pytest.raises(ValueError):
+            engine.query("ivs", Stab(500.0)).limit(-1)
+        result = engine.query("ivs", Stab(-1e9)).limit(10)
+        assert result.all() == []
+
+    def test_pages_chunks_the_stream_lazily(self):
+        engine = _engine()
+        result = engine.query("ivs", Range(0.0, 1000.0))
+        pages = result.pages(7)
+        first = next(pages)
+        assert len(first) == 7
+        ios_after_first_page = result.ios
+        rest = list(pages)
+        assert result.ios >= ios_after_first_page
+        flattened = first + [r for page in rest for r in page]
+        assert flattened == result.all()
+        assert all(len(page) <= 7 for page in rest)
+
+    def test_pages_size_validated(self):
+        engine = _engine()
+        with pytest.raises(ValueError):
+            next(engine.query("ivs", Stab(0.0)).pages(0))
+
+
+class TestCrossBackendComposedEquivalence:
+    @pytest.mark.parametrize(
+        "q",
+        [
+            Stab(400.0) & Range(350.0, 450.0),
+            Stab(100.0) | Stab(800.0),
+            (Range(0.0, 500.0) & ~Stab(250.0)) | EndpointRange("low", 700.0, 750.0),
+        ],
+        ids=repr,
+    )
+    def test_collections_agree_with_the_oracle_on_both_backends(self, tmp_path, q):
+        intervals = make_intervals(200, seed=13, mean_length=100.0)
+        want = sorted(iv.payload for iv in intervals if q.matches(iv))
+        for kind in ("memory", "file"):
+            backend = (
+                FileDisk(str(tmp_path / f"{kind}.bin"), block_size=B)
+                if kind == "file"
+                else SimulatedDisk(block_size=B)
+            )
+            with Engine(backend) as engine:
+                engine.create_collection("c", intervals)
+                got = sorted(iv.payload for iv in engine.query("c", q))
+                assert got == want, kind
+
+
+class TestErrorReplay:
+    def test_error_reraised_from_limit_view(self):
+        def boom():
+            yield Interval(0, 1)
+            raise RuntimeError("mid-stream")
+
+        result = QueryResult(boom)
+        limited = result.limit(5)
+        with pytest.raises(RuntimeError):
+            limited.all()
+        with pytest.raises(RuntimeError):
+            list(limited)
