@@ -182,7 +182,47 @@ def collect(n=N, b=B, queries=25):
         "block_size": b,
         "generated_by": "python -m benchmarks.bench_engine",
         "results": results,
+        "write_path": write_path_comparison(n=n, b=b, m=max(queries * 40, 200)),
     }
+
+
+def write_path_comparison(n=N, b=B, m=2_000):
+    """``bulk_load`` vs repeated ``insert`` of ``m`` records (I/Os + wall time).
+
+    Each mode gets its own engine over a fresh ``n``-record collection, so
+    the two runs start from identical structures; records are distinct
+    objects (fresh uids) per run, exactly as a real ingest would present
+    them.  One-shot timing — the write is not idempotent.
+    """
+    out = []
+    for mode in ("insert", "bulk_load"):
+        engine = Engine(SimulatedDisk(b))
+        coll = engine.create_collection(
+            "c", random_intervals(n, seed=5, mean_length=20.0)
+        )
+        batch = random_intervals(m, seed=99, mean_length=20.0)
+
+        def run(mode=mode, coll=coll, batch=batch):
+            if mode == "insert":
+                for iv in batch:
+                    coll.insert(iv)
+            else:
+                coll.bulk_load(batch)
+            return len(batch)
+
+        start = time.perf_counter()
+        _, ios = measure_ios(engine.disk, run)
+        elapsed = time.perf_counter() - start
+        out.append({
+            "mode": mode,
+            "base_n": n,
+            "records": m,
+            "ios": ios,
+            "ios_per_record": round(ios / m, 2),
+            "wall_s": round(elapsed, 4),
+            "records_per_sec": round(m / elapsed, 1) if elapsed > 0 else float("inf"),
+        })
+    return out
 
 
 def main(argv=None):
@@ -203,6 +243,9 @@ def main(argv=None):
     for row in payload["results"]:
         print(f"  {row['name']:40s} ios/q={row['ios_per_query']:8.2f} "
               f"ops/s={row['ops_per_sec']:10.1f}")
+    for row in payload["write_path"]:
+        print(f"  write/{row['mode']:34s} ios/rec={row['ios_per_record']:7.2f} "
+              f"rec/s={row['records_per_sec']:10.1f}")
     return 0
 
 

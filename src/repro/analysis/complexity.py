@@ -71,6 +71,22 @@ def linear_space_bound(n: int, b: int) -> float:
     return max(1.0, n / b)
 
 
+def rebuild_due(dead: int, live: int, block_size: int, fraction: float = 0.5) -> bool:
+    """The shared global-rebuilding trigger: rebuild once ``dead`` records
+    (tombstones) exceed ``max(B, fraction * live)``.
+
+    This is the classic dynamization constant: a rebuild costs
+    ``O((n/B) log_B n)`` work amortized over the ``Θ(fraction · n)``
+    deletes since the last one (``O(log_B n)`` I/Os each), and space stays
+    within ``1 + fraction`` of optimal.  The ``B`` floor keeps tiny
+    structures from rebuilding on every delete.  One definition shared by
+    every tombstoning structure (interval manager, class indexer,
+    :class:`~repro.engine.rebuilding.RebuildingIndex`) so the policy can
+    never drift between them.
+    """
+    return dead > max(block_size, fraction * max(live, 1))
+
+
 def bound_ratio(measured: Sequence[float], predicted: Sequence[float]) -> float:
     """The largest measured/predicted ratio across a sweep.
 

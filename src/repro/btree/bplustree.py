@@ -26,6 +26,21 @@ from repro.io.disk import Block, BlockId
 Pair = Tuple[Any, Any]
 
 
+class _HybridBulkLoad:
+    """Descriptor giving ``bulk_load`` both calling conventions.
+
+    ``BPlusTree.bulk_load(disk, pairs)`` — the historical constructor —
+    builds a fresh tree; ``tree.bulk_load(pairs)`` — the
+    :class:`~repro.engine.protocols.MutableIndex` surface — merges a batch
+    into an existing tree by repacking it bottom-up.
+    """
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return objtype._bulk_build
+        return obj._bulk_merge
+
+
 class BPlusTree:
     """A B+-tree storing ``(key, value)`` pairs on a simulated disk.
 
@@ -49,11 +64,16 @@ class BPlusTree:
         self.height = 1
         self.size = 0
 
+    #: capability flags of the :class:`~repro.engine.protocols.MutableIndex`
+    #: tier: deletion and bottom-up bulk loading are both native here
+    supports_deletes = True
+    supports_bulk_load = True
+
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
     @classmethod
-    def bulk_load(cls, disk, pairs: Iterable[Pair], name: str = "bptree") -> "BPlusTree":
+    def _bulk_build(cls, disk, pairs: Iterable[Pair], name: str = "bptree") -> "BPlusTree":
         """Build a tree from (not necessarily sorted) ``(key, value)`` pairs.
 
         Bulk loading packs leaves completely full, which gives the
@@ -66,8 +86,19 @@ class BPlusTree:
             return tree
         # free the empty root created by __init__
         tree.disk.free(tree.root_id)
+        tree._load_sorted(data)
+        return tree
 
-        B = tree.branching
+    def _load_sorted(self, data: List[Pair]) -> None:
+        """Pack already-sorted pairs into full leaves, bottom-up (``O(n/B)`` writes)."""
+        disk = self.disk
+        B = self.branching
+        if not data:
+            root = disk.allocate(records=[], header={"leaf": True, "next": None})
+            self.root_id = root.block_id
+            self.height = 1
+            self.size = 0
+            return
         leaf_ids: List[BlockId] = []
         leaf_max_keys: List[Any] = []
         for start in range(0, len(data), B):
@@ -98,10 +129,45 @@ class BPlusTree:
             level_keys = next_keys
             height += 1
 
-        tree.root_id = level_ids[0]
-        tree.height = height
-        tree.size = len(data)
-        return tree
+        self.root_id = level_ids[0]
+        self.height = height
+        self.size = len(data)
+
+    def _bulk_merge(self, pairs: Iterable[Pair]) -> int:
+        """Merge a batch into this tree by rebuilding it bottom-up.
+
+        One ``O(n/B)`` leaf scan streams the resident pairs, a single merge
+        with the sorted batch produces the new leaf sequence, and the tree
+        is repacked with full leaves — ``O((n + m)/B + m log m)`` work and
+        ``O((n + m)/B)`` I/Os for a batch of ``m``, versus
+        ``O(m log_B n)`` I/Os for ``m`` one-at-a-time inserts.
+        """
+        from heapq import merge
+
+        new = sorted(pairs, key=lambda kv: kv[0])
+        if not new:
+            return 0
+        data = list(merge(self.iter_pairs(), new, key=lambda kv: kv[0]))
+        self.destroy()
+        self._load_sorted(data)
+        return len(new)
+
+    bulk_load = _HybridBulkLoad()
+
+    def destroy(self) -> None:
+        """Free every block of the tree (rebuilds and ``drop_index`` use this)."""
+        if self.root_id is None:
+            return
+        stack = [self.root_id]
+        while stack:
+            bid = stack.pop()
+            block = self.disk.peek(bid)
+            if not block.header["leaf"]:
+                stack.extend(child for _, child in block.records)
+            self.disk.free(bid)
+        self.root_id = None
+        self.height = 0
+        self.size = 0
 
     # ------------------------------------------------------------------ #
     # search
@@ -380,8 +446,15 @@ class BPlusTree:
 _MISSING = object()
 
 
-def _delete(self: BPlusTree, key: Any, value: Any = _MISSING) -> bool:
+def _delete(
+    self: BPlusTree, key: Any, value: Any = _MISSING, *, match: Any = None
+) -> bool:
     """Delete one pair with ``key`` (and ``value`` when given).
+
+    ``match`` (a ``value -> bool`` predicate) replaces the ``v == value``
+    test when given — the interval manager passes a uid comparison so that
+    deleting one of several value-identical records removes exactly the
+    record asked for, not an equal twin.
 
     Returns ``True`` when a pair was removed.  Underflow is handled lazily:
     empty leaves stay in place (their parent entry remains valid because the
@@ -393,7 +466,9 @@ def _delete(self: BPlusTree, key: Any, value: Any = _MISSING) -> bool:
     leaf, _ = self._find_leaf(key)
     while True:
         for i, (k, v) in enumerate(leaf.records):
-            if k == key and (value is _MISSING or v == value):
+            if k == key and (
+                match(v) if match is not None else (value is _MISSING or v == value)
+            ):
                 del leaf.records[i]
                 self.disk.write(leaf)
                 self.size -= 1

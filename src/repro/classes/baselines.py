@@ -48,6 +48,9 @@ class SingleCollectionIndex:
         wanted = set(self.hierarchy.descendants(class_name))
         return (obj for obj in self.collection.iter_range(low, high) if obj.class_name in wanted)
 
+    def destroy(self) -> None:
+        self.collection.destroy()
+
     def block_count(self) -> int:
         return self.collection.block_count()
 
@@ -92,6 +95,10 @@ class FullExtentPerClassIndex:
     def iter_query(self, class_name: str, low: Any, high: Any) -> Iterator[ClassObject]:
         return self.indexes[class_name].iter_range(low, high)
 
+    def destroy(self) -> None:
+        for idx in self.indexes.values():
+            idx.destroy()
+
     def block_count(self) -> int:
         return sum(idx.block_count() for idx in self.indexes.values())
 
@@ -126,6 +133,10 @@ class ExtentPerClassIndex:
     def iter_query(self, class_name: str, low: Any, high: Any) -> Iterator[ClassObject]:
         for cls in self.hierarchy.descendants(class_name):
             yield from self.indexes[cls].iter_range(low, high)
+
+    def destroy(self) -> None:
+        for idx in self.indexes.values():
+            idx.destroy()
 
     def block_count(self) -> int:
         return sum(idx.block_count() for idx in self.indexes.values())

@@ -28,8 +28,17 @@ class CollectionIndex:
         self.tree.insert(obj.key, obj)
 
     def delete(self, obj: ClassObject) -> bool:
-        """Delete one object; returns ``True`` when it was present."""
-        return self.tree.delete(obj.key, obj)
+        """Delete one object (matched by uid); ``True`` when it was present.
+
+        Matching by the record's stable ``uid`` rather than by value means
+        deleting one of several value-identical objects removes exactly the
+        record asked for, never an equal twin.
+        """
+        return self.tree.delete(obj.key, match=lambda v, uid=obj.uid: v.uid == uid)
+
+    def destroy(self) -> None:
+        """Free every block of the underlying tree (rebuilds use this)."""
+        self.tree.destroy()
 
     # -- queries --------------------------------------------------------- #
     def range_query(self, low: Any, high: Any) -> List[ClassObject]:

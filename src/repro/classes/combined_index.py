@@ -110,6 +110,11 @@ class CombinedClassIndex:
     # ------------------------------------------------------------------ #
     # introspection / accounting
     # ------------------------------------------------------------------ #
+    def destroy(self) -> None:
+        """Free every block of every piece structure (rebuilds use this)."""
+        for structure in self._structures.values():
+            structure.destroy()
+
     def block_count(self) -> int:
         total = 0
         for structure in self._structures.values():

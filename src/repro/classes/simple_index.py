@@ -133,6 +133,11 @@ class SimpleClassIndex:
     # ------------------------------------------------------------------ #
     # accounting
     # ------------------------------------------------------------------ #
+    def destroy(self) -> None:
+        """Free every block of every node collection (rebuilds use this)."""
+        for collection in self._collections.values():
+            collection.destroy()
+
     def block_count(self) -> int:
         return sum(c.block_count() for c in self._collections.values())
 

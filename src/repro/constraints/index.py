@@ -16,7 +16,7 @@ range searches over the generalized database:
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List
+from typing import Any, Dict, Iterable, Iterator, List
 
 from repro.analysis.complexity import metablock_query_bound
 from repro.constraints.relation import GeneralizedRelation
@@ -27,6 +27,11 @@ from repro.interval import Interval
 
 class GeneralizedOneDimensionalIndex:
     """Index a generalized relation on one of its variables."""
+
+    #: capability flags of the :class:`~repro.engine.protocols.MutableIndex`
+    #: tier — both delegate to the interval manager's native machinery
+    supports_deletes = True
+    supports_bulk_load = True
 
     def __init__(
         self,
@@ -41,6 +46,12 @@ class GeneralizedOneDimensionalIndex:
         self.attribute = attribute
         self.relation = relation
         intervals = [self._generalized_key(gt) for gt in relation.tuples]
+        #: generalized key per indexed tuple (tuples carry no uid of their
+        #: own, so identity keys the mapping; the relation holds the tuples
+        #: alive for exactly as long as they are indexed)
+        self._keys: Dict[int, Interval] = {
+            id(gt): iv for gt, iv in zip(relation.tuples, intervals)
+        }
         self.manager = ExternalIntervalManager(disk, intervals, dynamic=dynamic)
 
     # ------------------------------------------------------------------ #
@@ -55,8 +66,49 @@ class GeneralizedOneDimensionalIndex:
     # ------------------------------------------------------------------ #
     def insert(self, gt: GeneralizedTuple) -> None:
         """Add a generalized tuple to the relation and the index."""
+        if id(gt) in self._keys:
+            raise ValueError(
+                f"tuple {gt!s} is already indexed; inserting the same object "
+                "twice would silently double-index it"
+            )
+        iv = self._generalized_key(gt)
+        # index first, book-keep after: a failed insert (e.g. a static
+        # manager) must not leak the tuple into the relation, which the
+        # persistent catalog would then serialize as if it were indexed
+        self.manager.insert(iv)
         self.relation.add(gt)
-        self.manager.insert(self._generalized_key(gt))
+        self._keys[id(gt)] = iv
+
+    def delete(self, gt: GeneralizedTuple) -> bool:
+        """Remove one tuple from the relation and the index; ``True`` when
+        present (matched by object identity, like :meth:`insert` indexed it)."""
+        iv = self._keys.pop(id(gt), None)
+        if iv is None:
+            return False
+        self.relation.discard(gt)
+        return self.manager.delete(iv)
+
+    def bulk_load(self, gts: Iterable[GeneralizedTuple]) -> int:
+        """Absorb a batch of tuples through the manager's global rebuild."""
+        new = [gt for gt in gts]
+        ids = [id(gt) for gt in new]
+        if len(set(ids)) != len(ids) or any(i in self._keys for i in ids):
+            raise ValueError(
+                "bulk_load batch repeats a tuple or contains already-indexed "
+                "tuples; indexing the same object twice would make one copy "
+                "undeletable"
+            )
+        intervals = [self._generalized_key(gt) for gt in new]
+        self.manager.bulk_load(intervals)  # validates/rebuilds before mutation
+        for gt, iv in zip(new, intervals):
+            self.relation.add(gt)
+            self._keys[id(gt)] = iv
+        return len(new)
+
+    def destroy(self) -> None:
+        """Free every block of the underlying manager (``Engine.drop_index``)."""
+        self.manager.destroy()
+        self._keys = {}
 
     # ------------------------------------------------------------------ #
     # queries
@@ -148,6 +200,11 @@ class GeneralizedOneDimensionalIndex:
     # ------------------------------------------------------------------ #
     def block_count(self) -> int:
         return self.manager.block_count()
+
+    @property
+    def live_count(self) -> int:
+        """Number of live (non-deleted) tuples — what the cost bounds use."""
+        return self.manager.live_count
 
     def __len__(self) -> int:
         return len(self.manager)

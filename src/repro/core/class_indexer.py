@@ -22,6 +22,7 @@ from typing import Any, Iterable, Iterator, List
 from repro.analysis.complexity import (
     btree_query_bound,
     combined_class_query_bound,
+    rebuild_due,
     simple_class_query_bound,
 )
 from repro.classes.baselines import (
@@ -32,6 +33,7 @@ from repro.classes.baselines import (
 from repro.classes.combined_index import CombinedClassIndex
 from repro.classes.hierarchy import ClassHierarchy, ClassObject
 from repro.classes.simple_index import SimpleClassIndex
+from repro.records import fresh_record_keys
 
 _METHODS = {
     "simple": SimpleClassIndex,
@@ -45,6 +47,17 @@ _METHODS = {
 class ClassIndexer:
     """Facade over the class-indexing schemes of Sections 2.2 and 4."""
 
+    #: capability flags of the :class:`~repro.engine.protocols.MutableIndex`
+    #: tier — schemes built from B+-tree collections delete natively; the
+    #: ``combined`` scheme (whose path pieces are semi-dynamic 3-sided
+    #: structures) deletes through uid tombstones + global rebuilds
+    supports_deletes = True
+    supports_bulk_load = True
+
+    #: rebuild the tombstoning schemes once tombstones exceed this fraction
+    #: of the live objects (same global-rebuilding constant as the manager)
+    REBUILD_FRACTION = 0.5
+
     def __init__(
         self,
         disk,
@@ -57,7 +70,11 @@ class ClassIndexer:
         self.disk = disk
         self.method = method
         self.hierarchy = hierarchy
-        self._index = _METHODS[method](disk, hierarchy, objects)
+        objs = list(objects)
+        fresh_record_keys(objs, context="the initial objects")
+        self._objects = {o.uid: o for o in objs}
+        self._tombstones: set = set()
+        self._index = _METHODS[method](disk, hierarchy, objs)
 
     @staticmethod
     def methods() -> List[str]:
@@ -66,7 +83,80 @@ class ClassIndexer:
 
     def insert(self, obj: ClassObject) -> None:
         """Insert an object into its class."""
+        if obj.uid in self._objects:
+            raise ValueError(
+                f"record uid {obj.uid} is already indexed ({obj!r}); "
+                "records carry a process-unique uid, so inserting the same "
+                "object twice would silently double-index it"
+            )
+        if obj.uid in self._tombstones:
+            # re-inserting a record deleted earlier, while its stale copy
+            # still sits in the physical index: sweep it out first, or the
+            # tombstone would hide the fresh copy (and dropping just the
+            # tombstone would surface the stale duplicate)
+            self._rebuild()
         self._index.insert(obj)
+        self._objects[obj.uid] = obj
+
+    def delete(self, obj: ClassObject) -> bool:
+        """Delete one object (matched by uid); ``True`` when it was present.
+
+        Schemes whose collections are B+-trees remove the record in place
+        (``O(copies · log_B n)`` I/Os); the ``combined`` scheme tombstones
+        the uid and rebuilds globally once :data:`REBUILD_FRACTION` of the
+        live set is dead — rebuild I/Os are charged to the counters.
+        """
+        stored = self._objects.pop(obj.uid, None)
+        if stored is None:
+            return False
+        native = getattr(self._index, "delete", None)
+        if callable(native):
+            native(stored)
+            return True
+        self._tombstones.add(stored.uid)
+        if rebuild_due(
+            len(self._tombstones),
+            len(self._objects),
+            self.disk.block_size,
+            self.REBUILD_FRACTION,
+        ):
+            self._rebuild()
+        return True
+
+    def bulk_load(self, objects: Iterable[ClassObject]) -> int:
+        """Absorb a batch of objects in one global reorganisation.
+
+        Every scheme's constructor *is* its bulk build (packed B+-trees /
+        static 3-sided structures), so a batch of ``m`` costs one
+        ``O(((n + m)/B) · copies)`` rebuild instead of ``m`` tree inserts.
+        The replacement scheme is built *before* the old one is destroyed,
+        so a failing batch (e.g. an unknown class name) raises with the
+        indexer intact.
+        """
+        new = list(objects)
+        fresh_record_keys(new, self._objects)
+        merged = list(self._objects.values()) + new
+        replacement = _METHODS[self.method](self.disk, self.hierarchy, merged)
+        self._index.destroy()
+        self._index = replacement
+        self._tombstones = set()
+        for o in new:
+            self._objects[o.uid] = o
+        return len(new)
+
+    def _rebuild(self) -> None:
+        """Globally rebuild the active scheme from the live objects."""
+        self._index.destroy()
+        self._index = _METHODS[self.method](
+            self.disk, self.hierarchy, list(self._objects.values())
+        )
+        self._tombstones = set()
+
+    def destroy(self) -> None:
+        """Free every block of the underlying scheme (``Engine.drop_index``)."""
+        self._index.destroy()
+        self._objects = {}
+        self._tombstones = set()
 
     def query(self, query_or_class: Any, low: Any = None, high: Any = None) -> Any:
         """Attribute range query over the full extent of a class.
@@ -97,11 +187,24 @@ class ClassIndexer:
                 f"ClassIndexer cannot answer {type(query_or_class).__name__} "
                 "queries; use ClassRange(class_name, low, high)"
             )
-        return self._index.query(query_or_class, low, high)
+        # route through iter_query so the eager path sees the same
+        # tombstone filtering as the lazy one
+        return list(self.iter_query(query_or_class, low, high))
 
     def iter_query(self, class_name: str, low: Any, high: Any) -> Iterator[ClassObject]:
-        """Stream the answer to a full-extent attribute range query."""
-        return self._index.iter_query(class_name, low, high)
+        """Stream the answer to a full-extent attribute range query.
+
+        Tombstoned records (deleted but not yet swept by a global rebuild)
+        are filtered out of the stream; the filter is free of I/O.
+        """
+        if not self._tombstones:
+            return self._index.iter_query(class_name, low, high)
+        tombstones = self._tombstones
+        return (
+            obj
+            for obj in self._index.iter_query(class_name, low, high)
+            if obj.uid not in tombstones
+        )
 
     def _bound_fn(self):
         """The paper's predicted query bound for the active scheme."""
@@ -167,6 +270,15 @@ class ClassIndexer:
     def backend(self):
         """The underlying index object (for scheme-specific introspection)."""
         return self._index
+
+    @property
+    def live_count(self) -> int:
+        """Number of live (non-deleted) records — what the cost bounds use."""
+        return len(self._objects)
+
+    def objects(self) -> List[ClassObject]:
+        """The live objects (the engine catalog serializes these)."""
+        return list(self._objects.values())
 
     def __len__(self) -> int:
         return len(self._index)

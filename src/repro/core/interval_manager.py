@@ -24,9 +24,10 @@ bounds.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List
+from typing import Any, Dict, Iterable, Iterator, List
 
-from repro.analysis.complexity import metablock_query_bound
+from repro.analysis.complexity import metablock_query_bound, rebuild_due
+from repro.records import fresh_record_keys
 from repro.btree import BPlusTree
 from repro.interval import Interval
 from repro.metablock.geometry import PlanarPoint
@@ -50,11 +51,29 @@ class ExternalIntervalManager:
         read-only — this is the configuration Theorem 3.2 analyses.
     """
 
+    #: capability flags of the :class:`~repro.engine.protocols.MutableIndex`
+    #: tier — deletion is native (tombstoned stabbing structure + direct
+    #: B+-tree removal, with a threshold-triggered global rebuild), and
+    #: bulk loading is the static bulk construction over live + new records
+    supports_deletes = True
+    supports_bulk_load = True
+
+    #: rebuild the stabbing structure once tombstones exceed this fraction
+    #: of the live records (the classic global-rebuilding constant: work is
+    #: ``O((n/B) log_B n)`` per rebuild, amortized ``O(log_B n)`` I/Os per
+    #: delete, and space stays within ``1 + REBUILD_FRACTION`` of optimal)
+    REBUILD_FRACTION = 0.5
+
     def __init__(self, disk, intervals: Iterable[Interval] = (), dynamic: bool = True) -> None:
         self.disk = disk
         self.dynamic = dynamic
         items = list(intervals)
-        self._intervals: List[Interval] = list(items)
+        fresh_record_keys(items, context="the initial intervals")
+        #: live records keyed by uid (insertion-ordered); dict-keyed so a
+        #: delete is O(1) bookkeeping next to its O(log_B n) I/Os
+        self._by_uid: Dict[Any, Interval] = {iv.uid: iv for iv in items}
+        #: uids deleted from the stabbing structure but not yet rebuilt away
+        self._tombstones: set = set()
 
         points = [PlanarPoint(iv.low, iv.high, payload=iv) for iv in items]
         if dynamic:
@@ -75,15 +94,113 @@ class ExternalIntervalManager:
                 "this manager was built static (Theorem 3.2); build it with "
                 "dynamic=True for insertions (Theorem 3.7)"
             )
-        self._intervals.append(interval)
+        if interval.uid in self._by_uid:
+            raise ValueError(
+                f"record uid {interval.uid} is already indexed ({interval!s}); "
+                "records carry a process-unique uid, so inserting the same "
+                "object twice would silently double-index it"
+            )
+        if interval.uid in self._tombstones:
+            # re-inserting a record deleted earlier, while its stale point
+            # still sits in the stabbing structure: sweep it out first —
+            # the tombstone would hide the fresh copy, and dropping just
+            # the tombstone would surface the stale duplicate (the tree
+            # dedups by point identity, not payload identity)
+            self._rebuild_stabbing()
         self._stabbing.insert(PlanarPoint(interval.low, interval.high, payload=interval))
         self._endpoints.insert(interval.low, interval)
+        # bookkeeping last: a physical insert that raises (e.g. an
+        # incomparable endpoint) must not leave a phantom live record that
+        # would poison every later rebuild
+        self._by_uid[interval.uid] = interval
 
-    def delete(self, interval: Interval) -> None:
-        """Deletions are an open problem in the paper (Section 5)."""
-        raise NotImplementedError(
-            "the metablock tree is semi-dynamic: deletions are left open by the paper"
+    def delete(self, interval: Interval) -> bool:
+        """Delete one interval (matched by uid); ``True`` when it was present.
+
+        The paper leaves metablock-tree deletions open (Section 5); the
+        manager closes the gap with the standard dynamization trick: the
+        record is removed from the left-endpoint B+-tree natively
+        (``O(log_B n)`` I/Os), tombstoned out of the stabbing structure's
+        answers, and once tombstones reach :data:`REBUILD_FRACTION` of the
+        live set the stabbing structure is globally rebuilt from the live
+        records — all rebuild I/Os are charged to the disk counters, so
+        the amortized delete cost stays ``O(log_B n)`` I/Os.
+        """
+        if self._by_uid.pop(interval.uid, None) is None:
+            return False
+        self._endpoints.delete(
+            interval.low, match=lambda v, uid=interval.uid: v.uid == uid
         )
+        self._tombstones.add(interval.uid)
+        if rebuild_due(
+            len(self._tombstones),
+            len(self._by_uid),
+            self.disk.block_size,
+            self.REBUILD_FRACTION,
+        ):
+            self._rebuild_stabbing()
+        return True
+
+    def bulk_load(self, intervals: Iterable[Interval]) -> int:
+        """Absorb a batch of intervals in one global reorganisation.
+
+        Both substructures are rebuilt from the union of the live records
+        and the batch — the metablock tree through its static bulk
+        construction, the endpoint B+-tree through a bottom-up packed
+        build — costing ``O(((n + m)/B) log_B(n + m))`` I/Os total instead
+        of ``O(m (log_B n + (log_B n)^2/B))`` for ``m`` repeated inserts.
+        Pending tombstones are swept for free along the way.  Works on
+        static managers too: reconstruction, not insertion, is how the
+        paper's static structures absorb batch updates.
+
+        Both replacement structures are built *before* the old ones are
+        destroyed or any bookkeeping changes, so a failing batch (e.g.
+        records whose endpoints do not compare with the resident ones)
+        raises with the manager intact.
+        """
+        new = list(intervals)
+        fresh_record_keys(new, self._by_uid)
+        combined = list(self._by_uid.values()) + new
+        replacement = self._build_stabbing(combined)
+        try:
+            endpoints = BPlusTree.bulk_load(
+                self.disk, ((iv.low, iv) for iv in combined), name="left-endpoints"
+            )
+        except BaseException:
+            replacement.destroy()
+            raise
+        self._stabbing.destroy()
+        self._endpoints.destroy()
+        self._stabbing = replacement
+        self._endpoints = endpoints
+        self._by_uid = {iv.uid: iv for iv in combined}
+        self._tombstones = set()
+        return len(new)
+
+    def _build_stabbing(self, intervals: List[Interval]):
+        """A fresh stabbing structure over ``intervals`` (mode-matched)."""
+        points = [PlanarPoint(iv.low, iv.high, payload=iv) for iv in intervals]
+        if self.dynamic:
+            return AugmentedMetablockTree(self.disk, points)
+        return StaticMetablockTree(self.disk, points)
+
+    def _rebuild_stabbing(self) -> None:
+        """Globally rebuild the stabbing structure from the live intervals.
+
+        Only reached from :meth:`delete` (resident records, so the build
+        cannot fail on them); the old structure is destroyed first to keep
+        peak space at ``O(n/B)``.
+        """
+        self._stabbing.destroy()
+        self._stabbing = self._build_stabbing(list(self._by_uid.values()))
+        self._tombstones = set()
+
+    def destroy(self) -> None:
+        """Free every block of both substructures (``Engine.drop_index``)."""
+        self._stabbing.destroy()
+        self._endpoints.destroy()
+        self._by_uid = {}
+        self._tombstones = set()
 
     # ------------------------------------------------------------------ #
     # queries
@@ -97,9 +214,19 @@ class ExternalIntervalManager:
         return list(self.iter_intersection(low, high))
 
     def iter_stabbing(self, x: Any) -> Iterator[Interval]:
-        """Stream the intervals containing ``x``, block by block."""
+        """Stream the intervals containing ``x``, block by block.
+
+        Tombstoned records (deleted but not yet swept by a global rebuild)
+        are filtered out of the stream; the filter is free of I/O.
+        """
+        if not self._tombstones:
+            for p in self._stabbing.iter_diagonal_query(x):
+                yield p.payload
+            return
+        tombstones = self._tombstones
         for p in self._stabbing.iter_diagonal_query(x):
-            yield p.payload
+            if p.payload.uid not in tombstones:
+                yield p.payload
 
     def iter_intersection(self, low: Any, high: Any) -> Iterator[Interval]:
         """Stream the intervals intersecting ``[low, high]``, block by block."""
@@ -169,10 +296,15 @@ class ExternalIntervalManager:
         return self._stabbing.block_count() + self._endpoints.block_count()
 
     def intervals(self) -> List[Interval]:
-        return list(self._intervals)
+        return list(self._by_uid.values())
+
+    @property
+    def live_count(self) -> int:
+        """Number of live (non-deleted) records — what the cost bounds use."""
+        return len(self._by_uid)
 
     def __len__(self) -> int:
-        return len(self._intervals)
+        return len(self._by_uid)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         mode = "dynamic" if self.dynamic else "static"

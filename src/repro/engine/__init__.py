@@ -9,7 +9,10 @@ coherent database surface:
 * :class:`~repro.engine.protocols.Index` — the protocol every index
   implements (``insert`` / ``query`` / ``supports`` / ``cost`` /
   ``block_count`` / ``io_stats``), with :class:`~repro.engine.protocols.
-  Bound` as the predicted-cost currency;
+  Bound` as the predicted-cost currency, and its write tier
+  :class:`~repro.engine.protocols.MutableIndex` (``delete`` /
+  ``bulk_load`` / capability flags), served to static structures by the
+  :class:`~repro.engine.rebuilding.RebuildingIndex` adapter;
 * the **query algebra** of :mod:`repro.engine.queries` — leaves
   (:class:`Stab`, :class:`Range`, :class:`EndpointRange`,
   :class:`ClassRange`, the geometric shapes) composed with ``&``/``|``/
@@ -45,9 +48,16 @@ from repro.engine.queries import (
     TwoSidedQuery,
 )
 from repro.engine.result import QueryResult
-from repro.engine.protocols import Bound, Index
+from repro.engine.protocols import (
+    Bound,
+    Index,
+    MutableIndex,
+    supports_bulk_load,
+    supports_deletes,
+)
 from repro.engine.planner import BOUND_SLACK, BOUND_SLACK_PAGES, Accessor, Plan, QueryPlanner
-from repro.engine.collection import Collection
+from repro.engine.rebuilding import RebuildingIndex
+from repro.engine.collection import Collection, WriteBatch
 from repro.engine.core import DEFAULT_BLOCK_SIZE, Engine
 
 __all__ = [
@@ -64,6 +74,7 @@ __all__ = [
     "Engine",
     "Index",
     "Limit",
+    "MutableIndex",
     "Not",
     "Or",
     "OrderBy",
@@ -71,7 +82,11 @@ __all__ = [
     "QueryPlanner",
     "QueryResult",
     "Range",
+    "RebuildingIndex",
     "Stab",
     "ThreeSidedQuery",
     "TwoSidedQuery",
+    "WriteBatch",
+    "supports_bulk_load",
+    "supports_deletes",
 ]

@@ -10,7 +10,10 @@ collection (:meth:`Collection.for_intervals`) keeps
 * a B+-tree over **low** endpoints, and
 * a B+-tree over **high** endpoints,
 
-all on the same storage backend, kept in sync by :meth:`insert`.  Queries
+all on the same storage backend, kept in sync by the lifecycle-complete
+write path — :meth:`Collection.insert`, :meth:`Collection.delete`,
+:meth:`Collection.update`, :meth:`Collection.bulk_load`, and the deferred,
+grouped :class:`WriteBatch` (``with coll.batch(): ...``).  Queries
 go through a :class:`~repro.engine.planner.QueryPlanner` that picks the
 cheapest physical index per shape: ``Stab``/``Range`` run on the interval
 manager, ``EndpointRange`` on the matching endpoint tree, conjunctions
@@ -28,13 +31,115 @@ A ``Collection`` itself satisfies the
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.analysis.complexity import log_b
 from repro.engine.planner import Accessor, Plan, QueryPlanner
 from repro.engine.protocols import Bound
 from repro.engine.queries import EndpointRange, Range, Stab
 from repro.engine.result import QueryResult
+from repro.records import fresh_record_keys, record_key
+
+
+class WriteBatch:
+    """A size-bounded buffer of deferred writes over one :class:`Collection`.
+
+    While a batch is active (``with coll.batch() as b``), ``insert`` /
+    ``delete`` / ``update`` calls on the collection enqueue instead of
+    touching the physical indexes.  :meth:`flush` — called automatically
+    when ``max_size`` operations are buffered and once more on ``with``
+    exit — applies the queue *in order*, grouping maximal runs of inserts
+    into one ``bulk_load`` per run so every member index absorbs them in a
+    single reorganisation instead of one tree-descent per record.
+
+    Validation happens at enqueue time against the staged state (live uids
+    plus the queued operations), so a duplicate insert or an unknown delete
+    fails fast, before anything is applied.
+    """
+
+    def __init__(self, collection: "Collection", max_size: int = 1024) -> None:
+        if max_size < 1:
+            raise ValueError(f"batch max_size must be positive, not {max_size}")
+        self.collection = collection
+        self.max_size = max_size
+        self._ops: List[Tuple[str, Any]] = []
+        #: uids as they will stand after the queue is applied
+        self._staged_uids = set(collection._uids)
+
+    # -- enqueue ---------------------------------------------------------- #
+    def insert(self, record: Any) -> None:
+        key = record_key(record)
+        if key in self._staged_uids:
+            raise ValueError(
+                f"record uid {key!r} is already indexed (or staged); "
+                "inserting the same object twice would silently double-index it"
+            )
+        self._staged_uids.add(key)
+        self._ops.append(("insert", record))
+        self._maybe_flush()
+
+    def delete(self, record: Any) -> bool:
+        key = record_key(record)
+        if key not in self._staged_uids:
+            return False
+        self._staged_uids.discard(key)
+        self._ops.append(("delete", record))
+        self._maybe_flush()
+        return True
+
+    def _maybe_flush(self) -> None:
+        if len(self._ops) >= self.max_size:
+            self.flush()
+
+    # -- apply ------------------------------------------------------------ #
+    def flush(self) -> None:
+        """Apply every queued operation in order (inserts grouped per run).
+
+        A single-record insert run falls back to the bulk path when the
+        collection only accepts reconstruction (static structures), so
+        batched writes behave the same regardless of run length.  If an
+        apply fails anyway, the unapplied tail is re-queued rather than
+        silently dropped.
+        """
+        ops, self._ops = self._ops, []
+        applied = 0
+        try:
+            i, n = 0, len(ops)
+            while i < n:
+                op, record = ops[i]
+                if op == "insert":
+                    run = [record]
+                    while i + len(run) < n and ops[i + len(run)][0] == "insert":
+                        run.append(ops[i + len(run)][1])
+                    if len(run) == 1:
+                        try:
+                            self.collection._apply_insert(record)
+                        except NotImplementedError:
+                            self.collection._apply_bulk(run)
+                    else:
+                        self.collection._apply_bulk(run)
+                    i += len(run)
+                else:
+                    self.collection._apply_delete(record)
+                    i += 1
+                applied = i
+        except BaseException:
+            self._ops = ops[applied:] + self._ops
+            raise
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __enter__(self) -> "WriteBatch":
+        return self
+
+    def __exit__(self, exc_type: Any, *exc: Any) -> None:
+        self.collection._batch = None
+        if exc_type is None:
+            self.flush()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WriteBatch(pending={len(self._ops)}, max_size={self.max_size})"
 
 
 class Collection:
@@ -47,13 +152,25 @@ class Collection:
     against ``[r for r in records if q.matches(r)]``.
     """
 
+    #: capability flags of the :class:`~repro.engine.protocols.MutableIndex`
+    #: tier (per-accessor write hooks do the actual work)
+    supports_deletes = True
+    supports_bulk_load = True
+
     def __init__(self, disk: Any, *, name: str = "collection") -> None:
         self.disk = disk
         self.name = name
-        self._records: List[Any] = []
+        #: live records keyed by record_key (insertion-ordered); dict-keyed
+        #: so a delete is O(1) bookkeeping next to its O(log_B n) I/Os
+        self._records: Dict[Any, Any] = {}
         self._accessors: List[Accessor] = []
-        self._inserters: List[Callable[[Any], None]] = []
         self._planner = QueryPlanner(self._accessors, disk=disk)
+        self._batch: Optional[WriteBatch] = None
+
+    @property
+    def _uids(self):
+        """The live record identity keys (a view over the record store)."""
+        return self._records.keys()
 
     # ------------------------------------------------------------------ #
     # assembly
@@ -66,6 +183,8 @@ class Collection:
         translate: Callable[[Any], Optional[Any]],
         run: Callable[[Any], Iterable[Any]],
         insert: Optional[Callable[[Any], None]] = None,
+        delete: Optional[Callable[[Any], Any]] = None,
+        bulk: Optional[Callable[[List[Any]], Any]] = None,
         scan: Optional[Callable[[], Iterable[Any]]] = None,
         scan_bound: Optional[Callable[[], Bound]] = None,
     ) -> Any:
@@ -73,9 +192,11 @@ class Collection:
 
         ``translate`` maps a logical query node to this index's query (or
         ``None``); ``run`` streams logical records for a translated query;
-        ``insert`` (when given) is called on every :meth:`insert` so the
-        index stays in sync; ``scan``/``scan_bound`` advertise the
-        full-scan fallback.  Earlier-attached indexes win cost ties.
+        ``insert``/``delete``/``bulk`` (when given) keep the index in sync
+        with the collection's write path — ``bulk`` absorbs a whole batch
+        in one reorganisation, falling back to per-record ``insert`` when
+        unset; ``scan``/``scan_bound`` advertise the full-scan fallback.
+        Earlier-attached indexes win cost ties.
         """
         self._accessors.append(
             Accessor(
@@ -86,10 +207,11 @@ class Collection:
                 scan=scan,
                 scan_bound=scan_bound,
                 rewrite=getattr(index, "bind", None),
+                insert=insert,
+                delete=delete,
+                bulk=bulk,
             )
         )
-        if insert is not None:
-            self._inserters.append(insert)
         return index
 
     @classmethod
@@ -107,7 +229,8 @@ class Collection:
 
         items = list(intervals)
         coll = cls(disk, name=name)
-        coll._records = list(items)
+        fresh_record_keys(items, context="the initial intervals")
+        coll._records = {record_key(iv): iv for iv in items}
 
         manager = ExternalIntervalManager(disk, items, dynamic=dynamic)
         coll.attach(
@@ -118,6 +241,8 @@ class Collection:
             # attached first: on static collections manager.insert raises
             # before any other physical index has been touched
             insert=manager.insert,
+            delete=manager.delete,
+            bulk=manager.bulk_load,
         )
 
         def endpoint_tree(side: str) -> BPlusTree:
@@ -143,6 +268,10 @@ class Collection:
                 translate=translate,
                 run=lambda pq: (iv for _, iv in tree.query(pq)),
                 insert=lambda iv: tree.insert(getattr(iv, side), iv),
+                delete=lambda iv: tree.delete(
+                    getattr(iv, side), match=lambda v: v.uid == iv.uid
+                ),
+                bulk=lambda ivs: tree.bulk_load((getattr(iv, side), iv) for iv in ivs),
                 # only one scan provider is needed; the low tree volunteers
                 scan=(lambda: (iv for _, iv in tree.iter_pairs())) if side == "low" else None,
                 # priced arithmetically (leaves are at least half full, so a
@@ -168,14 +297,131 @@ class Collection:
         return coll
 
     # ------------------------------------------------------------------ #
-    # the uniform Index surface
+    # the write surface (MutableIndex tier)
     # ------------------------------------------------------------------ #
     def insert(self, record: Any) -> None:
-        """Insert one logical record into every physical index."""
+        """Insert one logical record into every physical index.
+
+        Duplicate record uids raise a descriptive :class:`ValueError`
+        instead of silently double-indexing.  Inside an active
+        :meth:`batch`, the write is deferred to the batch buffer.
+        """
+        if self._batch is not None:
+            self._batch.insert(record)
+            return
+        self._apply_insert(record)
+
+    def delete(self, record: Any) -> bool:
+        """Delete one logical record (matched by uid) from every physical
+        index; ``True`` when it was present.  Deferred inside :meth:`batch`."""
+        if self._batch is not None:
+            return self._batch.delete(record)
+        return self._apply_delete(record)
+
+    def update(self, old: Any, new: Any) -> None:
+        """Replace ``old`` with ``new`` (a delete + insert, batch-aware).
+
+        Raises :class:`KeyError` when ``old`` is not in the collection (so
+        a lost update never turns into a silent insert) and
+        :class:`ValueError` — *before* anything is deleted — when ``new``
+        would collide with a third record.  If the insert side still fails
+        (e.g. a static collection that only accepts bulk reconstruction),
+        ``old`` is restored through the bulk path, so a failed update
+        never loses the record.
+        """
+        staged = self._batch._staged_uids if self._batch is not None else self._uids
+        old_key, new_key = record_key(old), record_key(new)
+        if old_key not in staged:
+            raise KeyError(f"cannot update: no record with uid {old_key!r}")
+        if new_key != old_key and new_key in staged:
+            raise ValueError(
+                f"cannot update: record uid {new_key!r} is already indexed"
+            )
+        if self._batch is not None:
+            self._batch.delete(old)
+            self._batch.insert(new)
+            return
+        self._apply_delete(old)
+        try:
+            self._apply_insert(new)
+        except BaseException:
+            self._apply_bulk([old])
+            raise
+
+    def bulk_load(self, records: Iterable[Any]) -> int:
+        """Absorb a batch of records in one reorganisation per member index.
+
+        Physical indexes that registered a ``bulk`` hook get the whole
+        batch at once (bottom-up B+-tree builds, global metablock
+        rebuilds); the rest fall back to per-record inserts.  Duplicate
+        uids — within the batch or against the live set — raise before any
+        index is touched.
+        """
+        batch = list(records)
+        if not batch:
+            return 0
+        if self._batch is not None:
+            # stay batch-aware: validate the WHOLE batch against the staged
+            # state first (so a duplicate raises before anything is queued),
+            # then enqueue so flush applies everything in enqueue order
+            fresh_record_keys(batch, self._batch._staged_uids)
+            for record in batch:
+                self._batch.insert(record)
+            return len(batch)
+        fresh_record_keys(batch, self._uids)
+        self._apply_bulk(batch)
+        return len(batch)
+
+    def batch(self, max_size: int = 1024) -> WriteBatch:
+        """Open a :class:`WriteBatch`: ``with coll.batch() as b: ...``.
+
+        Writes issued through the collection while the batch is active are
+        buffered (up to ``max_size`` operations, then auto-flushed) and
+        applied grouped on exit — runs of inserts become one
+        :meth:`bulk_load` across all member indexes.
+        """
+        if self._batch is not None:
+            raise RuntimeError("a WriteBatch is already active on this collection")
+        self._batch = WriteBatch(self, max_size=max_size)
+        return self._batch
+
+    # -- the unbuffered appliers (WriteBatch.flush calls these) ---------- #
+    def _apply_insert(self, record: Any) -> None:
+        key = record_key(record)
+        if key in self._uids:
+            raise ValueError(
+                f"record uid {key!r} is already indexed; inserting the same "
+                "object twice would silently double-index it"
+            )
         # the manager raises on static collections *before* any state changes
-        for insert in self._inserters:
-            insert(record)
-        self._records.append(record)
+        for acc in self._accessors:
+            if acc.insert is not None:
+                acc.insert(record)
+        self._records[key] = record
+
+    def _apply_delete(self, record: Any) -> bool:
+        key = record_key(record)
+        if key not in self._uids:
+            return False
+        for acc in self._accessors:
+            if acc.delete is not None:
+                acc.delete(record)
+        del self._records[key]
+        return True
+
+    def _apply_bulk(self, batch: List[Any]) -> None:
+        for acc in self._accessors:
+            if acc.bulk is not None:
+                acc.bulk(batch)
+            elif acc.insert is not None:
+                for record in batch:
+                    acc.insert(record)
+        for record in batch:
+            self._records[record_key(record)] = record
+
+    # ------------------------------------------------------------------ #
+    # the uniform Index surface
+    # ------------------------------------------------------------------ #
 
     def query(self, q: Any) -> QueryResult:
         """Plan ``q``, execute the cheapest plan, return the lazy result.
@@ -212,7 +458,7 @@ class Collection:
         from repro.engine.queries import Limit, OrderBy
 
         base, modifiers = QueryPlanner._peel(q)
-        out = [r for r in self._records if base.matches(r)]
+        out = [r for r in self._records.values() if base.matches(r)]
         for m in modifiers:
             if isinstance(m, OrderBy):
                 out.sort(key=m.key_fn(), reverse=m.reverse)
@@ -223,6 +469,24 @@ class Collection:
     def block_count(self) -> int:
         """Blocks used by all physical indexes together."""
         return sum(acc.index.block_count() for acc in self._accessors)
+
+    @property
+    def live_count(self) -> int:
+        """Number of live (non-deleted) records — what the cost bounds use.
+
+        Each member structure maintains its own live size (B+-trees shrink
+        on delete, the interval manager's ``len`` excludes tombstones), so
+        the planner's ``cost()`` comparisons stay correct under deletion.
+        """
+        return len(self._records)
+
+    def destroy(self) -> None:
+        """Free every block of every physical index (``Engine.drop_index``)."""
+        for acc in self._accessors:
+            destroy = getattr(acc.index, "destroy", None)
+            if callable(destroy):
+                destroy()
+        self._records = {}
 
     def io_stats(self):
         """Live I/O counters of the shared backing store."""
@@ -237,13 +501,13 @@ class Collection:
         return [acc.name for acc in self._accessors]
 
     def records(self) -> List[Any]:
-        return list(self._records)
+        return list(self._records.values())
 
     def __len__(self) -> int:
         return len(self._records)
 
     def __iter__(self) -> Iterator[Any]:
-        return iter(self._records)
+        return iter(list(self._records.values()))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

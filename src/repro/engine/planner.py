@@ -46,6 +46,7 @@ from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, 
 from repro.engine.protocols import Bound
 from repro.engine.queries import MODIFIERS, And, Limit, Or, OrderBy
 from repro.engine.result import QueryResult
+from repro.records import record_key  # canonical home; re-exported for callers
 
 #: Documented slack: a planner-chosen plan's observed I/Os never exceed
 #: ``BOUND_SLACK * bound(t) + BOUND_SLACK_PAGES`` where ``t`` is the access
@@ -55,25 +56,6 @@ from repro.engine.result import QueryResult
 #: control blocks on queries whose output is tiny.
 BOUND_SLACK = 4.0
 BOUND_SLACK_PAGES = 8.0
-
-
-def record_key(record: Any) -> Any:
-    """A deduplication identity for a logical record.
-
-    The package's record dataclasses (:class:`~repro.interval.Interval`,
-    :class:`~repro.classes.hierarchy.ClassObject`,
-    :class:`~repro.metablock.geometry.PlanarPoint`) carry a
-    serialization-stable ``uid``, so the *same* stored record reached
-    through two physical indexes deduplicates while value-identical
-    records stay distinct — on every backend.  ``(key, value)`` pairs key
-    by ``(key, record_key(value))``; anything else falls back to ``repr``.
-    """
-    uid = getattr(record, "uid", None)
-    if uid is not None:
-        return uid
-    if isinstance(record, tuple) and len(record) == 2:
-        return (record[0], record_key(record[1]))
-    return (type(record).__name__, repr(record))
 
 
 @dataclass
@@ -87,6 +69,12 @@ class Accessor:
     ``matches`` oracles at full-scan cost.  ``rewrite`` (optional) binds
     index context onto residual oracle nodes (see
     :meth:`repro.core.ClassIndexer.bind`).
+
+    The write path rides on the same records: ``insert``/``delete`` apply
+    one logical record to this physical index, ``bulk`` absorbs a batch in
+    one reorganisation.  All three are optional — a read-only physical
+    index simply leaves them unset, and the owning
+    :class:`~repro.engine.collection.Collection` skips it on writes.
     """
 
     name: str
@@ -96,6 +84,9 @@ class Accessor:
     scan: Optional[Callable[[], Iterable[Any]]] = None
     scan_bound: Optional[Callable[[], Bound]] = None
     rewrite: Optional[Callable[[Any], Any]] = None
+    insert: Optional[Callable[[Any], None]] = None
+    delete: Optional[Callable[[Any], Any]] = None
+    bulk: Optional[Callable[[List[Any]], Any]] = None
 
     @classmethod
     def for_index(cls, name: str, index: Any) -> "Accessor":

@@ -18,12 +18,18 @@ they simply all implement these six methods.
 :class:`~repro.engine.planner.QueryPlanner` consumes: per candidate
 (index, sub-query) pair it asks the index whether it can serve the shape
 and what the paper predicts it will pay, then executes the cheapest plan.
+
+:class:`MutableIndex` layers the capability-tiered *write* surface on top:
+``delete``/``bulk_load`` plus the ``supports_deletes``/``supports_bulk_load``
+flags — implemented natively by the dynamic structures and supplied to the
+static ones by the :class:`~repro.engine.rebuilding.RebuildingIndex`
+adapter.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Protocol, runtime_checkable
+from typing import Any, Callable, Iterable, Optional, Protocol, runtime_checkable
 
 from repro.io.counters import IOStats
 
@@ -107,3 +113,51 @@ class Index(Protocol):
     def io_stats(self) -> IOStats:
         """Live I/O counters of the structure's storage backend."""
         ...
+
+
+@runtime_checkable
+class MutableIndex(Index, Protocol):
+    """The capability-tiered *write* surface layered on :class:`Index`.
+
+    The paper presents its structures with full maintenance semantics —
+    inserts *and* deletes within the I/O bounds, plus efficient bulk
+    construction.  ``MutableIndex`` is that lifecycle-complete tier:
+
+    * ``delete(item)`` removes one record (matched by its stable ``uid``
+      where the record carries one) and returns whether it was present;
+    * ``bulk_load(items)`` absorbs a batch in one reorganisation — packed
+      bottom-up builds for B+-trees, a global rebuild for the
+      tombstone-bearing structures — and returns the number of records
+      added;
+    * the ``supports_deletes`` / ``supports_bulk_load`` flags advertise
+      the tier, so callers (the :class:`~repro.engine.collection.Collection`
+      write path, the CLI, the catalog restore) can probe capabilities
+      without ``try``/``except`` around every call.
+
+    Structures the paper analyses as static (:class:`~repro.pst.ExternalPST`,
+    the static metablock tree) do not implement this protocol natively;
+    the :class:`~repro.engine.rebuilding.RebuildingIndex` adapter gives
+    them the same surface through tombstones and threshold-triggered
+    global rebuilds, with every rebuild I/O charged to the counters.
+    """
+
+    supports_deletes: bool
+    supports_bulk_load: bool
+
+    def delete(self, item: Any) -> bool:
+        """Remove one record; ``True`` when it was present."""
+        ...
+
+    def bulk_load(self, items: Iterable[Any]) -> int:
+        """Absorb a batch of records in one reorganisation; returns the count."""
+        ...
+
+
+def supports_deletes(index: Any) -> bool:
+    """Whether ``index`` advertises the delete capability tier."""
+    return bool(getattr(index, "supports_deletes", False))
+
+
+def supports_bulk_load(index: Any) -> bool:
+    """Whether ``index`` advertises the bulk-load capability tier."""
+    return bool(getattr(index, "supports_bulk_load", False))

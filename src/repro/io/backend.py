@@ -40,6 +40,10 @@ class StorageBackend(Protocol):
 
     block_size: int
     stats: IOStats
+    #: free-form metadata dictionary (not blocks, not I/O-counted); the
+    #: engine stores its catalog root pointer here, and persistent backends
+    #: (``FileDisk``) carry it across processes
+    meta: Dict[str, Any]
 
     def allocate(
         self,

@@ -50,6 +50,10 @@ class BufferManager:
         return self.disk.stats
 
     @property
+    def meta(self):
+        return self.disk.meta
+
+    @property
     def blocks_in_use(self) -> int:
         return self.disk.blocks_in_use
 

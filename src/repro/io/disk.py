@@ -89,6 +89,9 @@ class SimulatedDisk:
             raise ValueError("block_size must be at least 2")
         self.block_size = block_size
         self.stats = IOStats()
+        #: free-form metadata (the engine catalog root pointer lives here);
+        #: in-memory only — the file-backed disk persists it in its sidecar
+        self.meta: Dict[str, Any] = {}
         self._blocks: Dict[BlockId, Block] = {}
         self._next_id: BlockId = 0
 

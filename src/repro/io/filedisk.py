@@ -35,10 +35,10 @@ class FileDisk:
     ----------
     path:
         Page-file location.  When omitted, a temporary file is created and
-        removed again on :meth:`close`.  The offset table lives in memory
-        only, so page files are per-instance scratch space, not reopenable
-        databases: a *non-empty* existing file is refused unless
-        ``overwrite=True`` (constructing always starts from an empty file).
+        removed again on :meth:`close`.  Constructing always starts from an
+        empty file: a *non-empty* existing file is refused unless
+        ``overwrite=True`` — reattach to an existing database with
+        :meth:`FileDisk.open` instead.
     block_size:
         The page capacity ``B`` in records, as for ``SimulatedDisk``.
     overwrite:
@@ -46,8 +46,12 @@ class FileDisk:
 
     Notes
     -----
-    * The offset table (block id -> byte extent) is the only in-memory
-      state; pages themselves are always round-tripped through the file.
+    * The offset table (block id -> byte extent) lives in memory while the
+      disk is open; :meth:`sync` — called automatically by :meth:`close` —
+      persists it (together with the free-form :attr:`meta` dictionary the
+      :class:`~repro.engine.Engine` stores its catalog root in) to a
+      ``<path>.meta`` sidecar, which is what makes a named page file a
+      reopenable database rather than per-process scratch space.
     * Overwriting a page appends a new version; :meth:`compact` reclaims
       the superseded extents.  ``blocks_in_use`` counts live blocks, which
       is the quantity the paper's space bounds are about.
@@ -73,9 +77,71 @@ class FileDisk:
                 "pass overwrite=True to allow it"
             )
         self.path = path
+        #: free-form, sidecar-persisted metadata (the engine catalog root
+        #: pointer lives here); not part of the block space or I/O counts
+        self.meta: Dict[str, Any] = {}
         self._file = open(path, "w+b")
         self._end = 0
         self._closed = False
+
+    @classmethod
+    def open(cls, path: str) -> "FileDisk":
+        """Reattach to a page file written (and closed) by a prior process.
+
+        Loads the ``<path>.meta`` sidecar that :meth:`sync` wrote — offset
+        table, capacities, allocation cursor and the :attr:`meta`
+        dictionary — and reopens the page file in place.  Raises
+        :class:`FileNotFoundError` when either file is missing.
+        """
+        with open(cls._meta_path_for(path), "rb") as fh:
+            state = pickle.loads(fh.read())
+        disk = cls.__new__(cls)
+        disk.block_size = state["block_size"]
+        disk.stats = IOStats()
+        disk._extents = dict(state["extents"])
+        disk._capacities = dict(state["capacities"])
+        disk._next_id = state["next_id"]
+        disk._owns_file = False
+        disk.path = path
+        disk.meta = dict(state["meta"])
+        disk._file = open(path, "r+b")
+        disk._end = state["end"]
+        disk._closed = False
+        return disk
+
+    @staticmethod
+    def _meta_path_for(path: str) -> str:
+        return path + ".meta"
+
+    @property
+    def persistent(self) -> bool:
+        """Whether this disk outlives the process (named path + sidecar)."""
+        return not self._owns_file
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def sync(self) -> None:
+        """Persist the offset table and :attr:`meta` to the sidecar file.
+
+        A no-op for anonymous temporary disks (they are scratch space by
+        contract).  Sidecar maintenance is not an I/O in the model: it is
+        constant-size control information, exactly like the block headers.
+        """
+        if self._owns_file or self._closed:
+            return
+        state = {
+            "block_size": self.block_size,
+            "extents": self._extents,
+            "capacities": self._capacities,
+            "next_id": self._next_id,
+            "end": self._end,
+            "meta": self.meta,
+        }
+        self._file.flush()
+        with open(self._meta_path_for(self.path), "wb") as fh:
+            fh.write(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
 
     # ------------------------------------------------------------------ #
     # serialization
@@ -193,9 +259,10 @@ class FileDisk:
         return before - self._end
 
     def close(self) -> None:
-        """Close the page file (and delete it when it was a temporary)."""
+        """Sync the sidecar, then close the page file (temporaries are deleted)."""
         if self._closed:
             return
+        self.sync()
         self._closed = True
         self._file.close()
         if self._owns_file:

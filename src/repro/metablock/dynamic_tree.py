@@ -403,6 +403,13 @@ class AugmentedMetablockTree(StaticMetablockTree):
     # ------------------------------------------------------------------ #
     # introspection / invariants
     # ------------------------------------------------------------------ #
+    def destroy(self) -> None:
+        """Free every block, including update blocks and TD structures."""
+        if self.root is not None:
+            self._destroy_subtree(self.root)
+        self.root = None
+        self.size = 0
+
     def all_points(self) -> List[PlanarPoint]:
         out: List[PlanarPoint] = []
         for mb in self.iter_metablocks():

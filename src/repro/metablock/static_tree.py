@@ -417,6 +417,17 @@ class StaticMetablockTree:
     def __len__(self) -> int:
         return self.size
 
+    def destroy(self) -> None:
+        """Free every block of the structure (global rebuilds use this)."""
+        for mb in list(self.iter_metablocks()):
+            mb.destroy_organisations(self.disk)
+            mb.destroy_ts(self.disk)
+            if mb.control_block_id is not None:
+                self.disk.free(mb.control_block_id)
+                mb.control_block_id = None
+        self.root = None
+        self.size = 0
+
     def check_invariants(self) -> None:
         """Structural invariants used by the test suite (no I/O accounting)."""
         if self.root is None:

@@ -651,6 +651,13 @@ class ThreeSidedMetablockTree:
     def block_count(self) -> int:
         return sum(mb.organisation_block_count() for mb in self.iter_metablocks())
 
+    def destroy(self) -> None:
+        """Free every block of the structure (global rebuilds use this)."""
+        if self.root is not None:
+            self._destroy_subtree(self.root)
+        self.root = None
+        self.size = 0
+
     def all_points(self) -> List[PlanarPoint]:
         out: List[PlanarPoint] = []
         for mb in self.iter_metablocks():

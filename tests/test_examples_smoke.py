@@ -42,7 +42,8 @@ class TestExampleModulesImportable:
     @pytest.mark.parametrize(
         "name",
         ["quickstart", "temporal_versions", "people_class_hierarchy",
-         "constraint_rectangles", "io_scaling_study", "planner_tour"],
+         "constraint_rectangles", "io_scaling_study", "planner_tour",
+         "lifecycle_tour"],
     )
     def test_importable_without_running_main(self, name):
         """Every example is importable (its functions can be reused as a library)."""
@@ -86,3 +87,18 @@ class TestPlannerTour:
         assert "residual filter" in result.stdout
         assert "Union" in result.stdout
         assert "pagination" in result.stdout
+
+
+class TestLifecycleTour:
+    def test_runs_end_to_end(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "lifecycle_tour.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=_ENV,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "bulk-loaded" in result.stdout
+        assert "identical across the reopen" in result.stdout
+        assert "lifecycle tour ok" in result.stdout

@@ -81,10 +81,16 @@ class TestCorrectness:
         with pytest.raises(NotImplementedError):
             manager.insert(Interval(0, 1))
 
-    def test_delete_is_open_problem(self):
-        manager = ExternalIntervalManager(SimulatedDisk(8), [Interval(0, 1)])
-        with pytest.raises(NotImplementedError):
-            manager.delete(Interval(0, 1))
+    def test_delete_removes_exactly_the_record_asked_for(self):
+        stored = Interval(0, 1)
+        twin = Interval(0, 1)  # value-identical, different uid
+        manager = ExternalIntervalManager(SimulatedDisk(8), [stored])
+        assert manager.delete(twin) is False  # uid mismatch: nothing removed
+        assert manager.stabbing_query(0.5) == [stored]
+        assert manager.delete(stored) is True
+        assert manager.stabbing_query(0.5) == []
+        assert manager.delete(stored) is False  # already gone
+        assert manager.live_count == 0
 
     def test_intervals_accessor(self):
         intervals = make_intervals(20, seed=6)

@@ -89,13 +89,17 @@ class TestInsertCorrectness:
         tree.insert_many(pts)
         assert len(tree) == 60
 
-    def test_deletions_not_supported(self, tiny_disk):
+    def test_deletions_tombstone_the_stabbing_structure(self, tiny_disk):
+        """The metablock tree itself stays insert-only (as in the paper);
+        the manager layers uid tombstones + global rebuilds on top."""
         from repro.core import ExternalIntervalManager
         from repro.interval import Interval
 
-        manager = ExternalIntervalManager(tiny_disk, [Interval(0, 1)])
-        with pytest.raises(NotImplementedError):
-            manager.delete(Interval(0, 1))
+        stored = Interval(0, 1)
+        manager = ExternalIntervalManager(tiny_disk, [stored])
+        assert not hasattr(manager._stabbing, "delete")
+        assert manager.delete(stored) is True
+        assert manager.stabbing_query(0.5) == []
 
 
 class TestReorganisations:
