@@ -1,0 +1,68 @@
+"""E9 — the workload scenario matrix: prepared vs ad-hoc planning.
+
+``python -m benchmarks.bench_workloads`` runs the deterministic scenario
+matrix of :mod:`repro.workloads.scenarios` (stab-heavy, endpoint-heavy,
+class-hierarchy, Zipf-skewed, mixed read/write — each in ad-hoc and
+prepared planner modes) and writes machine-readable
+``BENCH_workloads.json`` at the repository root (``--out`` overrides).
+
+``--check`` (implied by ``--smoke``) turns the run into a perf gate: it
+fails — exit status 1 — when the prepared path's ops/sec drops below
+``--threshold`` × the ad-hoc path on the stab-heavy scenario, or when the
+two paths stop doing identical I/O.  CI runs ``--smoke`` (a small ``n``
+with the gate on) so the prepared-query win stays guarded.
+"""
+
+import json
+from pathlib import Path
+
+from repro.workloads.scenarios import report, run_gate, run_matrix
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_workloads.json"
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="emit BENCH_workloads.json (scenario matrix, prepared vs ad-hoc)"
+    )
+    parser.add_argument("--n", type=int, default=10_000)
+    parser.add_argument("--block-size", type=int, default=16)
+    parser.add_argument("--queries", type=int, default=25)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if the prepared path regresses below the ad-hoc path",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.8,
+        help="minimum prepared/adhoc ops-per-sec ratio --check enforces "
+             "(below 1.0 on purpose: CI wall-clock is noisy at smoke "
+             "sizes, and a real regression lands far lower; timings are "
+             "best-of --repeat)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small-n CI mode: n=2000, 10 queries, extra repeats, gate enabled",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.n = min(args.n, 2_000)
+        args.queries = min(args.queries, 10)
+        args.repeat = max(args.repeat, 5)  # smoke passes are cheap; damp noise
+        args.check = True
+
+    payload = run_matrix(
+        n=args.n, block_size=args.block_size,
+        queries=args.queries, repeat=args.repeat,
+    )
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    report(payload)
+    return run_gate(payload, args.threshold) if args.check else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI / by hand
+    raise SystemExit(main())

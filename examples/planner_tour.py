@@ -9,7 +9,7 @@ then cross-checks the answer against the brute-force ``matches`` oracle.
 Run: ``python examples/planner_tour.py``
 """
 
-from repro import EndpointRange, Engine, Not, Range, Stab
+from repro import EndpointRange, Engine, Not, Param, Range, Stab
 from repro.workloads import random_intervals
 
 N = 5_000
@@ -63,6 +63,18 @@ def main():
     first_page = next(result.pages(100))
     print(f"pagination: first page of {len(first_page)} records cost "
           f"{result.ios} I/Os (full drain would cost more)")
+
+    # prepared queries: plan once, bind per call, skip planning entirely
+    stab = engine.prepare("reservations", Stab(Param("x")))
+    for x in (250.0, 500.0, 750.0):
+        hits = stab.run(x=x)
+        want = coll.oracle(Stab(x))
+        assert {iv.payload for iv in hits.all()} == {iv.payload for iv in want}
+        print(f"prepared stab(x={x}): t={hits.count} ios={hits.ios} "
+              f"served from cached plan: {stab.last_from_cache}")
+    info = coll.planner.cache_info()
+    print(f"plan cache: {info['entries']} entries, {info['hits']} hits, "
+          f"{info['misses']} misses (generation {info['generation']})")
 
 
 if __name__ == "__main__":

@@ -65,11 +65,15 @@ from repro.engine import (
     Not,
     Or,
     OrderBy,
+    Param,
     Plan,
+    PreparedQuery,
     QueryPlanner,
     QueryResult,
     Range,
     Stab,
+    bind_params,
+    unbound_params,
 )
 from repro.metablock import (
     AugmentedMetablockTree,
@@ -113,7 +117,9 @@ __all__ = [
     "Or",
     "OrderBy",
     "Plan",
+    "Param",
     "PlanarPoint",
+    "PreparedQuery",
     "QueryPlanner",
     "QueryResult",
     "Range",
@@ -124,6 +130,8 @@ __all__ = [
     "StorageBackend",
     "ThreeSidedMetablockTree",
     "ThreeSidedQuery",
+    "bind_params",
+    "unbound_params",
     "var",
     "__version__",
 ]

@@ -66,3 +66,16 @@ class AlgebraicQuery:
         raise NotImplementedError(
             f"{type(self).__name__} does not implement the matches oracle"
         )
+
+    def signature(self) -> tuple:
+        """Structural cache key: the query's *shape*, scalar operands factored out.
+
+        Two queries with equal signatures are served by the same plan
+        strategy — same candidate indexes, same pushdown/residual split —
+        differing only in parameter values (range endpoints, stab points).
+        The :class:`~repro.engine.planner.QueryPlanner` keys its plan cache
+        on this, so ``Stab(3.0)`` and ``Stab(7.0)`` share one cached plan.
+        Nodes whose operands select *which* index can serve them (e.g.
+        ``EndpointRange.side``) override this to fold those operands in.
+        """
+        return (type(self).__name__,)

@@ -134,7 +134,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     q = _compose_explain_query(args)
     with _make_engine(args) as engine:
         intervals = random_intervals(args.n, seed=args.seed, mean_length=args.mean_length)
-        engine.create_collection("intervals", intervals)
+        coll = engine.create_collection("intervals", intervals)
         plan = engine.explain("intervals", q)
         print(f"query : {q!r}")
         print("plan  :")
@@ -146,7 +146,38 @@ def _cmd_explain(args: argparse.Namespace) -> int:
               f"bound(t)={result.bound:.1f}")
         if result.plan != plan:  # user-facing invariant; must survive -O
             raise RuntimeError("executed plan differs from explain()")
+        if args.cached:
+            planner = coll.planner
+            hits_before = planner.cache_hits
+            replan = engine.explain("intervals", q)
+            info = planner.cache_info()
+            served = planner.cache_hits > hits_before
+            print(f"cache : re-plan served from cache: {served}  "
+                  f"(entries={info['entries']}, hits={info['hits']}, "
+                  f"misses={info['misses']}, generation={info['generation']})")
+            if replan != plan:  # cached strategy must reproduce the plan
+                raise RuntimeError("cached plan differs from the fresh plan")
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run a benchmark suite from the installed package (no repo checkout).
+
+    ``bench workloads`` is the scenario matrix of
+    :mod:`repro.workloads.scenarios` — the same harness
+    ``benchmarks/bench_workloads.py`` wraps, so the CLI can reproduce
+    BENCH_workloads.json numbers anywhere the package is installed.
+    """
+    from repro.workloads.scenarios import report, run_gate, run_matrix
+
+    payload = run_matrix(
+        n=args.n, block_size=args.block_size,
+        queries=args.queries, repeat=args.repeat,
+    )
+    print(f"bench workloads: n={args.n} B={args.block_size} "
+          f"queries={args.queries} (best of {args.repeat})")
+    report(payload, out=args.out)
+    return run_gate(payload, args.threshold) if args.check else 0
 
 
 # --------------------------------------------------------------------------- #
@@ -355,8 +386,33 @@ def build_parser() -> argparse.ArgumentParser:
                         "repeatable")
     p.add_argument("--order-by", choices=["low", "high"], default=None)
     p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--cached", action="store_true",
+                   help="re-plan the same query and report whether the "
+                        "planner's signature-keyed plan cache served it")
     add_backend(p)
     p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "bench",
+        help="run a benchmark suite (currently: the 'workloads' scenario "
+             "matrix, prepared vs ad-hoc planning)",
+    )
+    p.add_argument("suite", choices=["workloads"],
+                   help="which suite to run")
+    p.add_argument("--n", type=int, default=5_000)
+    p.add_argument("--block-size", type=int, default=16)
+    p.add_argument("--queries", type=int, default=25)
+    p.add_argument("--repeat", type=int, default=3)
+    p.add_argument("--out", default=None, metavar="JSON",
+                   help="also write the machine-readable payload here")
+    p.add_argument("--check", action="store_true",
+                   help="exit 1 if the prepared path regresses below "
+                        "--threshold x the ad-hoc path")
+    p.add_argument("--threshold", type=float, default=0.8,
+                   help="ops/sec ratio the gate enforces (below 1.0 on "
+                        "purpose: wall-clock noise; a real regression "
+                        "lands far lower)")
+    p.set_defaults(func=_cmd_bench)
 
     def add_db(p: argparse.ArgumentParser) -> None:
         p.add_argument("--db", required=True, metavar="PATH",

@@ -54,6 +54,13 @@ class GeneralizedOneDimensionalIndex:
         }
         self.manager = ExternalIntervalManager(disk, intervals, dynamic=dynamic)
 
+    @property
+    def generation(self) -> int:
+        """The inner manager's rebuild counter, surfaced for the planner's
+        plan-cache key: threshold rebuilds must invalidate cached plans
+        over this index, not just over the manager directly."""
+        return self.manager.generation
+
     # ------------------------------------------------------------------ #
     # keys
     # ------------------------------------------------------------------ #

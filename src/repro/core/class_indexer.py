@@ -74,6 +74,10 @@ class ClassIndexer:
         fresh_record_keys(objs, context="the initial objects")
         self._objects = {o.uid: o for o in objs}
         self._tombstones: set = set()
+        #: bumped on every global reorganisation (threshold rebuilds, bulk
+        #: loads) — the query planner folds it into its plan-cache key, so
+        #: cached strategies over this indexer re-plan after a rebuild
+        self.generation = 0
         self._index = _METHODS[method](disk, hierarchy, objs)
 
     @staticmethod
@@ -140,6 +144,7 @@ class ClassIndexer:
         self._index.destroy()
         self._index = replacement
         self._tombstones = set()
+        self.generation += 1
         for o in new:
             self._objects[o.uid] = o
         return len(new)
@@ -151,6 +156,7 @@ class ClassIndexer:
             self.disk, self.hierarchy, list(self._objects.values())
         )
         self._tombstones = set()
+        self.generation += 1
 
     def destroy(self) -> None:
         """Free every block of the underlying scheme (``Engine.drop_index``)."""

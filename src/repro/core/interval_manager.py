@@ -74,6 +74,10 @@ class ExternalIntervalManager:
         self._by_uid: Dict[Any, Interval] = {iv.uid: iv for iv in items}
         #: uids deleted from the stabbing structure but not yet rebuilt away
         self._tombstones: set = set()
+        #: bumped on every global reorganisation (threshold rebuilds, bulk
+        #: loads) — the query planner folds it into its plan-cache key, so
+        #: cached strategies over this manager re-plan after a rebuild
+        self.generation = 0
 
         points = [PlanarPoint(iv.low, iv.high, payload=iv) for iv in items]
         if dynamic:
@@ -175,6 +179,7 @@ class ExternalIntervalManager:
         self._endpoints = endpoints
         self._by_uid = {iv.uid: iv for iv in combined}
         self._tombstones = set()
+        self.generation += 1
         return len(new)
 
     def _build_stabbing(self, intervals: List[Interval]):
@@ -194,6 +199,7 @@ class ExternalIntervalManager:
         self._stabbing.destroy()
         self._stabbing = self._build_stabbing(list(self._by_uid.values()))
         self._tombstones = set()
+        self.generation += 1
 
     def destroy(self) -> None:
         """Free every block of both substructures (``Engine.drop_index``)."""

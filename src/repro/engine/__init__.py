@@ -5,7 +5,10 @@ coherent database surface:
 
 * :class:`~repro.engine.core.Engine` — owns a storage backend plus named
   indexes (``create_interval_index``, ``create_collection``, ...), with a
-  ``query_many`` batch API and ``explain`` for plan inspection;
+  ``query_many`` batch API, ``explain`` for plan inspection, and
+  ``prepare`` for :class:`~repro.engine.prepared.PreparedQuery` handles
+  (:class:`~repro.engine.queries.Param` placeholders bound per ``run``,
+  plans served from the signature-keyed plan cache);
 * :class:`~repro.engine.protocols.Index` — the protocol every index
   implements (``insert`` / ``query`` / ``supports`` / ``cost`` /
   ``block_count`` / ``io_stats``), with :class:`~repro.engine.protocols.
@@ -42,10 +45,13 @@ from repro.engine.queries import (
     Not,
     Or,
     OrderBy,
+    Param,
     Range,
     Stab,
     ThreeSidedQuery,
     TwoSidedQuery,
+    bind_params,
+    unbound_params,
 )
 from repro.engine.result import QueryResult
 from repro.engine.protocols import (
@@ -55,7 +61,16 @@ from repro.engine.protocols import (
     supports_bulk_load,
     supports_deletes,
 )
-from repro.engine.planner import BOUND_SLACK, BOUND_SLACK_PAGES, Accessor, Plan, QueryPlanner
+from repro.engine.planner import (
+    BOUND_SLACK,
+    BOUND_SLACK_PAGES,
+    PLAN_CACHE_SIZE,
+    Accessor,
+    Plan,
+    PlanTemplate,
+    QueryPlanner,
+)
+from repro.engine.prepared import PreparedQuery
 from repro.engine.rebuilding import RebuildingIndex
 from repro.engine.collection import Collection, WriteBatch
 from repro.engine.core import DEFAULT_BLOCK_SIZE, Engine
@@ -78,7 +93,11 @@ __all__ = [
     "Not",
     "Or",
     "OrderBy",
+    "PLAN_CACHE_SIZE",
+    "Param",
     "Plan",
+    "PlanTemplate",
+    "PreparedQuery",
     "QueryPlanner",
     "QueryResult",
     "Range",
@@ -87,6 +106,8 @@ __all__ = [
     "ThreeSidedQuery",
     "TwoSidedQuery",
     "WriteBatch",
+    "bind_params",
     "supports_bulk_load",
     "supports_deletes",
+    "unbound_params",
 ]

@@ -196,8 +196,14 @@ class Collection:
         with the collection's write path — ``bulk`` absorbs a whole batch
         in one reorganisation, falling back to per-record ``insert`` when
         unset; ``scan``/``scan_bound`` advertise the full-scan fallback.
-        Earlier-attached indexes win cost ties.
+        Earlier-attached indexes win cost ties (among plans of equal
+        generation — the planner's cache keeps a tie resolved until the
+        next invalidation).
+
+        Attaching changes the planner's candidate set, so the plan cache
+        is invalidated: prepared queries re-plan on their next run.
         """
+        self._planner.invalidate()
         self._accessors.append(
             Accessor(
                 name=name,
@@ -213,6 +219,29 @@ class Collection:
             )
         )
         return index
+
+    def detach(self, name: str) -> Any:
+        """Detach one physical index by name (the inverse of :meth:`attach`).
+
+        The index leaves the planner's candidate set and the write fan-out
+        — it stops being maintained, so re-attaching it later is only sound
+        if no writes happened in between (or after a fresh bulk build).
+        Returns the detached index; its blocks are *not* freed.  The plan
+        cache is invalidated, so cached strategies referencing it re-plan.
+        """
+        for i, acc in enumerate(self._accessors):
+            if acc.name == name:
+                self._planner.invalidate()
+                del self._accessors[i]
+                return acc.index
+        raise KeyError(
+            f"no physical index named {name!r}; have {self.physical}"
+        )
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """The collection's (long-lived, plan-caching) query planner."""
+        return self._planner
 
     @classmethod
     def for_intervals(
@@ -410,6 +439,9 @@ class Collection:
         return True
 
     def _apply_bulk(self, batch: List[Any]) -> None:
+        # one reorganisation per member index changes costs wholesale —
+        # drop cached plan strategies so the next query re-costs candidates
+        self._planner.invalidate()
         for acc in self._accessors:
             if acc.bulk is not None:
                 acc.bulk(batch)
@@ -482,6 +514,7 @@ class Collection:
 
     def destroy(self) -> None:
         """Free every block of every physical index (``Engine.drop_index``)."""
+        self._planner.invalidate()
         for acc in self._accessors:
             destroy = getattr(acc.index, "destroy", None)
             if callable(destroy):

@@ -128,6 +128,10 @@ class Engine:
         #: per-index catalog spec (kind + construction parameters); what
         #: :meth:`checkpoint` serializes through the storage backend
         self._catalog: Dict[str, Dict[str, Any]] = {}
+        #: one long-lived (plan-caching) planner per plain index, built
+        #: lazily — constructing a planner per query would re-enumerate
+        #: candidates every call and throw the plan cache away with it
+        self._planners: Dict[str, QueryPlanner] = {}
 
     # ------------------------------------------------------------------ #
     # index creation
@@ -252,6 +256,12 @@ class Engine:
         index = self.index(name)
         del self._indexes[name]
         self._catalog.pop(name, None)
+        planner = self._planners.pop(name, None)
+        if planner is not None:
+            # prepared queries still holding this planner must re-plan (and
+            # fail loudly against the destroyed index) rather than serve a
+            # cached strategy over freed blocks
+            planner.invalidate()
         destroy = getattr(index, "destroy", None)
         if callable(destroy):
             destroy()
@@ -349,13 +359,46 @@ class Engine:
         """
         index = self.index(name)
         bulk = getattr(index, "bulk_load", None)
-        if callable(bulk):
-            return int(bulk(items))
-        count = 0
-        for item in items:
-            index.insert(item)
-            count += 1
-        return count
+        try:
+            if callable(bulk):
+                return int(bulk(items))
+            count = 0
+            for item in items:
+                index.insert(item)
+                count += 1
+            return count
+        finally:
+            # a bulk reorganisation changes costs wholesale: cached plan
+            # strategies over this index must be re-costed (Collections
+            # invalidate their own planner inside bulk_load)
+            planner = self._planners.get(name)
+            if planner is not None:
+                planner.invalidate()
+
+    def _planner_for(self, name: str, index: Any) -> QueryPlanner:
+        """The long-lived planner for an index (Collections own their own).
+
+        One planner — and therefore one plan cache — per index name,
+        created lazily and replaced if the name was dropped and re-created
+        over a different index object.
+        """
+        if isinstance(index, Collection):
+            return index.planner
+        planner = self._planners.get(name)
+        if planner is None or planner.accessors[0].index is not index:
+            planner = QueryPlanner.for_index(name, index, disk=self.disk)
+            self._planners[name] = planner
+        return planner
+
+    def planner(self, name: str) -> QueryPlanner:
+        """The named index's long-lived (plan-caching) query planner.
+
+        Collections answer with their own multi-accessor planner; every
+        other index gets the engine-held single-index planner :meth:`query`
+        and :meth:`prepare` use.  Raises the usual :class:`KeyError` for
+        unknown names.
+        """
+        return self._planner_for(name, self.index(name))
 
     def query(self, name: str, q: Any) -> QueryResult:
         """Answer one query descriptor lazily (no I/O until iteration).
@@ -366,13 +409,16 @@ class Engine:
         :class:`~repro.engine.collection.Collection` indexes plan across
         all their physical structures, every other index gets a
         single-index planner (pushdown of the cheapest supported part,
-        residual ``matches`` post-filter for the rest).
+        residual ``matches`` post-filter for the rest).  Planners are
+        long-lived — one per index — so repeated queries of the same shape
+        hit the signature-keyed plan cache instead of re-enumerating
+        candidates (see :meth:`prepare` for the fastest path).
         """
         index = self.index(name)
         if isinstance(index, Collection):
             return index.query(q)
         if isinstance(q, COMPOSED):
-            return QueryPlanner.for_index(name, index, disk=self.disk).query(q)
+            return self._planner_for(name, index).query(q)
         result = index.query(q)
         if isinstance(result, QueryResult) and index.supports(q):
             # same trivial pushdown plan explain() reports for this query
@@ -388,7 +434,29 @@ class Engine:
         index = self.index(name)
         if isinstance(index, Collection):
             return index.plan(q)
-        return QueryPlanner.for_index(name, index, disk=self.disk).plan(q)
+        return self._planner_for(name, index).plan(q)
+
+    def prepare(self, name: str, q: Any) -> "PreparedQuery":
+        """Plan ``q`` against the named index once; re-run it cheaply.
+
+        ``q`` may contain :class:`~repro.engine.queries.Param` placeholders
+        in scalar operand positions (``Stab(Param("x"))``); the returned
+        :class:`~repro.engine.prepared.PreparedQuery` binds them per call:
+
+        >>> stab = engine.prepare("temporal", Stab(Param("x")))   # doctest: +SKIP
+        >>> stab.run(x=42.0).all()                                # doctest: +SKIP
+
+        ``run``/``plan`` skip candidate enumeration entirely while the plan
+        cache generation holds, and transparently re-plan after any
+        invalidating write event (attach/detach, bulk loads, threshold
+        rebuilds) — see :mod:`repro.engine.prepared`.
+        """
+        from repro.engine.prepared import PreparedQuery
+
+        index = self.index(name)
+        return PreparedQuery(
+            name, q, self._planner_for(name, index), engine=self, index=index
+        )
 
     def query_many(self, queries: Iterable[Tuple[str, Any]]) -> List[QueryResult]:
         """Batch API: build one lazy result per ``(index_name, descriptor)``.

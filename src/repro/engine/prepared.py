@@ -1,0 +1,182 @@
+"""Prepared queries: plan once, execute many times with fresh bindings.
+
+``Engine.prepare(name, q)`` plans ``q`` — which may contain
+:class:`~repro.engine.queries.Param` placeholders in scalar operand
+positions — against the named index and hands back a :class:`PreparedQuery`.
+``run(**params)`` substitutes the bindings and re-instantiates the *cached
+strategy* directly: no candidate enumeration, no costing of alternatives,
+no signature lookup — the per-call work is one parameter substitution, one
+``translate`` + ``cost`` call against the live structures (so predicted
+bounds always reflect current sizes, even as plain inserts grow the index),
+and the execution itself under bulk I/O accounting.
+
+Correctness is guarded twice:
+
+* the planner's **generation key** (see :mod:`repro.engine.planner`) —
+  every ``run``/``plan`` call compares the generation captured at prepare
+  time against the live one, and any invalidating write event in between
+  (attaching or detaching a physical index, a bulk load, a
+  threshold-triggered global rebuild) forces a full re-plan before
+  execution; and
+* an **identity check against the engine namespace** — running a prepared
+  query whose index was dropped raises the engine's descriptive
+  :class:`KeyError`, and one whose name was re-bound to a *different*
+  index object raises :class:`RuntimeError`, instead of silently answering
+  from freed blocks.
+
+The :attr:`PreparedQuery.last_from_cache` flag reports which path the most
+recent call took, which is what the invalidation tests assert on.
+
+>>> from repro import Engine, Interval, Param, Stab
+>>> eng = Engine(block_size=16)
+>>> _ = eng.create_collection("ivs", [Interval(1, 5), Interval(3, 9)])
+>>> stab = eng.prepare("ivs", Stab(Param("x")))
+>>> sorted(iv.low for iv in stab.run(x=4))
+[1, 3]
+>>> sorted(iv.low for iv in stab.run(x=8))
+[3]
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Set
+
+from repro.engine.planner import Plan, PlanTemplate, QueryPlanner
+from repro.engine.queries import bind_params, unbound_params
+from repro.engine.result import QueryResult
+
+
+class PreparedQuery:
+    """A named query planned once and re-executed with fresh bindings.
+
+    Built by ``Engine.prepare``; not constructed directly in application
+    code.  The prepared query may contain unbound
+    :class:`~repro.engine.queries.Param` nodes — ``run``/``plan`` bind
+    them and, while the planner's cache generation holds, re-instantiate
+    the cached :class:`~repro.engine.planner.PlanTemplate` instead of
+    planning from scratch.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        query: Any,
+        planner: QueryPlanner,
+        engine: Any = None,
+        index: Any = None,
+    ) -> None:
+        self.name = name
+        self.query = query
+        self.planner = planner
+        self._engine = engine
+        self._index = index
+        #: parameter names ``run()`` requires, sorted for the repr
+        self.params: List[str] = sorted(unbound_params(query))
+        self._param_set: Set[str] = set(self.params)
+        self._template: Optional[PlanTemplate] = None
+        self._gen_key: Any = None
+        #: whether the most recent ``run``/``plan`` served the cached
+        #: strategy (``False`` means an invalidation forced a re-plan);
+        #: ``None`` until the first call
+        self.last_from_cache: Optional[bool] = None
+        self._prime()
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    def _prime(self) -> None:
+        """Plan the (possibly parameterised) query; keep the chosen strategy.
+
+        Planning an unbound query works for every standard shape — index
+        capability checks and cost formulas never compare operand values —
+        but an exotic index could reject a placeholder, in which case the
+        prepared query plans per run instead (still through the planner's
+        signature cache; ``_gen_key`` remembers the failure, so the failing
+        enumeration is not retried until the next generation bump).  A
+        query *without* placeholders that fails to plan is simply
+        unservable — that error belongs at the ``prepare`` call site, not
+        at the first ``run``.
+        """
+        self._gen_key = self.planner._generation_key()
+        self._template = None
+        try:
+            self.planner.plan(self.query)
+        except Exception:
+            if not self._param_set:
+                raise
+            return
+        sig = self.planner._signature(self.query)
+        entry = self.planner._cache.get(sig) if sig is not None else None
+        if entry is not None:
+            self._template = entry[1]
+
+    def _check_live(self) -> None:
+        """Fail loudly when the prepared index left the engine namespace."""
+        if self._engine is None:
+            return
+        live = self._engine.index(self.name)  # descriptive KeyError if dropped
+        if live is not self._index:
+            raise RuntimeError(
+                f"index {self.name!r} was dropped and re-created since this "
+                "query was prepared; call Engine.prepare again"
+            )
+
+    def _check_params(self, params: dict) -> None:
+        if set(params) != self._param_set:
+            missing = sorted(self._param_set - set(params))
+            extras = sorted(set(params) - self._param_set)
+            detail = []
+            if missing:
+                detail.append(f"missing {missing}")
+            if extras:
+                detail.append(f"unknown {extras}")
+            raise KeyError(
+                f"prepared query {self.name!r} takes parameters "
+                f"{self.params}: " + ", ".join(detail)
+            )
+
+    def plan(self, **params: Any) -> Plan:
+        """The plan :meth:`run` would execute for these bindings (no I/O).
+
+        Re-instantiates the cached strategy — fresh ``cost`` against the
+        live structures, no enumeration — while the cache generation
+        holds; re-plans otherwise.
+        """
+        self._check_live()
+        self._check_params(params)
+        if self._gen_key != self.planner._generation_key():
+            # an invalidating write event happened since the last plan
+            self.last_from_cache = False
+            self._prime()
+        else:
+            self.last_from_cache = self._template is not None
+        # _check_params validated the exact set; partial=True skips the
+        # redundant per-node bookkeeping of the strict mode
+        bound_q = bind_params(self.query, params, partial=True) if params else self.query
+        if self._template is not None:
+            plan = self.planner._try_instantiate(self._template, bound_q)
+            if plan is not None:
+                return plan
+            self.last_from_cache = False
+        # no usable cached strategy at this generation: plan the bound
+        # query (one signature-cache lookup; full enumeration at worst)
+        return self.planner.plan(bound_q)
+
+    def run(self, **params: Any) -> QueryResult:
+        """Execute with these bindings; returns the usual lazy result.
+
+        Prepared execution uses bulk I/O accounting: the backend counters
+        are bracketed once around the drain instead of once per record,
+        which is the dominant Python cost on large outputs.  Totals are
+        identical when the result is consumed on its own (the prepared
+        pattern); drain interleaved results with ``Engine.query`` instead.
+        """
+        return self.planner.execute(self.plan(**params), accounting="bulk")
+
+    def explain(self, **params: Any) -> Plan:
+        """Alias of :meth:`plan`, mirroring ``Engine.explain``."""
+        return self.plan(**params)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        args = ", ".join(self.params) or "no params"
+        return f"PreparedQuery({self.name!r}, {self.query!r}, {args})"

@@ -45,8 +45,8 @@ pairs by their key, and anything else as a bare key.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Tuple, Union
+from dataclasses import dataclass, field, fields, is_dataclass, replace
+from typing import Any, Callable, Mapping, Optional, Set, Tuple, Union
 
 from repro.algebra import AlgebraicQuery
 from repro.metablock.geometry import (  # noqa: F401  (re-exported)
@@ -74,6 +74,79 @@ def _as_key(record: Any) -> Any:
     if isinstance(record, tuple) and len(record) == 2:
         return record[0]
     return record
+
+
+# --------------------------------------------------------------------------- #
+# parameters (prepared queries)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Param:
+    """A named placeholder for a scalar operand in a prepared query.
+
+    Use it wherever a literal would go — ``Stab(Param("x"))``,
+    ``Range(Param("lo"), Param("hi"))`` — then bind concrete values with
+    :func:`bind_params` (what ``PreparedQuery.run(**params)`` does).  A
+    parameter never enters a query's :meth:`~repro.algebra.AlgebraicQuery.
+    signature`, so the parameterised query shares its cached plan with
+    every concrete instantiation.
+    """
+
+    name: str
+
+
+def _walk_bind(q: Any, params: Mapping[str, Any], missing: Set[str], used: Set[str]) -> Any:
+    """Substitute :class:`Param` placeholders throughout a query tree.
+
+    Returns ``q`` itself (not a copy) when nothing inside it changed, so
+    binding an already-concrete query is allocation-free.
+    """
+    if isinstance(q, Param):
+        if q.name in params:
+            used.add(q.name)
+            return params[q.name]
+        missing.add(q.name)
+        return q
+    if isinstance(q, (And, Or)):
+        parts = tuple(_walk_bind(p, params, missing, used) for p in q.parts)
+        return q if parts == q.parts else type(q)(*parts)
+    if is_dataclass(q) and isinstance(q, AlgebraicQuery):
+        changes = {}
+        for f in fields(q):
+            value = getattr(q, f.name)
+            if isinstance(value, (Param, AlgebraicQuery)):
+                bound = _walk_bind(value, params, missing, used)
+                if bound is not value:
+                    changes[f.name] = bound
+        return replace(q, **changes) if changes else q
+    return q
+
+
+def bind_params(q: Any, params: Mapping[str, Any], *, partial: bool = False) -> Any:
+    """Return ``q`` with every :class:`Param` replaced by its bound value.
+
+    Strict by default: a :class:`Param` with no binding raises
+    :class:`KeyError`, as does a binding no parameter uses (catching typo'd
+    keyword names).  ``partial=True`` relaxes both — unknown parameters stay
+    in place and extras are ignored — which is what plan rebinding uses when
+    a sub-expression only mentions a subset of the query's parameters.
+    """
+    missing: Set[str] = set()
+    used: Set[str] = set()
+    bound = _walk_bind(q, params, missing, used)
+    if not partial:
+        if missing:
+            raise KeyError(f"unbound query parameters: {sorted(missing)}")
+        extras = set(params) - used
+        if extras:
+            raise KeyError(f"unknown query parameters: {sorted(extras)}")
+    return bound
+
+
+def unbound_params(q: Any) -> Set[str]:
+    """The names of every :class:`Param` remaining in ``q``."""
+    missing: Set[str] = set()
+    _walk_bind(q, {}, missing, set())
+    return missing
 
 
 # --------------------------------------------------------------------------- #
@@ -125,6 +198,11 @@ class Range(AlgebraicQuery):
             return low <= self.high and self.low <= high
         return self.matches_key(_as_key(record))
 
+    def signature(self) -> tuple:
+        # endpoints are parameters; inclusivity is structural (it survives
+        # into the translated B+-tree query, so keep shapes distinct)
+        return ("Range", self.min_inclusive, self.max_inclusive)
+
 
 @dataclass(frozen=True)
 class EndpointRange(AlgebraicQuery):
@@ -163,6 +241,11 @@ class EndpointRange(AlgebraicQuery):
             return False
         return True
 
+    def signature(self) -> tuple:
+        # ``side`` picks which endpoint B+-tree can serve the query, so it
+        # is part of the shape, not a parameter
+        return ("EndpointRange", self.side, self.min_inclusive, self.max_inclusive)
+
 
 @dataclass(frozen=True)
 class ClassRange(AlgebraicQuery):
@@ -187,6 +270,11 @@ class ClassRange(AlgebraicQuery):
         if self.hierarchy is not None:
             return cls in self.hierarchy.descendants(self.class_name)
         return cls == self.class_name
+
+    def signature(self) -> tuple:
+        # the class names an extent (a different sub-structure per class in
+        # some schemes); only the attribute endpoints are parameters
+        return ("ClassRange", self.class_name)
 
 
 # --------------------------------------------------------------------------- #
@@ -214,6 +302,9 @@ class And(AlgebraicQuery):
     def matches(self, record: Any) -> bool:
         return all(p.matches(record) for p in self.parts)
 
+    def signature(self) -> tuple:
+        return ("And",) + tuple(p.signature() for p in self.parts)
+
 
 @dataclass(frozen=True, init=False)
 class Or(AlgebraicQuery):
@@ -226,6 +317,9 @@ class Or(AlgebraicQuery):
 
     def matches(self, record: Any) -> bool:
         return any(p.matches(record) for p in self.parts)
+
+    def signature(self) -> tuple:
+        return ("Or",) + tuple(p.signature() for p in self.parts)
 
 
 @dataclass(frozen=True)
@@ -241,6 +335,9 @@ class Not(AlgebraicQuery):
 
     def matches(self, record: Any) -> bool:
         return not self.part.matches(record)
+
+    def signature(self) -> tuple:
+        return ("Not", self.part.signature())
 
 
 # --------------------------------------------------------------------------- #
@@ -258,6 +355,10 @@ class Limit(AlgebraicQuery):
         # property of the stream, not of any single record
         return self.part.matches(record)
 
+    def signature(self) -> tuple:
+        # ``n`` is a parameter: the base plan is identical for any cap
+        return ("Limit", self.part.signature())
+
 
 @dataclass(frozen=True)
 class OrderBy(AlgebraicQuery):
@@ -265,7 +366,10 @@ class OrderBy(AlgebraicQuery):
 
     Sorting materialises the stream; combined with :class:`Limit` on top the
     tail past the limit is never yielded, but the sort itself must see every
-    record.
+    record.  The sort is *stable* and runs **once** per executed result:
+    records comparing equal under ``key`` keep the access path's emission
+    order, and re-iterating an exhausted result replays the already-sorted
+    cache instead of re-materialising the sort.
     """
 
     part: Any
@@ -274,6 +378,10 @@ class OrderBy(AlgebraicQuery):
 
     def matches(self, record: Any) -> bool:
         return self.part.matches(record)
+
+    def signature(self) -> tuple:
+        # the sort key only shapes the output order, never the access plan
+        return ("OrderBy", self.part.signature())
 
     def key_fn(self) -> Callable[[Any], Any]:
         if self.key is None:

@@ -70,6 +70,10 @@ class RebuildingIndex:
         self._tombstones: set = set()
         self._pending: List[Any] = []
         self._log_block_id: Optional[int] = None
+        #: bumped on every global rebuild — the planner's cache generation
+        #: key folds this in, so cached plans over this index re-plan after
+        #: a threshold-triggered reorganisation
+        self.generation = 0
         self.inner = build(initial)
 
     # ------------------------------------------------------------------ #
@@ -168,6 +172,7 @@ class RebuildingIndex:
 
     def _swap_inner(self, replacement: Any, live: List[Any]) -> None:
         """Install a freshly built inner structure and reset the overlays."""
+        self.generation += 1
         if self.inner is not None and self.inner is not replacement:
             destroy = getattr(self.inner, "destroy", None)
             if callable(destroy):

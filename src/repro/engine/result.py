@@ -42,6 +42,17 @@ class QueryResult:
         bound for this query shape (e.g. ``O(log_B n + t/B)``).
     label:
         Cosmetic tag used in ``repr`` and engine diagnostics.
+    accounting:
+        ``"per_record"`` (default) brackets the backend counters around
+        every ``next()`` call, so several interleaved results on one
+        backend each attribute exactly their own I/Os.  ``"bulk"``
+        brackets the whole drain once — the fast path prepared queries
+        use: per-record bracketing costs more Python time than the block
+        reads it measures, and a prepared statement's result is almost
+        always consumed on its own.  Under ``"bulk"``, ``ios``/``stats``
+        are settled when the stream is exhausted (or closed), and
+        interleaving another query on the same backend *while draining*
+        would attribute its I/Os here — don't do that with bulk results.
     """
 
     def __init__(
@@ -50,10 +61,14 @@ class QueryResult:
         disk: Any = None,
         bound: Optional[Callable[[int], float]] = None,
         label: str = "query",
+        accounting: str = "per_record",
     ) -> None:
+        if accounting not in ("per_record", "bulk"):
+            raise ValueError(f"unknown accounting mode {accounting!r}")
         self._source = source
         self._disk = disk
         self._bound_fn = bound
+        self._accounting = accounting
         self.label = label
         self._iterator: Optional[Iterator[Any]] = None
         self._pump_iter: Optional[Iterator[Any]] = None
@@ -61,7 +76,10 @@ class QueryResult:
         self._exhausted = False
         self._started = False
         self._error: Optional[BaseException] = None
-        self.stats = IOStats()
+        #: open bulk-accounting bracket: the counter snapshot taken when a
+        #: bulk drain started and not yet folded into ``_stats``
+        self._bulk_before = None
+        self._stats = IOStats()
         #: the executed :class:`~repro.engine.planner.Plan` when this result
         #: came out of the query planner; ``None`` for direct index queries
         self.plan: Optional[Any] = None
@@ -83,6 +101,9 @@ class QueryResult:
             raise
 
     def _pump_inner(self) -> Iterator[Any]:
+        if self._disk is not None and self._accounting == "bulk":
+            yield from self._pump_bulk()
+            return
         if self._iterator is None:
             self._started = True
             if self._disk is not None:
@@ -110,6 +131,35 @@ class QueryResult:
             self._cache.append(item)
             yield item
 
+    def _pump_bulk(self) -> Iterator[Any]:
+        """One counter bracket around the whole drain (the prepared fast path).
+
+        The bracket is held open in ``_bulk_before`` while the drain is
+        suspended; reading ``stats``/``ios`` settles it (folding the delta
+        so far into the totals and re-opening from the current counters),
+        so a partially drained result still reports the I/Os performed on
+        its behalf — assuming no other query ran on the same backend in
+        between, which is the documented bulk-mode contract.
+        """
+        self._started = True
+        self._bulk_before = self._counters()
+        cache = self._cache
+        try:
+            self._iterator = iter(self._source())
+            for item in self._iterator:
+                cache.append(item)
+                yield item
+            self._exhausted = True
+        finally:
+            self._settle_bulk(reopen=False)
+
+    def _settle_bulk(self, reopen: bool) -> None:
+        """Fold the open bulk bracket into the totals (and re-open it)."""
+        if self._bulk_before is None:
+            return
+        self._account(self._bulk_before)
+        self._bulk_before = self._counters() if reopen else None
+
     def _counters(self):
         """The backend counters as a plain tuple (cheap per-record bracketing)."""
         s = self._disk.stats
@@ -118,11 +168,11 @@ class QueryResult:
     def _account(self, before) -> None:
         reads, writes, hits, allocs, frees = before
         s = self._disk.stats
-        self.stats.reads += s.reads - reads
-        self.stats.writes += s.writes - writes
-        self.stats.cache_hits += s.cache_hits - hits
-        self.stats.allocations += s.allocations - allocs
-        self.stats.frees += s.frees - frees
+        self._stats.reads += s.reads - reads
+        self._stats.writes += s.writes - writes
+        self._stats.cache_hits += s.cache_hits - hits
+        self._stats.allocations += s.allocations - allocs
+        self._stats.frees += s.frees - frees
 
     def __iter__(self) -> Iterator[Any]:
         # replay what is cached, then continue streaming; supports several
@@ -151,11 +201,46 @@ class QueryResult:
             self._pump_iter = self._pump()
         return self._pump_iter
 
+    def raw(self) -> Iterator[Any]:
+        """The undecorated hit stream: no accounting, no caching, one shot.
+
+        What the query planner consumes when it nests this result inside
+        its own :class:`QueryResult` — the outer result owns the
+        per-record I/O attribution and the replay cache, so paying for
+        both layers would double the per-record Python overhead without
+        measuring anything new.  If iteration already started, the cached
+        prefix is replayed first (via :meth:`__iter__`); otherwise the
+        source is consumed directly.
+        """
+        if self._started:
+            return iter(self)
+        return iter(self._source())
+
     # ------------------------------------------------------------------ #
     # materialisation helpers
     # ------------------------------------------------------------------ #
     def all(self) -> List[Any]:
         """Exhaust the stream and return every hit as a list."""
+        if (
+            self._accounting == "bulk"
+            and not self._started
+            and self._error is None
+        ):
+            # bulk-accounted results drain through ``list()`` directly —
+            # no per-record generator hand-off — with one counter bracket
+            # around the whole consumption (the prepared fast path)
+            self._started = True
+            before = self._counters() if self._disk is not None else None
+            try:
+                self._cache = list(self._source())
+            except BaseException as exc:
+                self._error = exc  # re-iterations must re-raise, not re-run
+                raise
+            finally:
+                if before is not None:
+                    self._account(before)
+            self._exhausted = True
+            return list(self._cache)
         for _ in self:
             pass
         return list(self._cache)
@@ -255,6 +340,12 @@ class QueryResult:
     def count(self) -> int:
         """Hits reported so far (does not force materialisation)."""
         return len(self._cache)
+
+    @property
+    def stats(self) -> IOStats:
+        """Per-query I/O counters (settles any open bulk bracket first)."""
+        self._settle_bulk(reopen=True)
+        return self._stats
 
     @property
     def ios(self) -> int:

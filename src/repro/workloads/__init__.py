@@ -1,4 +1,4 @@
-"""Workload generators used by the examples, tests and benchmarks."""
+"""Workload generators and the benchmark scenario matrix."""
 
 from repro.workloads.generators import (
     clustered_intervals,
@@ -12,7 +12,9 @@ from repro.workloads.generators import (
     random_intervals,
     random_points,
     interval_points,
+    zipf_choices,
 )
+from repro.workloads.scenarios import run_matrix
 
 __all__ = [
     "balanced_hierarchy",
@@ -25,5 +27,7 @@ __all__ = [
     "random_hierarchy",
     "random_intervals",
     "random_points",
+    "run_matrix",
     "star_hierarchy",
+    "zipf_choices",
 ]

@@ -102,6 +102,23 @@ def diagonal_staircase_points(n: int) -> List[PlanarPoint]:
     return [PlanarPoint(float(x), float(x + 1), payload=x) for x in range(1, n + 1)]
 
 
+def zipf_choices(
+    values: Sequence, n: int, exponent: float = 1.2, seed: int = 0
+) -> List:
+    """``n`` picks from ``values`` with Zipf-skewed frequencies.
+
+    The first element of ``values`` is the hottest; element at rank ``r``
+    is drawn proportionally to ``1 / r**exponent``.  Models the skewed
+    query distributions real traffic exhibits (a few hot keys absorb most
+    lookups) — the case plan caching is designed for.
+    """
+    if not values or n <= 0:
+        return []
+    rnd = random.Random(seed)
+    weights = [1.0 / (rank ** exponent) for rank in range(1, len(values) + 1)]
+    return rnd.choices(list(values), weights=weights, k=n)
+
+
 # --------------------------------------------------------------------------- #
 # class hierarchies and objects
 # --------------------------------------------------------------------------- #
