@@ -1,0 +1,88 @@
+"""Multi-client serving benchmark — emits ``BENCH_concurrency.json``.
+
+Boots a ``repro serve`` subprocess (or drives a running one via
+``--connect``), then replays the concurrent scenario matrix of
+:mod:`repro.workloads.concurrent` from N closed-loop client threads:
+read-only thread scaling on the stab/endpoint shapes, a mixed
+insert-query-delete workload, and the shared-collection snapshot
+consistency check — every response verified against the brute-force
+oracle while the interleaving happens.
+
+Usage::
+
+    python -m benchmarks.bench_concurrency --out BENCH_concurrency.json
+    python -m benchmarks.bench_concurrency --smoke --check       # CI gate
+    python -m benchmarks.bench_concurrency --connect 127.0.0.1:7411 --smoke
+
+``--check`` exits non-zero on any oracle mismatch, bound violation or
+unclean shutdown; ``--require-scaling X`` additionally enforces the
+read-only speedup (used when regenerating the committed numbers, not in
+CI smoke, where wall-clock on a loaded runner is noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.workloads import concurrent as C
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=10_000)
+    parser.add_argument("--queries", type=int, default=60,
+                        help="read queries per client thread")
+    parser.add_argument("--threads", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--write-ops", type=int, default=12)
+    parser.add_argument("--think-ms", type=float, default=5.0,
+                        help="closed-loop client think time (ms)")
+    parser.add_argument("--block-size", type=int, default=16)
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="drive an already-running server instead of "
+                             "spawning one")
+    parser.add_argument("--out", default=None, metavar="JSON")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 on oracle/bound/shutdown failures")
+    parser.add_argument("--require-scaling", type=float, default=None,
+                        metavar="X")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for CI: n=600, 8 queries, "
+                             "threads 1+2, 4 write ops")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.n, args.queries, args.write_ops = 600, 8, 4
+        args.threads = [1, 2]
+
+    proc = None
+    if args.connect:
+        host, port_s = args.connect.rsplit(":", 1)
+        host, port = host, int(port_s)
+    else:
+        proc, host, port = C.spawn_server(block_size=args.block_size)
+    print(f"bench concurrency: n={args.n} queries/thread={args.queries} "
+          f"threads={args.threads} think={args.think_ms}ms "
+          f"server={host}:{port}")
+    clean = None
+    try:
+        payload = C.run_matrix(
+            host, port,
+            n=args.n, queries=args.queries, thread_counts=tuple(args.threads),
+            write_ops=args.write_ops, think_ms=args.think_ms,
+            shutdown=True,
+        )
+    finally:
+        if proc is not None:
+            clean = C.wait_for_clean_exit(proc)
+            print(f"  server exit clean: {clean}")
+    if clean is not None:
+        payload["summary"]["server_exit_clean"] = clean
+    C.report(payload, out=args.out)
+    if args.check:
+        return C.run_gate(payload, require_scaling=args.require_scaling)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

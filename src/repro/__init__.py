@@ -60,6 +60,7 @@ from repro.engine import (
     Collection,
     EndpointRange,
     Engine,
+    EngineSession,
     Index,
     Limit,
     Not,
@@ -71,8 +72,13 @@ from repro.engine import (
     QueryPlanner,
     QueryResult,
     Range,
+    ResultConsumedError,
+    RWLock,
+    SessionResult,
     Stab,
+    WriteIntentError,
     bind_params,
+    query_from_dict,
     unbound_params,
 )
 from repro.metablock import (
@@ -103,6 +109,7 @@ __all__ = [
     "DiagonalCornerQuery",
     "EndpointRange",
     "Engine",
+    "EngineSession",
     "ExternalIntervalManager",
     "ExternalPST",
     "FileDisk",
@@ -122,7 +129,10 @@ __all__ = [
     "PreparedQuery",
     "QueryPlanner",
     "QueryResult",
+    "RWLock",
     "Range",
+    "ResultConsumedError",
+    "SessionResult",
     "SimpleClassIndex",
     "SimulatedDisk",
     "Stab",
@@ -130,7 +140,9 @@ __all__ = [
     "StorageBackend",
     "ThreeSidedMetablockTree",
     "ThreeSidedQuery",
+    "WriteIntentError",
     "bind_params",
+    "query_from_dict",
     "unbound_params",
     "var",
     "__version__",

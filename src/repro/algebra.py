@@ -23,7 +23,25 @@ records — that is what keeps planner-chosen plans testable.
 
 from __future__ import annotations
 
+from dataclasses import fields, is_dataclass
 from typing import Any, Callable, Optional, Union
+
+
+def _serialize_operand(value: Any) -> Any:
+    """One field value as wire-safe data (scalars pass, nodes recurse)."""
+    if isinstance(value, AlgebraicQuery):
+        return value.to_dict()
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):  # Param and other non-algebra node dataclasses
+        return to_dict()
+    if isinstance(value, (tuple, list)):
+        return [_serialize_operand(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ValueError(
+        f"operand {value!r} of type {type(value).__name__} is not "
+        "wire-serializable; use scalars, Param placeholders or query nodes"
+    )
 
 
 class AlgebraicQuery:
@@ -66,6 +84,32 @@ class AlgebraicQuery:
         raise NotImplementedError(
             f"{type(self).__name__} does not implement the matches oracle"
         )
+
+    def to_dict(self) -> dict:
+        """This query as plain, JSON-safe data — the wire form.
+
+        Every node serializes to ``{"node": <class name>, <field>: <value>,
+        ...}`` with sub-queries recursing and scalar operands passing
+        through; :func:`repro.engine.queries.query_from_dict` reverses the
+        mapping, and the round-trip preserves both :meth:`signature` and
+        :meth:`matches` semantics (the serving protocol's contract).
+        Fields excluded from equality (e.g. ``ClassRange.hierarchy``, a
+        live object handle) are left out; operands that cannot cross a
+        wire — notably callable ``OrderBy`` keys — raise a descriptive
+        :class:`ValueError`.
+        """
+        if not is_dataclass(self):
+            raise TypeError(
+                f"{type(self).__name__} is not a dataclass node; override to_dict"
+            )
+        out: dict = {"node": type(self).__name__}
+        for f in fields(self):
+            if not f.compare:
+                # non-identity fields (ClassRange.hierarchy) are process-local
+                # context, re-bound on the receiving side — never wire data
+                continue
+            out[f.name] = _serialize_operand(getattr(self, f.name))
+        return out
 
     def signature(self) -> tuple:
         """Structural cache key: the query's *shape*, scalar operands factored out.

@@ -164,10 +164,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     """Run a benchmark suite from the installed package (no repo checkout).
 
     ``bench workloads`` is the scenario matrix of
-    :mod:`repro.workloads.scenarios` — the same harness
-    ``benchmarks/bench_workloads.py`` wraps, so the CLI can reproduce
-    BENCH_workloads.json numbers anywhere the package is installed.
+    :mod:`repro.workloads.scenarios`; ``bench concurrency`` is the
+    multi-client driver of :mod:`repro.workloads.concurrent` — the same
+    harnesses the ``benchmarks/`` scripts wrap, so the CLI can reproduce
+    BENCH_workloads.json / BENCH_concurrency.json numbers anywhere the
+    package is installed.
     """
+    if args.suite == "concurrency":
+        return _bench_concurrency(args)
     from repro.workloads.scenarios import report, run_gate, run_matrix
 
     payload = run_matrix(
@@ -178,6 +182,85 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"queries={args.queries} (best of {args.repeat})")
     report(payload, out=args.out)
     return run_gate(payload, args.threshold) if args.check else 0
+
+
+def _bench_concurrency(args: argparse.Namespace) -> int:
+    """``repro bench concurrency``: drive a server with N client threads.
+
+    Spawns a subprocess server by default (true client/server parallelism
+    — each side owns its interpreter), or drives an already-running one
+    via ``--connect HOST:PORT``.
+    """
+    from repro.workloads import concurrent as C
+
+    thread_counts = tuple(args.threads) if args.threads else (1, 2, 4)
+    proc = None
+    if args.connect:
+        host, port_s = args.connect.rsplit(":", 1)
+        host, port = host, int(port_s)
+    else:
+        proc, host, port = C.spawn_server(block_size=args.block_size,
+                                          buffer_pages=args.buffer_pages)
+    print(f"bench concurrency: n={args.n} queries/thread={args.queries} "
+          f"threads={list(thread_counts)} server={host}:{port}")
+    try:
+        payload = C.run_matrix(
+            host, port,
+            n=args.n, queries=args.queries, thread_counts=thread_counts,
+            write_ops=args.write_ops, think_ms=args.think_ms,
+            shutdown=proc is not None or args.shutdown,
+        )
+    finally:
+        if proc is not None:
+            clean = C.wait_for_clean_exit(proc)
+            print(f"  server exit clean: {clean}")
+    if proc is not None:
+        payload["summary"]["server_exit_clean"] = clean
+    C.report(payload, out=args.out)
+    if args.check:
+        return C.run_gate(payload, require_scaling=args.require_scaling)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the concurrent JSON-line server over one engine.
+
+    ``--db PATH`` reopens a persistent catalog (``Engine.open``) and
+    checkpoints it on shutdown; without it the server runs on an
+    in-memory SimulatedDisk.  ``--demo N`` preloads a ``base`` interval
+    collection so clients have something to query immediately.
+    """
+    from repro.server import ReproServer
+
+    if args.db:
+        sidecar = FileDisk._meta_path_for(args.db)
+        if os.path.exists(sidecar):
+            engine = Engine.open(args.db, buffer_pages=args.buffer_pages)
+        else:
+            engine = Engine(
+                FileDisk(args.db, block_size=args.block_size),
+                buffer_pages=args.buffer_pages,
+            )
+    else:
+        engine = Engine(SimulatedDisk(args.block_size),
+                        buffer_pages=args.buffer_pages)
+    if args.demo:
+        engine.create_collection(
+            "base", random_intervals(args.demo, seed=args.seed), dynamic=True
+        )
+    server = ReproServer(engine, host=args.host, port=args.port,
+                         close_engine=True)
+    host, port = server.address
+    print(f"repro serve: B={engine.block_size} indexes={engine.names()} "
+          f"listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down", flush=True)
+    finally:
+        server.close()
+    print("repro serve: stopped", flush=True)
+    return 0
 
 
 # --------------------------------------------------------------------------- #
@@ -394,10 +477,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="run a benchmark suite (currently: the 'workloads' scenario "
-             "matrix, prepared vs ad-hoc planning)",
+        help="run a benchmark suite: 'workloads' (prepared vs ad-hoc "
+             "planning) or 'concurrency' (N client threads vs a live server)",
     )
-    p.add_argument("suite", choices=["workloads"],
+    p.add_argument("suite", choices=["workloads", "concurrency"],
                    help="which suite to run")
     p.add_argument("--n", type=int, default=5_000)
     p.add_argument("--block-size", type=int, default=16)
@@ -406,13 +489,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, metavar="JSON",
                    help="also write the machine-readable payload here")
     p.add_argument("--check", action="store_true",
-                   help="exit 1 if the prepared path regresses below "
-                        "--threshold x the ad-hoc path")
+                   help="exit 1 if the suite's gate fails (workloads: "
+                        "prepared-path regression; concurrency: oracle "
+                        "equivalence / bounds / clean shutdown)")
     p.add_argument("--threshold", type=float, default=0.8,
-                   help="ops/sec ratio the gate enforces (below 1.0 on "
-                        "purpose: wall-clock noise; a real regression "
-                        "lands far lower)")
+                   help="[workloads] ops/sec ratio the gate enforces "
+                        "(below 1.0 on purpose: wall-clock noise; a real "
+                        "regression lands far lower)")
+    p.add_argument("--threads", type=int, nargs="+", default=None,
+                   metavar="T",
+                   help="[concurrency] client thread counts to sweep "
+                        "(default 1 2 4)")
+    p.add_argument("--write-ops", type=int, default=12,
+                   help="[concurrency] writes per thread in the mixed and "
+                        "shared scenarios")
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="[concurrency] drive an already-running server "
+                        "instead of spawning one")
+    p.add_argument("--shutdown", action="store_true",
+                   help="[concurrency] send a wire shutdown when driving "
+                        "a --connect server")
+    p.add_argument("--require-scaling", type=float, default=None,
+                   metavar="X",
+                   help="[concurrency] gate additionally requires the "
+                        "read-only speedup to reach X (e.g. 2.0)")
+    p.add_argument("--think-ms", type=float, default=5.0,
+                   help="[concurrency] closed-loop client think time "
+                        "between requests (application-side processing); "
+                        "the thread sweep measures how well concurrent "
+                        "sessions fill each other's idle time")
+    p.add_argument("--buffer-pages", type=int, default=None)
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve the engine over TCP (JSON-line protocol; concurrent "
+             "sessions under the engine's readers-writer lock)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7411,
+                   help="bind port (0 picks a free one; the bound address "
+                        "is printed on stdout)")
+    p.add_argument("--db", default=None, metavar="PATH",
+                   help="serve a persistent FileDisk catalog (created if "
+                        "missing; checkpointed on shutdown)")
+    p.add_argument("--block-size", type=int, default=16)
+    p.add_argument("--buffer-pages", type=int, default=None, metavar="PAGES",
+                   help="wrap the backend in an LRU BufferManager")
+    p.add_argument("--demo", type=int, default=0, metavar="N",
+                   help="preload a 'base' collection of N random intervals")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_serve)
 
     def add_db(p: argparse.ArgumentParser) -> None:
         p.add_argument("--db", required=True, metavar="PATH",

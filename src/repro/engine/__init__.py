@@ -51,9 +51,16 @@ from repro.engine.queries import (
     ThreeSidedQuery,
     TwoSidedQuery,
     bind_params,
+    query_from_dict,
     unbound_params,
 )
-from repro.engine.result import QueryResult
+from repro.engine.result import QueryResult, ResultConsumedError
+from repro.engine.session import (
+    EngineSession,
+    RWLock,
+    SessionResult,
+    WriteIntentError,
+)
 from repro.engine.protocols import (
     Bound,
     Index,
@@ -87,6 +94,7 @@ __all__ = [
     "DiagonalCornerQuery",
     "EndpointRange",
     "Engine",
+    "EngineSession",
     "Index",
     "Limit",
     "MutableIndex",
@@ -100,13 +108,18 @@ __all__ = [
     "PreparedQuery",
     "QueryPlanner",
     "QueryResult",
+    "RWLock",
     "Range",
     "RebuildingIndex",
+    "ResultConsumedError",
+    "SessionResult",
     "Stab",
     "ThreeSidedQuery",
     "TwoSidedQuery",
     "WriteBatch",
+    "WriteIntentError",
     "bind_params",
+    "query_from_dict",
     "supports_bulk_load",
     "supports_deletes",
     "unbound_params",

@@ -34,6 +34,7 @@ from repro.engine.planner import Plan, QueryPlanner
 from repro.engine.queries import COMPOSED
 from repro.engine.rebuilding import RebuildingIndex
 from repro.engine.result import QueryResult
+from repro.engine.session import EngineSession, RWLock
 from repro.interval import Interval
 from repro.io import BufferManager, FileDisk, SimulatedDisk
 from repro.metablock.geometry import PlanarPoint
@@ -125,6 +126,10 @@ class Engine:
             BufferManager(self.backend, buffer_pages) if buffer_pages else self.backend
         )
         self._indexes: Dict[str, Any] = {}
+        #: the engine-wide readers-writer lock every
+        #: :class:`~repro.engine.session.EngineSession` of this engine
+        #: shares (created eagerly: sessions may be opened from any thread)
+        self._rwlock = RWLock()
         #: per-index catalog spec (kind + construction parameters); what
         #: :meth:`checkpoint` serializes through the storage backend
         self._catalog: Dict[str, Dict[str, Any]] = {}
@@ -457,6 +462,18 @@ class Engine:
         return PreparedQuery(
             name, q, self._planner_for(name, index), engine=self, index=index
         )
+
+    def session(self) -> EngineSession:
+        """A thread-safe :class:`~repro.engine.session.EngineSession` handle.
+
+        All sessions of one engine share its readers-writer lock: queries
+        drain under shared read turns, writes take exclusive turns, and
+        each request's I/O is attributed to the issuing session (see the
+        consistency model in :mod:`repro.engine.session`).  Open one
+        session per thread or client connection — the session object
+        itself is not shared between threads.
+        """
+        return EngineSession(self, self._rwlock)
 
     def query_many(self, queries: Iterable[Tuple[str, Any]]) -> List[QueryResult]:
         """Batch API: build one lazy result per ``(index_name, descriptor)``.

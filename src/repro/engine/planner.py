@@ -70,6 +70,7 @@ re-materialising the sort.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from itertools import islice
@@ -243,6 +244,10 @@ class QueryPlanner:
         self._cache: "OrderedDict[Any, Tuple[Any, PlanTemplate]]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
+        #: guards the plan cache's read-modify-write sequences so concurrent
+        #: reader sessions can plan on one shared planner; reentrant because
+        #: union planning and prepared queries nest ``plan`` calls
+        self._lock = threading.RLock()
 
     @classmethod
     def for_index(cls, name: str, index: Any, disk: Any = None) -> "QueryPlanner":
@@ -260,8 +265,9 @@ class QueryPlanner:
         bulk loads, global rebuilds.  Prepared queries holding plans from
         an older generation detect the bump and re-plan on their next run.
         """
-        self.generation += 1
-        self._cache.clear()
+        with self._lock:
+            self.generation += 1
+            self._cache.clear()
 
     def _generation_key(self) -> Tuple[Any, ...]:
         """What a cached strategy's validity is checked against.
@@ -303,27 +309,32 @@ class QueryPlanner:
         against the live accessors.  ``use_cache=False`` forces a full
         enumeration (what benchmarks call "ad-hoc planning") and neither
         reads nor writes the cache.
+
+        Thread-safe: the cache's read-modify-write runs under the
+        planner's reentrant lock, so any number of concurrent reader
+        sessions may plan on one shared planner.
         """
-        sig = self._signature(q) if use_cache else None
-        if sig is not None:
-            entry = self._cache.get(sig)
-            if entry is not None:
-                gen_key, template = entry
-                if gen_key == self._generation_key():
-                    plan = self._try_instantiate(template, q)
-                    if plan is not None:
-                        self.cache_hits += 1
-                        self._cache.move_to_end(sig)
-                        return plan
-                # stale generation or structural mismatch: drop and re-plan
-                self._cache.pop(sig, None)
-        plan, template = self._plan_fresh(q)
-        if sig is not None and template is not None:
-            self.cache_misses += 1
-            self._cache[sig] = (self._generation_key(), template)
-            while len(self._cache) > PLAN_CACHE_SIZE:
-                self._cache.popitem(last=False)
-        return plan
+        with self._lock:
+            sig = self._signature(q) if use_cache else None
+            if sig is not None:
+                entry = self._cache.get(sig)
+                if entry is not None:
+                    gen_key, template = entry
+                    if gen_key == self._generation_key():
+                        plan = self._try_instantiate(template, q)
+                        if plan is not None:
+                            self.cache_hits += 1
+                            self._cache.move_to_end(sig)
+                            return plan
+                    # stale generation or structural mismatch: drop and re-plan
+                    self._cache.pop(sig, None)
+            plan, template = self._plan_fresh(q)
+            if sig is not None and template is not None:
+                self.cache_misses += 1
+                self._cache[sig] = (self._generation_key(), template)
+                while len(self._cache) > PLAN_CACHE_SIZE:
+                    self._cache.popitem(last=False)
+            return plan
 
     def _plan_fresh(self, q: Any) -> Tuple[Plan, Optional[PlanTemplate]]:
         base, modifiers = self._peel(q)

@@ -97,18 +97,21 @@ class PreparedQuery:
         unservable — that error belongs at the ``prepare`` call site, not
         at the first ``run``.
         """
-        self._gen_key = self.planner._generation_key()
-        self._template = None
-        try:
-            self.planner.plan(self.query)
-        except Exception:
-            if not self._param_set:
-                raise
-            return
-        sig = self.planner._signature(self.query)
-        entry = self.planner._cache.get(sig) if sig is not None else None
-        if entry is not None:
-            self._template = entry[1]
+        # under the planner's (reentrant) lock: the cache peek after plan()
+        # must see the entry that call wrote, not a concurrent eviction
+        with self.planner._lock:
+            self._gen_key = self.planner._generation_key()
+            self._template = None
+            try:
+                self.planner.plan(self.query)
+            except Exception:
+                if not self._param_set:
+                    raise
+                return
+            sig = self.planner._signature(self.query)
+            entry = self.planner._cache.get(sig) if sig is not None else None
+            if entry is not None:
+                self._template = entry[1]
 
     def _check_live(self) -> None:
         """Fail loudly when the prepared index left the engine namespace."""

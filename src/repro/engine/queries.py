@@ -93,6 +93,10 @@ class Param:
 
     name: str
 
+    def to_dict(self) -> dict:
+        """Wire form (placeholders survive serialization unbound)."""
+        return {"node": "Param", "name": self.name}
+
 
 def _walk_bind(q: Any, params: Mapping[str, Any], missing: Set[str], used: Set[str]) -> Any:
     """Substitute :class:`Param` placeholders throughout a query tree.
@@ -397,3 +401,55 @@ MODIFIERS = (Limit, OrderBy)
 
 #: node types that require planning (no single index answers them directly)
 COMPOSED = (And, Or, Not, Limit, OrderBy)
+
+
+# --------------------------------------------------------------------------- #
+# the wire form (serving protocol)
+# --------------------------------------------------------------------------- #
+def _node_registry() -> Dict[str, type]:
+    """Every deserializable node type, keyed by the ``node`` tag."""
+    from repro.metablock.geometry import RangeQuery
+
+    types = (
+        Stab, Range, EndpointRange, ClassRange,
+        And, Or, Not, Limit, OrderBy, Param,
+        DiagonalCornerQuery, TwoSidedQuery, ThreeSidedQuery, RangeQuery,
+    )
+    return {t.__name__: t for t in types}
+
+
+def _deserialize_operand(value: Any) -> Any:
+    if isinstance(value, dict) and "node" in value:
+        return query_from_dict(value)
+    if isinstance(value, list):
+        return [_deserialize_operand(v) for v in value]
+    return value
+
+
+def query_from_dict(data: Mapping[str, Any]) -> Any:
+    """Rebuild a query node from its :meth:`~repro.algebra.AlgebraicQuery.
+    to_dict` wire form.
+
+    The inverse of ``to_dict`` for every node in the algebra — leaves,
+    combinators, modifiers, :class:`Param` placeholders and the geometric
+    shapes — preserving ``signature()`` and ``matches`` semantics across
+    the round-trip.  Unknown or malformed nodes raise a descriptive
+    :class:`ValueError` (what the server turns into a structured
+    ``BadRequest`` response).
+    """
+    if not isinstance(data, Mapping) or "node" not in data:
+        raise ValueError(f"not a serialized query node: {data!r}")
+    registry = _node_registry()
+    name = data["node"]
+    cls = registry.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown query node {name!r}; know {sorted(registry)}"
+        )
+    operands = {k: _deserialize_operand(v) for k, v in data.items() if k != "node"}
+    try:
+        if cls in (And, Or):
+            return cls(*operands.get("parts", ()))
+        return cls(**operands)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"malformed {name} node {data!r}: {exc}") from exc

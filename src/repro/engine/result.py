@@ -15,8 +15,16 @@ through an index's uniform ``query()`` method) returns a
   computed from the structure's size, the page size ``B`` and the number of
   hits reported so far.
 
-Once exhausted, results are cached: re-iterating replays the hits without
-touching the disk again.
+Once exhausted, results are cached: **re-iterating replays the hits without
+touching the disk again** — that is the documented double-iteration
+contract, and it holds for every decorated consumption path (``__iter__``,
+``all``, ``first``, ``pages``, ``limit``).  The one exception is
+:meth:`QueryResult.raw`, which deliberately hands out the *undecorated*
+source stream (no accounting, no cache): once a pristine result has been
+consumed that way there is nothing to replay, and any further consumption
+raises :class:`ResultConsumedError` instead of silently re-running the
+query against the disk (double I/O, possibly different answers after a
+write) or yielding nothing.
 """
 
 from __future__ import annotations
@@ -24,6 +32,19 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, List, Optional
 
 from repro.io.counters import IOStats
+
+
+class ResultConsumedError(RuntimeError):
+    """A lazy result's one-shot stream was already handed out via ``raw()``.
+
+    Raised when iterating (or calling ``raw`` again on) a
+    :class:`QueryResult` whose undecorated source stream was taken while
+    the result was still pristine — there is no replay cache to serve, and
+    silently re-executing the query would double its I/O and, after an
+    intervening write, return different records than the first consumer
+    saw.  Re-issue the query (or drain through ``all()``/iteration, which
+    cache) instead.
+    """
 
 
 class QueryResult:
@@ -75,6 +96,9 @@ class QueryResult:
         self._cache: List[Any] = []
         self._exhausted = False
         self._started = False
+        #: the undecorated source stream was handed out by :meth:`raw`;
+        #: nothing is cached, so no other consumption path may follow
+        self._raw_consumed = False
         self._error: Optional[BaseException] = None
         #: open bulk-accounting bracket: the counter snapshot taken when a
         #: bulk drain started and not yet folded into ``_stats``
@@ -168,15 +192,26 @@ class QueryResult:
     def _account(self, before) -> None:
         reads, writes, hits, allocs, frees = before
         s = self._disk.stats
-        self._stats.reads += s.reads - reads
-        self._stats.writes += s.writes - writes
-        self._stats.cache_hits += s.cache_hits - hits
-        self._stats.allocations += s.allocations - allocs
-        self._stats.frees += s.frees - frees
+        self._stats.count(
+            reads=s.reads - reads,
+            writes=s.writes - writes,
+            cache_hits=s.cache_hits - hits,
+            allocations=s.allocations - allocs,
+            frees=s.frees - frees,
+        )
+
+    def _check_not_raw_consumed(self) -> None:
+        if self._raw_consumed:
+            raise ResultConsumedError(
+                f"result {self.label!r} was consumed through raw() — the "
+                "undecorated one-shot stream — so there is no cache to "
+                "replay; re-issue the query instead"
+            )
 
     def __iter__(self) -> Iterator[Any]:
         # replay what is cached, then continue streaming; supports several
         # (even interleaved) consumers without re-running the query
+        self._check_not_raw_consumed()
         i = 0
         pump = None
         while True:
@@ -210,17 +245,27 @@ class QueryResult:
         both layers would double the per-record Python overhead without
         measuring anything new.  If iteration already started, the cached
         prefix is replayed first (via :meth:`__iter__`); otherwise the
-        source is consumed directly.
+        source is consumed directly and this result is marked consumed:
+        any later consumption attempt raises :class:`ResultConsumedError`
+        rather than silently re-running the query (see the module
+        docstring for the double-iteration contract).
         """
         if self._started:
             return iter(self)
+        self._check_not_raw_consumed()
+        self._raw_consumed = True
         return iter(self._source())
 
     # ------------------------------------------------------------------ #
     # materialisation helpers
     # ------------------------------------------------------------------ #
     def all(self) -> List[Any]:
-        """Exhaust the stream and return every hit as a list."""
+        """Exhaust the stream and return every hit as a list.
+
+        Exhausted results are cached: calling ``all()`` (or iterating)
+        again replays the same records without touching the disk.
+        """
+        self._check_not_raw_consumed()
         if (
             self._accounting == "bulk"
             and not self._started

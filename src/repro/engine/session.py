@@ -1,0 +1,366 @@
+"""The concurrency kernel: ``RWLock`` + per-caller ``EngineSession`` handles.
+
+An :class:`~repro.engine.core.Engine` is single-caller by construction —
+its indexes mutate shared block structures, planners mutate their plan
+caches, and the paper's bounds are stated per operation.  The serving
+subsystem multiplexes it with two small pieces:
+
+* :class:`RWLock` — a readers-writer lock with **writer preference** and a
+  **write-intent upgrade**.  Many readers hold it together (queries drain
+  in parallel); writers (inserts, deletes, bulk loads, drops, rebuilds)
+  take exclusive turns, and a waiting writer blocks *new* readers so it
+  cannot starve.  A reader that discovers it must write — e.g. a
+  delete-by-query that first streams its victims — can :meth:`~RWLock.
+  upgrade` to exclusive access without releasing the read lock, so no
+  other writer can slip between what it read and what it writes.
+
+* :class:`EngineSession` — one caller's handle on a shared engine.  Every
+  request runs under the appropriate lock side and drains its result
+  *inside* the critical section, so a reader sees one consistent snapshot:
+  the engine state between two write turns.  Per-request I/O is attributed
+  through the backend's thread-local sink mechanism
+  (:meth:`repro.io.counters.IOStats.attributed`) — concurrent sessions on
+  one disk each measure exactly their own block accesses, which keeps the
+  paper's per-query bounds checkable per request — and folded into the
+  session's cumulative :attr:`~EngineSession.stats`.
+
+Consistency model (what the server documents to clients): readers never
+observe a half-applied write; a query's answer is the brute-force oracle
+of the record set as it stood at some instant between write turns.  There
+are no multi-request transactions — each request is one atomic turn.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional
+
+from repro.io.counters import IOStats
+
+#: process-wide session id source (sessions of all engines share it)
+_SESSION_IDS = itertools.count(1)
+
+
+class WriteIntentError(RuntimeError):
+    """A second reader asked to upgrade while an upgrade is pending.
+
+    Two readers upgrading at once would deadlock (each waits for the other
+    to release its read lock), so only one upgrade intent may be pending
+    per lock; later contenders get this error and should fall back to
+    release-reacquire-revalidate (what :meth:`EngineSession.delete_matching`
+    does).
+    """
+
+
+class RWLock:
+    """A readers-writer lock with writer preference and write-intent upgrade.
+
+    * Any number of readers share the lock while no writer is active *and*
+      no writer is waiting — a queued writer blocks new readers, so write
+      turns come around even under a heavy read load.
+    * :meth:`upgrade` turns a held read lock into the write lock without a
+      release window: the upgrader declares intent (blocking new readers),
+      waits for the *other* readers to drain, writes, and returns to being
+      a reader when the block exits.  Only one intent may be pending at a
+      time; a concurrent second upgrader raises :class:`WriteIntentError`
+      immediately rather than deadlocking.
+
+    Non-reentrant by design: a thread holding the write lock must not
+    re-acquire either side, and a reader must not call :meth:`read` again.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._waiting_writers = 0
+        self._upgrader: Optional[int] = None
+
+    # -- the reader side ------------------------------------------------- #
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._waiting_writers:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers <= (1 if self._upgrader is not None else 0):
+                self._cond.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """``with lock.read(): ...`` — shared access."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- the writer side ------------------------------------------------- #
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._waiting_writers += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+                self._writer = True
+            finally:
+                self._waiting_writers -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """``with lock.write(): ...`` — exclusive access."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- upgrade --------------------------------------------------------- #
+    @contextmanager
+    def upgrade(self) -> Iterator[None]:
+        """Exclusive access for a thread currently holding a read lock.
+
+        ``with lock.read(): ... with lock.upgrade(): ...`` — between what
+        the caller read and what it writes, no other writer can intervene.
+        On exit the thread is a plain reader again.  Raises
+        :class:`WriteIntentError` when another upgrade is already pending.
+        """
+        me = threading.get_ident()
+        with self._cond:
+            if self._upgrader is not None:
+                raise WriteIntentError(
+                    "another session already holds the write-intent slot; "
+                    "release the read lock and retry as a plain writer"
+                )
+            self._upgrader = me
+            # count as a waiting writer so new readers queue behind us
+            self._waiting_writers += 1
+            try:
+                while self._writer or self._readers > 1:
+                    self._cond.wait()
+                self._readers -= 1
+                self._writer = True
+            except BaseException:
+                self._upgrader = None
+                self._cond.notify_all()
+                raise
+            finally:
+                self._waiting_writers -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._readers += 1
+                self._upgrader = None
+                self._cond.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RWLock(readers={self._readers}, writer={self._writer}, "
+            f"waiting={self._waiting_writers})"
+        )
+
+
+@dataclass
+class SessionResult:
+    """One request's drained answer plus its private accounting.
+
+    The serving layer materialises results inside the lock's critical
+    section (laziness ends at the session boundary — a lazy stream held
+    across requests would read blocks mid-write-turn), so what crosses the
+    boundary is plain data: the records, the I/Os this request performed
+    (attributed per-thread, unpolluted by concurrent sessions), and the
+    paper's predicted bound at the observed output size.
+    """
+
+    records: List[Any]
+    stats: IOStats
+    bound: Optional[float] = None
+    plan: Optional[Any] = None
+    from_cache: Optional[bool] = None
+
+    @property
+    def ios(self) -> int:
+        return self.stats.total
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class EngineSession:
+    """One caller's thread-safe handle on a shared :class:`Engine`.
+
+    Sessions of one engine share its :class:`RWLock` (``engine.session()``
+    hands them out): :meth:`query`, :meth:`run` and :meth:`explain` take
+    the read side, the write surface (:meth:`insert`, :meth:`delete`,
+    :meth:`bulk_load`, :meth:`create_collection`, :meth:`drop_index`)
+    takes the write side, and :meth:`delete_matching` demonstrates the
+    write-intent upgrade: victims are streamed under the read lock, then
+    deleted under the upgraded lock with no writer window in between.
+
+    Each request's I/Os land in a fresh sink (returned on the
+    :class:`SessionResult`) and accumulate in :attr:`stats`; the paper's
+    bounds therefore stay checkable per request even while other sessions
+    drain queries on the same backend.  A session object itself is *not*
+    shared between threads — one session per client connection.
+    """
+
+    def __init__(self, engine: Any, lock: RWLock) -> None:
+        self.engine = engine
+        self.lock = lock
+        self.session_id = next(_SESSION_IDS)
+        #: cumulative I/O attributed to this session's requests
+        self.stats = IOStats()
+        #: requests served (reads + writes), for the stats surface
+        self.requests = 0
+
+    # ------------------------------------------------------------------ #
+    # lock-scoped execution
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def _attributed(self) -> Iterator[IOStats]:
+        sink = IOStats()
+        with self.engine.io_stats().attributed(sink):
+            yield sink
+        self.stats.merge(sink)
+        self.requests += 1
+
+    def _read(self, fn: Callable[[], List[Any]]) -> SessionResult:
+        with self.lock.read():
+            with self._attributed() as sink:
+                records = fn()
+        return SessionResult(records, sink)
+
+    def _write(self, fn: Callable[[], Any]) -> SessionResult:
+        with self.lock.write():
+            with self._attributed() as sink:
+                out = fn()
+        records = out if isinstance(out, list) else ([] if out is None else [out])
+        return SessionResult(records, sink)
+
+    # ------------------------------------------------------------------ #
+    # the read surface
+    # ------------------------------------------------------------------ #
+    def query(self, name: str, q: Any) -> SessionResult:
+        """Answer ``q`` on the named index: one consistent read turn.
+
+        The lazy result is drained inside the read lock — concurrent
+        writers wait, so the answer is the oracle of a single engine state.
+        """
+        with self.lock.read():
+            with self._attributed() as sink:
+                result = self.engine.query(name, q)
+                records = result.all()
+                bound = result.bound
+                plan = result.plan
+        return SessionResult(records, sink, bound=bound, plan=plan)
+
+    def run(self, prepared: Any, **params: Any) -> SessionResult:
+        """Execute a :class:`~repro.engine.prepared.PreparedQuery` handle.
+
+        Handles are leased per session/connection and must not be shared
+        across threads (their cached-template bookkeeping is unguarded);
+        the planner they delegate to is internally locked, so re-planning
+        after an invalidation is safe under the shared read lock.
+        """
+        with self.lock.read():
+            with self._attributed() as sink:
+                result = prepared.run(**params)
+                records = result.all()
+                bound = result.bound
+                plan = result.plan
+        return SessionResult(
+            records, sink, bound=bound, plan=plan,
+            from_cache=prepared.last_from_cache,
+        )
+
+    def prepare(self, name: str, q: Any) -> Any:
+        """Plan once under the read lock; returns the prepared handle."""
+        with self.lock.read():
+            return self.engine.prepare(name, q)
+
+    def explain(self, name: str, q: Any) -> Any:
+        """The plan :meth:`query` would run (pure, but planner-locked)."""
+        with self.lock.read():
+            return self.engine.explain(name, q)
+
+    # ------------------------------------------------------------------ #
+    # the write surface (exclusive turns)
+    # ------------------------------------------------------------------ #
+    def insert(self, name: str, *item: Any) -> SessionResult:
+        return self._write(lambda: self.engine.insert(name, *item))
+
+    def delete(self, name: str, *item: Any) -> SessionResult:
+        return self._write(lambda: [bool(self.engine.delete(name, *item))])
+
+    def bulk_load(self, name: str, items: List[Any]) -> SessionResult:
+        return self._write(lambda: [self.engine.bulk_load(name, items)])
+
+    def create_collection(self, name: str, records: Any = (), **kw: Any) -> SessionResult:
+        def do() -> None:
+            self.engine.create_collection(name, list(records), **kw)
+
+        return self._write(do)
+
+    def create_interval_index(self, name: str, records: Any = (), **kw: Any) -> SessionResult:
+        def do() -> None:
+            self.engine.create_interval_index(name, list(records), **kw)
+
+        return self._write(do)
+
+    def drop_index(self, name: str) -> SessionResult:
+        return self._write(lambda: self.engine.drop_index(name))
+
+    def delete_matching(self, name: str, q: Any, limit: Optional[int] = None) -> SessionResult:
+        """Delete every record matching ``q``: read, upgrade, write — atomically.
+
+        The victim set is streamed under the read lock, then the lock is
+        *upgraded* — no other writer can run between the read and the
+        deletes, so the victims cannot go stale.  If another session
+        already holds the write-intent slot (:class:`WriteIntentError`),
+        fall back to a plain exclusive turn and re-run the victim query
+        inside it: same atomicity, one extra query.
+        """
+        def victims_of(engine_state_query: Any) -> List[Any]:
+            victims = self.engine.query(name, engine_state_query).all()
+            return victims if limit is None else victims[:limit]
+
+        with self._attributed() as sink:
+            try:
+                with self.lock.read():
+                    victims = victims_of(q)
+                    with self.lock.upgrade():
+                        removed = [v for v in victims if self.engine.delete(name, v)]
+            except WriteIntentError:
+                with self.lock.write():
+                    victims = victims_of(q)
+                    removed = [v for v in victims if self.engine.delete(name, v)]
+        return SessionResult(removed, sink)
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    def io_snapshot(self) -> IOStats:
+        """This session's cumulative attributed I/O (a consistent copy)."""
+        return self.stats.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EngineSession(id={self.session_id}, requests={self.requests}, "
+            f"ios={self.stats.total})"
+        )

@@ -12,6 +12,7 @@ cache, worst-case counts — the default used in benchmarks) or a
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Set
 
@@ -37,6 +38,10 @@ class BufferManager:
         self.capacity_pages = capacity_pages if capacity_pages is not None else disk.block_size
         self._cache: "OrderedDict[BlockId, Block]" = OrderedDict()
         self._dirty: Set[BlockId] = set()
+        #: guards the LRU order, residency set and dirty set — concurrent
+        #: reader sessions hit the pool in parallel, and an unsynchronized
+        #: eviction racing a move_to_end raises (or loses a dirty page)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # pass-through API (same surface as SimulatedDisk)
@@ -69,38 +74,44 @@ class BufferManager:
         header: Optional[Dict[str, Any]] = None,
         capacity: Optional[int] = None,
     ) -> Block:
-        block = self.disk.allocate(records, header, capacity)
-        self._insert(block, dirty=False)
-        return block
+        with self._lock:
+            block = self.disk.allocate(records, header, capacity)
+            self._insert(block, dirty=False)
+            return block
 
     def free(self, block_id: BlockId) -> None:
-        self._cache.pop(block_id, None)
-        self._dirty.discard(block_id)
-        self.disk.free(block_id)
+        with self._lock:
+            self._cache.pop(block_id, None)
+            self._dirty.discard(block_id)
+            self.disk.free(block_id)
 
     def read(self, block_id: BlockId) -> Block:
         """Read a block, through the cache."""
-        if block_id in self._cache:
-            self._cache.move_to_end(block_id)
-            self.disk.stats.cache_hits += 1
-            return self._cache[block_id]
-        block = self.disk.read(block_id)
-        self._insert(block, dirty=False)
-        return block
+        with self._lock:
+            if block_id in self._cache:
+                self._cache.move_to_end(block_id)
+                self.disk.stats.count(cache_hits=1)
+                return self._cache[block_id]
+            block = self.disk.read(block_id)
+            self._insert(block, dirty=False)
+            return block
 
     def write(self, block: Block) -> None:
         """Write a block.  Deferred to eviction or :meth:`flush` (write-back)."""
-        self._insert(block, dirty=True)
+        with self._lock:
+            self._insert(block, dirty=True)
 
     def peek(self, block_id: BlockId) -> Block:
-        if block_id in self._cache:
-            return self._cache[block_id]
+        with self._lock:
+            if block_id in self._cache:
+                return self._cache[block_id]
         return self.disk.peek(block_id)
 
     # ------------------------------------------------------------------ #
     # cache machinery
     # ------------------------------------------------------------------ #
     def _insert(self, block: Block, dirty: bool) -> None:
+        # caller holds self._lock
         self._cache[block.block_id] = block
         self._cache.move_to_end(block.block_id)
         if dirty:
@@ -113,16 +124,18 @@ class BufferManager:
 
     def flush(self) -> None:
         """Write back every dirty resident page."""
-        for block_id in list(self._dirty):
-            block = self._cache.get(block_id)
-            if block is not None:
-                self.disk.write(block)
-        self._dirty.clear()
+        with self._lock:
+            for block_id in list(self._dirty):
+                block = self._cache.get(block_id)
+                if block is not None:
+                    self.disk.write(block)
+            self._dirty.clear()
 
     def drop(self) -> None:
         """Empty the cache *without* writing dirty pages (test helper)."""
-        self._cache.clear()
-        self._dirty.clear()
+        with self._lock:
+            self._cache.clear()
+            self._dirty.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -4,11 +4,32 @@ Every read or write of a disk block is one I/O in the paper's cost model.
 :class:`IOStats` keeps the running totals and supports scoped measurement so
 a benchmark can ask "how many I/Os did *this* query perform?" without
 resetting global state.
+
+Thread safety & attribution
+---------------------------
+A storage backend is shared by every index of an engine — and, since the
+serving subsystem, by every concurrent :class:`~repro.engine.session.
+EngineSession` draining queries in parallel.  Two guarantees follow:
+
+* **Totals never lose updates.**  All mutation goes through :meth:`count`
+  (or :meth:`merge`/:meth:`reset`), which holds a per-instance lock around
+  the read-modify-write.  The bare ``stats.reads += 1`` pattern of the
+  single-caller era is gone from the backends.
+* **Per-thread attribution.**  :meth:`attributed` registers a *sink*
+  :class:`IOStats` for the **current thread only**: every ``count`` on this
+  instance performed by that thread is mirrored into the sink until the
+  ``with`` block exits.  Because registration is thread-local, concurrent
+  requests on one backend each see exactly their own I/Os — which is what
+  keeps the paper's per-query bounds checkable per request while other
+  sessions hammer the same disk.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 
 @dataclass
@@ -36,21 +57,113 @@ class IOStats:
     allocations: int = 0
     frees: int = 0
     cache_hits: int = 0
+    #: guards every read-modify-write (``count``/``merge``/``reset``)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+    #: per-thread attribution sinks (see :meth:`attributed`)
+    _local: threading.local = field(
+        default_factory=threading.local, init=False, repr=False, compare=False
+    )
 
+    # ------------------------------------------------------------------ #
+    # mutation (the only thread-safe write paths)
+    # ------------------------------------------------------------------ #
+    def count(
+        self,
+        reads: int = 0,
+        writes: int = 0,
+        allocations: int = 0,
+        frees: int = 0,
+        cache_hits: int = 0,
+    ) -> None:
+        """Add to the counters under the lock; mirror into this thread's sinks.
+
+        This is what the storage backends call on every block operation.
+        A bare ``stats.reads += 1`` is a read-modify-write that loses
+        updates under concurrency; ``count`` does not.
+        """
+        with self._lock:
+            self.reads += reads
+            self.writes += writes
+            self.allocations += allocations
+            self.frees += frees
+            self.cache_hits += cache_hits
+        sinks = getattr(self._local, "sinks", None)
+        if sinks:
+            for sink in sinks:
+                sink.count(
+                    reads=reads,
+                    writes=writes,
+                    allocations=allocations,
+                    frees=frees,
+                    cache_hits=cache_hits,
+                )
+
+    def merge(self, other: "IOStats") -> None:
+        """Fold another counter set into this one (thread-safe)."""
+        self.count(
+            reads=other.reads,
+            writes=other.writes,
+            allocations=other.allocations,
+            frees=other.frees,
+            cache_hits=other.cache_hits,
+        )
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        with self._lock:
+            self.reads = 0
+            self.writes = 0
+            self.allocations = 0
+            self.frees = 0
+            self.cache_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # per-thread attribution
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def attributed(self, sink: "IOStats") -> Iterator["IOStats"]:
+        """Mirror this thread's counts into ``sink`` for the scope's duration.
+
+        Registration is **thread-local**: other threads' I/Os on the same
+        backend are never attributed to ``sink``, so concurrent sessions can
+        each measure their own requests on one shared disk.  Scopes nest —
+        an inner sink and an outer sink both receive the inner scope's
+        counts.
+        """
+        sinks = getattr(self._local, "sinks", None)
+        if sinks is None:
+            sinks = self._local.sinks = []
+        sinks.append(sink)
+        try:
+            yield sink
+        finally:
+            # unregister by identity: list.remove compares by ==, and two
+            # sinks with equal counter values would unregister the wrong one
+            for i in range(len(sinks) - 1, -1, -1):
+                if sinks[i] is sink:
+                    del sinks[i]
+                    break
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
     @property
     def total(self) -> int:
         """Total I/Os (reads + writes)."""
         return self.reads + self.writes
 
     def snapshot(self) -> "IOStats":
-        """Return a copy of the current counters."""
-        return IOStats(
-            reads=self.reads,
-            writes=self.writes,
-            allocations=self.allocations,
-            frees=self.frees,
-            cache_hits=self.cache_hits,
-        )
+        """Return a consistent copy of the current counters."""
+        with self._lock:
+            return IOStats(
+                reads=self.reads,
+                writes=self.writes,
+                allocations=self.allocations,
+                frees=self.frees,
+                cache_hits=self.cache_hits,
+            )
 
     def diff(self, earlier: "IOStats") -> "IOStats":
         """Return the counter increase since ``earlier`` was snapshotted."""
@@ -62,13 +175,32 @@ class IOStats:
             cache_hits=self.cache_hits - earlier.cache_hits,
         )
 
-    def reset(self) -> None:
-        """Zero all counters."""
-        self.reads = 0
-        self.writes = 0
-        self.allocations = 0
-        self.frees = 0
-        self.cache_hits = 0
+    def as_dict(self) -> dict:
+        """The counters as plain data (what the wire protocol ships)."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "allocations": self.allocations,
+            "frees": self.frees,
+            "cache_hits": self.cache_hits,
+            "total": self.total,
+        }
+
+    # locks and thread-local registries are process state, not counter
+    # state: copies and pickles carry the numbers only
+    def __getstate__(self) -> dict:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "allocations": self.allocations,
+            "frees": self.frees,
+            "cache_hits": self.cache_hits,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__["_lock"] = threading.Lock()
+        self.__dict__["_local"] = threading.local()
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -113,15 +113,14 @@ class SimulatedDisk:
         self._next_id += 1
         block = Block(block_id, capacity or self.block_size, records, header)
         self._blocks[block_id] = block
-        self.stats.allocations += 1
-        self.stats.writes += 1
+        self.stats.count(allocations=1, writes=1)
         return block
 
     def free(self, block_id: BlockId) -> None:
         """Release a block.  Freeing is not an I/O."""
         if block_id in self._blocks:
             del self._blocks[block_id]
-            self.stats.frees += 1
+            self.stats.count(frees=1)
 
     # ------------------------------------------------------------------ #
     # access
@@ -132,7 +131,7 @@ class SimulatedDisk:
             block = self._blocks[block_id]
         except KeyError as exc:
             raise KeyError(f"no such block: {block_id}") from exc
-        self.stats.reads += 1
+        self.stats.count(reads=1)
         return block
 
     def write(self, block: Block) -> None:
@@ -145,7 +144,7 @@ class SimulatedDisk:
                 f"{len(block.records)} > capacity {block.capacity}"
             )
         self._blocks[block.block_id] = block
-        self.stats.writes += 1
+        self.stats.count(writes=1)
 
     def peek(self, block_id: BlockId) -> Block:
         """Inspect a block *without* counting an I/O.

@@ -21,6 +21,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -83,6 +84,10 @@ class FileDisk:
         self._file = open(path, "w+b")
         self._end = 0
         self._closed = False
+        #: serializes seek+read/seek+write pairs on the shared file handle
+        #: (and the extent-table updates next to them) — concurrent reader
+        #: sessions issue parallel block reads through one FileDisk
+        self._io_lock = threading.RLock()
 
     @classmethod
     def open(cls, path: str) -> "FileDisk":
@@ -107,6 +112,7 @@ class FileDisk:
         disk._file = open(path, "r+b")
         disk._end = state["end"]
         disk._closed = False
+        disk._io_lock = threading.RLock()
         return disk
 
     @staticmethod
@@ -150,19 +156,22 @@ class FileDisk:
         payload = pickle.dumps(
             (block.capacity, block.records, block.header), protocol=pickle.HIGHEST_PROTOCOL
         )
-        self._file.seek(self._end)
-        self._file.write(payload)
-        self._extents[block.block_id] = (self._end, len(payload))
-        self._capacities[block.block_id] = block.capacity
-        self._end += len(payload)
+        with self._io_lock:
+            self._file.seek(self._end)
+            self._file.write(payload)
+            self._extents[block.block_id] = (self._end, len(payload))
+            self._capacities[block.block_id] = block.capacity
+            self._end += len(payload)
 
     def _load(self, block_id: BlockId) -> Block:
-        try:
-            offset, length = self._extents[block_id]
-        except KeyError as exc:
-            raise KeyError(f"no such block: {block_id}") from exc
-        self._file.seek(offset)
-        capacity, records, header = pickle.loads(self._file.read(length))
+        with self._io_lock:
+            try:
+                offset, length = self._extents[block_id]
+            except KeyError as exc:
+                raise KeyError(f"no such block: {block_id}") from exc
+            self._file.seek(offset)
+            raw = self._file.read(length)
+        capacity, records, header = pickle.loads(raw)
         return Block(block_id, capacity, records, header)
 
     # ------------------------------------------------------------------ #
@@ -176,26 +185,28 @@ class FileDisk:
     ) -> Block:
         """Allocate a new block and persist it (one write I/O)."""
         self._check_open()
-        block_id = self._next_id
-        self._next_id += 1
-        block = Block(block_id, capacity or self.block_size, records, header)
-        self._append(block)
-        self.stats.allocations += 1
-        self.stats.writes += 1
+        with self._io_lock:
+            block_id = self._next_id
+            self._next_id += 1
+            block = Block(block_id, capacity or self.block_size, records, header)
+            self._append(block)
+        self.stats.count(allocations=1, writes=1)
         return block
 
     def free(self, block_id: BlockId) -> None:
         """Release a block.  Freeing is not an I/O; space is reclaimed by compact()."""
-        if block_id in self._extents:
+        with self._io_lock:
+            if block_id not in self._extents:
+                return
             del self._extents[block_id]
             del self._capacities[block_id]
-            self.stats.frees += 1
+        self.stats.count(frees=1)
 
     def read(self, block_id: BlockId) -> Block:
         """Read and deserialize a block from the page file (one I/O)."""
         self._check_open()
         block = self._load(block_id)
-        self.stats.reads += 1
+        self.stats.count(reads=1)
         return block
 
     def write(self, block: Block) -> None:
@@ -209,7 +220,7 @@ class FileDisk:
                 f"{len(block.records)} > capacity {block.capacity}"
             )
         self._append(block)
-        self.stats.writes += 1
+        self.stats.count(writes=1)
 
     def peek(self, block_id: BlockId) -> Block:
         """Deserialize a block without counting an I/O (tests/invariants only)."""

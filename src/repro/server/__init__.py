@@ -1,0 +1,48 @@
+"""``repro.server`` — the concurrent serving subsystem.
+
+Layers (bottom up):
+
+* the concurrency kernel lives in :mod:`repro.engine.session`
+  (``Engine.session()`` handles over a readers-writer lock with
+  write-intent upgrade, per-session I/O attribution);
+* :mod:`repro.server.protocol` — the JSON-line wire codec: framed
+  request/response messages, record and algebra-descriptor round-trips,
+  structured error classification;
+* :mod:`repro.server.core` — :class:`ReproServer`, a
+  ``ThreadingTCPServer`` with a request router, per-connection
+  prepared-handle leases and graceful shutdown (CLI: ``repro serve``);
+* :mod:`repro.server.client` — :class:`ReproClient`, the blocking
+  client the concurrent workload driver
+  (:mod:`repro.workloads.concurrent`) fans out across threads.
+"""
+
+from repro.server.client import ClientResult, PreparedHandle, ReproClient, ServerError
+from repro.server.core import ReproServer
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    StaleHandleError,
+    decode_message,
+    encode_message,
+    query_from_wire,
+    query_to_wire,
+    record_from_dict,
+    record_to_dict,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ClientResult",
+    "PreparedHandle",
+    "ProtocolError",
+    "ReproClient",
+    "ReproServer",
+    "ServerError",
+    "StaleHandleError",
+    "decode_message",
+    "encode_message",
+    "query_from_wire",
+    "query_to_wire",
+    "record_from_dict",
+    "record_to_dict",
+]

@@ -1,0 +1,211 @@
+"""``ReproClient`` — the blocking JSON-line client for :class:`ReproServer`.
+
+One socket, one request in flight at a time (the protocol is strictly
+request/response per connection; open several clients for parallelism —
+that is exactly what the concurrent workload driver does).  Records come
+back as real :class:`~repro.interval.Interval` objects whose uids are the
+server's authoritative record names — pass them straight back to
+:meth:`~ReproClient.delete`.
+
+>>> with ReproClient("127.0.0.1", 7411) as db:          # doctest: +SKIP
+...     db.create("ivs", records=[Interval(1, 5)])
+...     stab = db.prepare("ivs", Stab(Param("x")))
+...     hits = stab.run(x=3.0)
+...     print(hits.count, hits.ios, hits.bound)
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.server import protocol as P
+
+
+class ServerError(RuntimeError):
+    """A structured error response from the server.
+
+    ``code`` is the protocol's classification (``bad_request`` /
+    ``unknown_index`` / ``stale_handle`` / ``conflict`` / ``internal``),
+    ``type`` the server-side exception class name.
+    """
+
+    def __init__(self, code: str, type_: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.type = type_
+
+    def __str__(self) -> str:
+        return f"[{self.code}/{self.type}] {super().__str__()}"
+
+
+@dataclass
+class ClientResult:
+    """One answered request: records plus the server's per-request accounting."""
+
+    records: List[Any] = field(default_factory=list)
+    ios: int = 0
+    bound: Optional[float] = None
+    stats: Dict[str, Any] = field(default_factory=dict)
+    from_cache: Optional[bool] = None
+    raw: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class PreparedHandle:
+    """A prepared-query lease on one connection (see ``prepare``)."""
+
+    client: "ReproClient"
+    handle: int
+    index: str
+    params: List[str]
+
+    def run(self, **params: Any) -> ClientResult:
+        return self.client.run(self, **params)
+
+
+class ReproClient:
+    """A blocking client for one server connection."""
+
+    def __init__(self, host: str, port: int, *, timeout: Optional[float] = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def call(self, cmd: str, **payload: Any) -> Dict[str, Any]:
+        """Send one command, wait for its response, unwrap errors."""
+        if cmd not in P.COMMANDS:
+            raise ValueError(f"unknown command {cmd!r}; know {sorted(P.COMMANDS)}")
+        self._next_id += 1
+        request_id = self._next_id
+        self._wfile.write(P.encode_message({"id": request_id, "cmd": cmd, **payload}))
+        self._wfile.flush()
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = P.decode_message(line)
+        if response.get("id") != request_id:
+            raise ConnectionError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}"
+            )
+        if not response.get("ok"):
+            error = response.get("error", {})
+            raise ServerError(
+                error.get("code", "internal"),
+                error.get("type", "Exception"),
+                error.get("message", "unknown server error"),
+            )
+        return response
+
+    def close(self) -> None:
+        for closer in (self._wfile.close, self._rfile.close, self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # the command surface
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _result(response: Dict[str, Any]) -> ClientResult:
+        return ClientResult(
+            records=[P.record_from_dict(d) for d in response.get("records", [])],
+            ios=response.get("ios", 0),
+            bound=response.get("bound"),
+            stats=response.get("stats", {}),
+            from_cache=response.get("from_cache"),
+            raw=response,
+        )
+
+    def ping(self) -> Dict[str, Any]:
+        return self.call("ping")
+
+    def create(
+        self,
+        index: str,
+        records: List[Any] = (),
+        *,
+        kind: str = "collection",
+        dynamic: bool = True,
+    ) -> Dict[str, Any]:
+        return self.call(
+            "create",
+            index=index,
+            kind=kind,
+            dynamic=dynamic,
+            records=P.records_to_wire(list(records)),
+        )
+
+    def query(self, index: str, q: Any) -> ClientResult:
+        return self._result(self.call("query", index=index, q=P.query_to_wire(q)))
+
+    def prepare(self, index: str, q: Any) -> PreparedHandle:
+        response = self.call("prepare", index=index, q=P.query_to_wire(q))
+        return PreparedHandle(
+            self, response["handle"], response["index"], response["params"]
+        )
+
+    def run(self, handle: Any, **params: Any) -> ClientResult:
+        handle_id = handle.handle if isinstance(handle, PreparedHandle) else handle
+        return self._result(self.call("run", handle=handle_id, params=params))
+
+    def insert(self, index: str, record: Any) -> Any:
+        """Insert; returns the *stored* record (authoritative server uid)."""
+        response = self.call(
+            "insert", index=index, record=P.record_to_dict(record)
+        )
+        return P.record_from_dict(response["record"])
+
+    def delete(self, index: str, record: Any = None, *, q: Any = None,
+               limit: Optional[int] = None) -> Dict[str, Any]:
+        if (record is None) == (q is None):
+            raise ValueError("delete takes exactly one of record= or q=")
+        if record is not None:
+            return self.call("delete", index=index, record=P.record_to_dict(record))
+        payload: Dict[str, Any] = {"index": index, "q": P.query_to_wire(q)}
+        if limit is not None:
+            payload["limit"] = limit
+        return self.call("delete", **payload)
+
+    def bulk_load(self, index: str, records: List[Any]) -> List[Any]:
+        """Bulk-load; returns the stored records (authoritative uids)."""
+        response = self.call(
+            "bulk_load", index=index, records=P.records_to_wire(list(records))
+        )
+        return [P.record_from_dict(d) for d in response["records"]]
+
+    def explain(self, index: str, q: Any) -> Dict[str, Any]:
+        return self.call("explain", index=index, q=P.query_to_wire(q))["plan"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call("stats")
+
+    def drop(self, index: str) -> Dict[str, Any]:
+        return self.call("drop", index=index)
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the whole server to stop (graceful; the ack still arrives)."""
+        return self.call("shutdown")

@@ -1,0 +1,386 @@
+"""``ReproServer`` — the threaded TCP server over one shared engine.
+
+Each client connection gets its own handler thread, its own
+:class:`~repro.engine.session.EngineSession` (so its requests run under
+the engine's readers-writer lock and its I/O is attributed per session),
+and its own **prepared-handle registry**: ``prepare`` leases an integer
+handle valid on that connection only; ``run`` executes it; a handle whose
+underlying index was dropped or re-created surfaces the engine's
+invalidation error as a structured ``stale_handle`` response instead of
+tearing the connection down.
+
+Consistency model served to clients: every request is one atomic turn —
+queries drain inside a shared read turn (many clients in parallel),
+writes take exclusive turns, and a reader therefore always sees the
+record set as it stood between two write turns, never a half-applied
+write.  See :mod:`repro.engine.session`.
+
+The server itself is transport only: it routes decoded messages to the
+session surface and serializes the answers.  Run one with::
+
+    python -m repro serve --port 7411 --n 10000
+
+or embed it (the tests do)::
+
+    server = ReproServer(engine)
+    server.start()                    # background thread
+    ... ReproClient(*server.address) ...
+    server.close()
+"""
+
+from __future__ import annotations
+
+import itertools
+import socketserver
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.server import protocol as P
+
+
+class _ShutdownRequested(Exception):
+    """Internal: a client asked the whole server to stop."""
+
+
+class ReproServer:
+    """A concurrent JSON-line server over one :class:`~repro.engine.Engine`.
+
+    Parameters
+    ----------
+    engine:
+        The shared engine.  The server does not own it unless
+        ``close_engine`` — callers that hand over a persistent engine
+        usually want the server's shutdown to checkpoint-and-close it.
+    host / port:
+        Bind address; port ``0`` picks a free port (see :attr:`address`).
+    close_engine:
+        When true, :meth:`close` also calls ``engine.close()``.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        close_engine: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.close_engine = close_engine
+        outer = self
+
+        class _Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:  # pragma: no cover - thread body
+                outer._serve_connection(self)
+
+        class _TCP(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._tcp = _TCP((host, port), _Handler)
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        #: whether serve_forever ran (shutdown on a never-served TCPServer
+        #: would wait forever on its is-shut-down event)
+        self._served = False
+        #: live sessions by id (what the ``stats`` command reports)
+        self._sessions: Dict[int, Any] = {}
+        self._sessions_lock = threading.Lock()
+        self._connections = itertools.count(1)
+        #: aggregate of departed sessions, so ``stats`` accounts for the
+        #: whole serving history, not just currently-open connections
+        self._retired = {"sessions": 0, "requests": 0, "ios": 0}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ``port=0`` to the real one."""
+        return self._tcp.server_address[:2]
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (blocking; what the CLI calls)."""
+        self._served = True
+        self._tcp.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "ReproServer":
+        """Serve from a daemon background thread (embedding / tests)."""
+        if self._thread is None:
+            self._served = True  # the thread enters serve_forever
+            self._thread = threading.Thread(
+                target=self.serve_forever, name="repro-server", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting and unwind ``serve_forever`` (graceful)."""
+        if self._served:
+            self._tcp.shutdown()
+
+    def close(self) -> None:
+        """Shut down, release the socket, optionally close the engine."""
+        if self._closed:
+            return
+        self._closed = True
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._tcp.server_close()
+        if self.close_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # one connection
+    # ------------------------------------------------------------------ #
+    def _serve_connection(self, handler: socketserver.StreamRequestHandler) -> None:
+        session = self.engine.session()
+        leases: Dict[int, Any] = {}
+        lease_ids = itertools.count(1)
+        with self._sessions_lock:
+            self._sessions[session.session_id] = session
+        try:
+            for line in handler.rfile:
+                if not line.strip():
+                    continue
+                request_id = None
+                try:
+                    message = P.decode_message(line)
+                    request_id = message.get("id")
+                    response = self._dispatch(session, leases, lease_ids, message)
+                except _ShutdownRequested:
+                    handler.wfile.write(
+                        P.encode_message(P.ok_response(request_id, stopping=True))
+                    )
+                    handler.wfile.flush()
+                    # unwind serve_forever from outside its own loop thread
+                    threading.Thread(target=self.shutdown, daemon=True).start()
+                    return
+                except Exception as exc:  # noqa: BLE001 - fault barrier
+                    response = P.error_response(request_id, exc)
+                handler.wfile.write(P.encode_message(response))
+                handler.wfile.flush()
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass  # client went away mid-write; the session just ends
+        finally:
+            with self._sessions_lock:
+                self._sessions.pop(session.session_id, None)
+                self._retired["sessions"] += 1
+                self._retired["requests"] += session.requests
+                self._retired["ios"] += session.stats.total
+
+    # ------------------------------------------------------------------ #
+    # the request router
+    # ------------------------------------------------------------------ #
+    def _dispatch(
+        self,
+        session: Any,
+        leases: Dict[int, Any],
+        lease_ids: Any,
+        message: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        cmd = message.get("cmd")
+        request_id = message.get("id")
+        handler = getattr(self, f"_cmd_{cmd}", None) if isinstance(cmd, str) else None
+        if handler is None:
+            raise P.ProtocolError(
+                f"unknown command {cmd!r}; know {sorted(P.COMMANDS)}"
+            )
+        return handler(session, leases, lease_ids, request_id, message)
+
+    @staticmethod
+    def _result_payload(res: Any, *, with_records: bool = True) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "ios": res.ios,
+            "stats": res.stats.as_dict(),
+        }
+        if with_records:
+            out["records"] = P.records_to_wire(res.records)
+            out["count"] = len(res.records)
+        if res.bound is not None:
+            out["bound"] = res.bound
+        return out
+
+    # -- control --------------------------------------------------------- #
+    def _cmd_ping(self, session, leases, lease_ids, request_id, message):
+        return P.ok_response(
+            request_id, pong=True, version=P.PROTOCOL_VERSION,
+            session=session.session_id,
+        )
+
+    def _cmd_shutdown(self, session, leases, lease_ids, request_id, message):
+        raise _ShutdownRequested
+
+    # -- namespace ------------------------------------------------------- #
+    def _cmd_create(self, session, leases, lease_ids, request_id, message):
+        name = _required(message, "index")
+        kind = message.get("kind", "collection")
+        records = P.records_from_wire(message.get("records", []), fresh_uid=True)
+        dynamic = bool(message.get("dynamic", True))
+        if kind == "collection":
+            res = session.create_collection(name, records, dynamic=dynamic)
+        elif kind == "interval":
+            res = session.create_interval_index(name, records, dynamic=dynamic)
+        else:
+            raise P.ProtocolError(
+                f"unknown index kind {kind!r}; know ['collection', 'interval']"
+            )
+        return P.ok_response(
+            request_id, index=name, kind=kind, loaded=len(records), ios=res.ios
+        )
+
+    def _cmd_drop(self, session, leases, lease_ids, request_id, message):
+        name = _required(message, "index")
+        res = session.drop_index(name)
+        return P.ok_response(request_id, dropped=name, ios=res.ios)
+
+    # -- reads ----------------------------------------------------------- #
+    def _cmd_query(self, session, leases, lease_ids, request_id, message):
+        name = _required(message, "index")
+        q = P.query_from_wire(_required(message, "q"))
+        res = session.query(name, q)
+        return P.ok_response(request_id, **self._result_payload(res))
+
+    def _cmd_explain(self, session, leases, lease_ids, request_id, message):
+        name = _required(message, "index")
+        q = P.query_from_wire(_required(message, "q"))
+        plan = session.explain(name, q)
+        return P.ok_response(
+            request_id,
+            plan={
+                "kind": plan.kind,
+                "index": plan.index,
+                "bound": plan.bound.formula,
+                "predicted": plan.predicted(0),
+                "describe": plan.describe(),
+            },
+        )
+
+    def _cmd_prepare(self, session, leases, lease_ids, request_id, message):
+        name = _required(message, "index")
+        q = P.query_from_wire(_required(message, "q"))
+        prepared = session.prepare(name, q)
+        handle = next(lease_ids)
+        leases[handle] = prepared
+        return P.ok_response(
+            request_id, handle=handle, index=name, params=prepared.params
+        )
+
+    def _cmd_run(self, session, leases, lease_ids, request_id, message):
+        handle = _required(message, "handle")
+        prepared = leases.get(handle)
+        if prepared is None:
+            raise P.StaleHandleError(
+                f"no prepared handle {handle!r} on this connection; "
+                "handles are leased per connection by 'prepare'"
+            )
+        params = message.get("params", {})
+        if not isinstance(params, dict):
+            raise P.ProtocolError("'params' must be an object of name -> value")
+        try:
+            res = session.run(prepared, **params)
+        except (KeyError, RuntimeError) as exc:
+            message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else ""
+            # only the prepared-query liveness checks kill a lease: the
+            # engine's "no index named ..." KeyError (dropped) and the
+            # identity check's "... call Engine.prepare again" RuntimeError
+            # (name re-bound).  Anything else — bad bindings, execution
+            # errors — propagates with its own classification and leaves
+            # the lease alive.
+            stale = (
+                isinstance(exc, KeyError) and "no index named" in message
+            ) or (
+                isinstance(exc, RuntimeError) and "prepare" in message
+            )
+            if not stale:
+                raise
+            leases.pop(handle, None)
+            raise P.StaleHandleError(
+                f"prepared handle {handle} is stale: " + (message or repr(exc))
+            ) from exc
+        payload = self._result_payload(res)
+        if res.from_cache is not None:
+            payload["from_cache"] = res.from_cache
+        return P.ok_response(request_id, **payload)
+
+    # -- writes ---------------------------------------------------------- #
+    def _cmd_insert(self, session, leases, lease_ids, request_id, message):
+        name = _required(message, "index")
+        record = P.record_from_dict(_required(message, "record"), fresh_uid=True)
+        res = session.insert(name, record)
+        return P.ok_response(
+            request_id, record=P.record_to_dict(record), ios=res.ios
+        )
+
+    def _cmd_delete(self, session, leases, lease_ids, request_id, message):
+        name = _required(message, "index")
+        if "record" in message:
+            record = P.record_from_dict(message["record"])
+            res = session.delete(name, record)
+            removed = 1 if res.records and res.records[0] else 0
+            return P.ok_response(request_id, removed=removed, ios=res.ios)
+        if "q" in message:
+            q = P.query_from_wire(message["q"])
+            res = session.delete_matching(name, q, limit=message.get("limit"))
+            return P.ok_response(
+                request_id,
+                removed=len(res.records),
+                records=P.records_to_wire(res.records),
+                ios=res.ios,
+            )
+        raise P.ProtocolError("'delete' takes a 'record' or a 'q' selector")
+
+    def _cmd_bulk_load(self, session, leases, lease_ids, request_id, message):
+        name = _required(message, "index")
+        records = P.records_from_wire(_required(message, "records"), fresh_uid=True)
+        res = session.bulk_load(name, records)
+        return P.ok_response(
+            request_id,
+            loaded=len(records),
+            records=P.records_to_wire(records),
+            ios=res.ios,
+        )
+
+    # -- accounting ------------------------------------------------------ #
+    def _cmd_stats(self, session, leases, lease_ids, request_id, message):
+        with self._sessions_lock:
+            per_session = {
+                str(sid): {
+                    "requests": s.requests,
+                    **s.io_snapshot().as_dict(),
+                }
+                for sid, s in sorted(self._sessions.items())
+            }
+            retired = dict(self._retired)
+        return P.ok_response(
+            request_id,
+            retired=retired,
+            session={
+                "id": session.session_id,
+                "requests": session.requests,
+                **session.io_snapshot().as_dict(),
+            },
+            sessions=per_session,
+            engine={
+                "block_size": self.engine.block_size,
+                "indexes": self.engine.names(),
+                "blocks": self.engine.block_count(),
+                **self.engine.io_stats().snapshot().as_dict(),
+            },
+        )
+
+
+def _required(message: Dict[str, Any], key: str) -> Any:
+    try:
+        return message[key]
+    except KeyError:
+        raise P.ProtocolError(
+            f"command {message.get('cmd')!r} requires {key!r}"
+        ) from None

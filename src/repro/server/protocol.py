@@ -1,0 +1,206 @@
+"""The wire protocol: JSON-line request/response framing and codecs.
+
+One request per line, one response per line, UTF-8 JSON both ways — dumb
+enough to drive with ``netcat``, structured enough to carry the whole
+engine surface:
+
+========== =============================================================
+command    payload
+========== =============================================================
+``ping``   —
+``create`` ``index``, ``kind`` (``collection``/``interval``),
+           ``records``, ``dynamic``
+``query``  ``index``, ``q`` (a serialized algebra node)
+``prepare``  ``index``, ``q`` (may contain ``Param`` nodes)
+``run``    ``handle`` (a lease from ``prepare``), ``params``
+``insert`` ``index``, ``record``
+``delete`` ``index``, ``record`` *or* ``q`` (+ optional ``limit``)
+``bulk_load``  ``index``, ``records``
+``explain``  ``index``, ``q``
+``stats``  —
+``drop``   ``index``
+``shutdown``  —
+========== =============================================================
+
+Query descriptors cross the wire through the algebra's
+:meth:`~repro.algebra.AlgebraicQuery.to_dict` /
+:func:`~repro.engine.queries.query_from_dict` round-trip, which preserves
+``signature()`` and ``matches`` semantics for every node type, ``Param``
+placeholders included.  Records travel as tagged dicts
+(:func:`record_to_dict` / :func:`record_from_dict`); payloads must be
+JSON-serializable.
+
+Responses are ``{"id": ..., "ok": true, ...}`` or a **structured error**
+``{"id": ..., "ok": false, "error": {"code": ..., "type": ..., "message":
+...}}`` where ``code`` classifies the failure for programmatic handling:
+
+* ``bad_request`` — malformed JSON, unknown command, bad query node;
+* ``unknown_index`` — the engine's descriptive :class:`KeyError`;
+* ``stale_handle`` — a prepared-query lease that expired (unknown id, or
+  the index it was planned against was dropped/re-created);
+* ``conflict`` — duplicate-uid inserts, write-intent contention;
+* ``internal`` — anything else (the message carries the repr).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.engine.queries import query_from_dict
+from repro.interval import Interval
+
+PROTOCOL_VERSION = 1
+
+#: commands a server must route (the client refuses to send others)
+COMMANDS = (
+    "ping", "create", "query", "prepare", "run", "insert", "delete",
+    "bulk_load", "explain", "stats", "drop", "shutdown",
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed wire message (not JSON, not a dict, no command...)."""
+
+
+# --------------------------------------------------------------------------- #
+# framing
+# --------------------------------------------------------------------------- #
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One protocol message as a JSON line (the only frame format)."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one JSON line into a message dict, or raise :class:`ProtocolError`."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"not a JSON line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"a protocol message is a JSON object, not {type(message).__name__}"
+        )
+    return message
+
+
+# --------------------------------------------------------------------------- #
+# record codec
+# --------------------------------------------------------------------------- #
+def record_to_dict(record: Any) -> Dict[str, Any]:
+    """A stored record as wire data (uid included — it names the record)."""
+    if isinstance(record, Interval):
+        return {
+            "record": "interval",
+            "low": record.low,
+            "high": record.high,
+            "payload": record.payload,
+            "uid": record.uid,
+        }
+    raise ProtocolError(
+        f"record type {type(record).__name__} has no wire form; the server "
+        "serves interval collections"
+    )
+
+
+def record_from_dict(data: Dict[str, Any], *, fresh_uid: bool = False) -> Any:
+    """Rebuild a record from its wire form.
+
+    ``fresh_uid`` mints a new process-unique uid instead of honouring the
+    one on the wire — what the server's *insert* paths use, so clients can
+    never collide with resident records; the returned (serialized) record
+    carries the authoritative uid back to the client, which then names it
+    in ``delete`` requests.
+    """
+    if not isinstance(data, dict):
+        raise ProtocolError(f"not a serialized record: {data!r}")
+    kind = data.get("record", "interval")
+    if kind != "interval":
+        raise ProtocolError(f"unknown record kind {kind!r}")
+    try:
+        kwargs: Dict[str, Any] = {
+            "low": data["low"],
+            "high": data["high"],
+            "payload": data.get("payload"),
+        }
+    except KeyError as exc:
+        raise ProtocolError(f"interval record missing field {exc}") from exc
+    if not fresh_uid and "uid" in data:
+        kwargs["uid"] = data["uid"]
+    try:
+        return Interval(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed interval record {data!r}: {exc}") from exc
+
+
+def records_to_wire(records: List[Any]) -> List[Dict[str, Any]]:
+    return [record_to_dict(r) for r in records]
+
+
+def records_from_wire(data: List[Any], *, fresh_uid: bool = False) -> List[Any]:
+    if not isinstance(data, list):
+        raise ProtocolError(f"'records' must be a list, not {type(data).__name__}")
+    return [record_from_dict(d, fresh_uid=fresh_uid) for d in data]
+
+
+# --------------------------------------------------------------------------- #
+# query codec (thin veneer over the algebra's own wire form)
+# --------------------------------------------------------------------------- #
+def query_to_wire(q: Any) -> Dict[str, Any]:
+    return q.to_dict()
+
+
+def query_from_wire(data: Any) -> Any:
+    try:
+        return query_from_dict(data)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+# --------------------------------------------------------------------------- #
+# structured errors
+# --------------------------------------------------------------------------- #
+def classify_error(exc: BaseException) -> str:
+    """The structured ``error.code`` for an exception (see module docstring)."""
+    from repro.engine.session import WriteIntentError
+
+    if isinstance(exc, ProtocolError):
+        return "bad_request"
+    if isinstance(exc, StaleHandleError):
+        return "stale_handle"
+    if isinstance(exc, KeyError):
+        message = exc.args[0] if exc.args else ""
+        if isinstance(message, str) and "parameter" in message:
+            return "bad_request"  # bad prepared-query bindings, not a name
+        return "unknown_index"
+    if isinstance(exc, WriteIntentError):
+        return "conflict"
+    if isinstance(exc, ValueError):
+        return "conflict" if "uid" in str(exc) else "bad_request"
+    if isinstance(exc, RuntimeError) and "prepare" in str(exc):
+        # the prepared-query identity check: dropped / re-created index
+        return "stale_handle"
+    return "internal"
+
+
+class StaleHandleError(RuntimeError):
+    """A ``run`` named a prepared-handle id this connection never leased
+    (or one whose lease was invalidated)."""
+
+
+def error_response(request_id: Any, exc: BaseException) -> Dict[str, Any]:
+    """The structured error response for a failed request."""
+    message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else repr(exc)
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "code": classify_error(exc),
+            "type": type(exc).__name__,
+            "message": message,
+        },
+    }
+
+
+def ok_response(request_id: Any, **payload: Any) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, **payload}

@@ -1,0 +1,537 @@
+"""The concurrent workload driver (what ``BENCH_concurrency.json`` records).
+
+Replays the PR-4 scenario matrix from **N client threads** against a live
+:class:`~repro.server.ReproServer`, with every answer checked against a
+single-threaded brute-force model *while the interleaving happens*:
+
+* **stab/read-only** and **endpoint/read-only** — N closed-loop
+  connections hammer a shared, quiescent collection with the planner's
+  flagship shapes (request → verify → think time → repeat; see
+  :func:`run_matrix` for the load model); every response must equal the
+  local oracle (``q.matches`` over the driver's copy of the stored
+  records) exactly, and every per-request I/O count must stay within the
+  planner's documented ``BOUND_SLACK`` of the paper's bound, which the
+  server can report per request because session I/O attribution is
+  per-thread.
+* **mixed/insert-query-delete** — each thread owns a private collection
+  and loops insert → prepared stab (checked against its deterministic
+  local model) → delete, while also reading the shared base collection;
+  writes from all threads contend for the engine's exclusive write turns.
+* **shared/snapshot** — all threads write *transient* records into one
+  shared collection while querying it.  Exact answers are unknowable
+  under interleaving, so the check is the consistency model itself:
+  every answer must contain all matching base records and nothing but
+  base records plus currently-possible transients (a reader never sees a
+  half-applied write or a phantom).
+
+Throughput (ops/s), latency (p50/p99) and ios/query are recorded per
+thread count; the read-only scenarios are the scaling headline — a
+single closed-loop client leaves the server idle during its think time,
+and concurrent sessions fill it, so 4 threads comfortably beat twice the
+1-thread figure on the stab scenario.
+
+The driver talks pure wire protocol: it needs only ``host``/``port``.
+:func:`spawn_server` boots a subprocess server for standalone use (the
+benchmark and ``repro bench concurrency``); CI instead starts ``repro
+serve`` itself and passes ``--connect``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.planner import BOUND_SLACK, BOUND_SLACK_PAGES
+from repro.engine.queries import EndpointRange, Param, Stab
+from repro.interval import Interval
+from repro.server.client import ReproClient
+from repro.workloads.generators import random_intervals
+
+#: collection names the driver creates on the server
+BASE = "base"
+SHARED = "shared"
+
+
+# --------------------------------------------------------------------------- #
+# spawning a server to drive
+# --------------------------------------------------------------------------- #
+def spawn_server(
+    *,
+    block_size: int = 16,
+    buffer_pages: Optional[int] = None,
+    timeout: float = 30.0,
+) -> Tuple[subprocess.Popen, str, int]:
+    """Start ``python -m repro serve --port 0`` and wait for its address.
+
+    Returns ``(process, host, port)``.  The caller owns the process; end
+    it with a wire ``shutdown`` (then :func:`wait_for_clean_exit`) or by
+    terminating it.
+    """
+    import repro
+
+    env = dict(os.environ)
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (pkg_root, env.get("PYTHONPATH")) if p
+    )
+    cmd = [sys.executable, "-m", "repro", "serve", "--port", "0",
+           "--block-size", str(block_size)]
+    if buffer_pages:
+        cmd += ["--buffer-pages", str(buffer_pages)]
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    deadline = time.monotonic() + timeout
+    while True:
+        line = proc.stdout.readline()
+        if "listening on" in line:
+            address = line.rsplit(" ", 1)[-1].strip()
+            host, port = address.rsplit(":", 1)
+            return proc, host, int(port)
+        if not line or proc.poll() is not None:
+            raise RuntimeError(f"server failed to start: {line!r}")
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("server did not report an address in time")
+
+
+def wait_for_clean_exit(proc: subprocess.Popen, timeout: float = 15.0) -> bool:
+    """True when the spawned server exited with status 0 (graceful)."""
+    try:
+        return proc.wait(timeout=timeout) == 0
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        return False
+
+
+# --------------------------------------------------------------------------- #
+# oracle helpers
+# --------------------------------------------------------------------------- #
+def _uids(records: Sequence[Any]) -> set:
+    return {r.uid for r in records}
+
+
+def _oracle_uids(records: Sequence[Any], q: Any) -> set:
+    return {r.uid for r in records if q.matches(r)}
+
+
+def _within_bound(ios: int, bound: Optional[float]) -> bool:
+    if bound is None:
+        return True
+    return ios <= BOUND_SLACK * bound + BOUND_SLACK_PAGES
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+class _Failures:
+    """Thread-safe failure collector (first few messages kept verbatim)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.oracle: List[str] = []
+        self.bound: List[str] = []
+        self.errors: List[str] = []
+
+    def add(self, kind: str, message: str) -> None:
+        with self._lock:
+            bucket = getattr(self, kind)
+            if len(bucket) < 8:
+                bucket.append(message)
+
+    @property
+    def oracle_ok(self) -> bool:
+        return not self.oracle and not self.errors
+
+    @property
+    def bound_ok(self) -> bool:
+        return not self.bound
+
+
+def _fan_out(worker: Callable[[int], None], threads: int) -> float:
+    """Run ``worker(thread_index)`` on N threads; the total wall seconds."""
+    ts = [threading.Thread(target=worker, args=(t,)) for t in range(threads)]
+    start = time.perf_counter()
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join()
+    return time.perf_counter() - start
+
+
+
+
+# --------------------------------------------------------------------------- #
+# the matrix
+# --------------------------------------------------------------------------- #
+def run_matrix(
+    host: str,
+    port: int,
+    *,
+    n: int = 10_000,
+    queries: int = 60,
+    thread_counts: Sequence[int] = (1, 2, 4),
+    write_ops: int = 12,
+    seed: int = 5,
+    mean_length: float = 20.0,
+    think_ms: float = 5.0,
+    shutdown: bool = False,
+) -> Dict[str, Any]:
+    """Run every concurrent scenario against a live server; the JSON payload.
+
+    ``queries`` is per thread per read scenario, so heavier thread counts
+    do proportionally more total work (throughput is comparable).
+
+    The read-only scenarios use the standard **closed-loop** load model:
+    each client thread issues a request, verifies the answer against the
+    precomputed oracle, then spends ``think_ms`` of idle "think time"
+    before the next request — the application-side processing a real
+    client does between queries.  A single closed-loop client therefore
+    leaves the server mostly idle, and the thread sweep measures what the
+    serving subsystem exists to provide: filling that idle time with
+    *other* sessions' requests.  (With ``think_ms=0`` every configuration
+    collapses to the host's single-core Python throughput and thread
+    counts measure nothing.)  Reported latency is the request round-trip
+    only; ``ops_per_sec`` is the delivered request rate of all clients.
+
+    With ``shutdown`` the driver's last act is a wire ``shutdown`` — the
+    CI smoke gate uses that to assert graceful exit.
+    """
+    import random
+
+    setup = ReproClient(host, port)
+    base_local = random_intervals(n, seed=seed, mean_length=mean_length)
+    setup.create(BASE, records=[])
+    base = setup.bulk_load(BASE, base_local)  # authoritative (server-uid) copy
+    scenarios: List[Dict[str, Any]] = []
+
+    rnd = random.Random(seed + 1)
+    points = [rnd.uniform(0, 1000) for _ in range(max(thread_counts) * queries)]
+    windows = [(x, x + 5.0) for x in points]
+    think_s = max(think_ms, 0.0) / 1e3
+
+    # -- read-only scaling: stab + endpoint, per thread count ------------- #
+    def read_scenario(name: str, make_query: Callable[[int], Any], threads: int) -> Dict[str, Any]:
+        failures = _Failures()
+        latencies: List[float] = []
+        ios_total = [0]
+        lock = threading.Lock()
+        # the full oracle sweep happens once, outside the timed loop; each
+        # response is still verified (by uid-set equality) per request
+        expected = {
+            i: _oracle_uids(base, make_query(i))
+            for i in range(threads * queries)
+        }
+
+        def worker(tid: int) -> None:
+            try:
+                with ReproClient(host, port) as db:
+                    handle = db.prepare(BASE, Stab(Param("x"))) if name.startswith("stab") else None
+                    local_lat: List[float] = []
+                    local_ios = 0
+                    for i in range(queries):
+                        j = tid * queries + i
+                        q = make_query(j)
+                        t0 = time.perf_counter()
+                        if handle is not None:
+                            res = handle.run(x=q.x)
+                        else:
+                            res = db.query(BASE, q)
+                        local_lat.append(time.perf_counter() - t0)
+                        local_ios += res.ios
+                        if _uids(res.records) != expected[j]:
+                            failures.add("oracle", f"{name}[{threads}t] {q!r} answer mismatch")
+                        if not _within_bound(res.ios, res.bound):
+                            failures.add(
+                                "bound",
+                                f"{name}[{threads}t] {q!r}: ios={res.ios} "
+                                f"> {BOUND_SLACK} x {res.bound} + {BOUND_SLACK_PAGES}",
+                            )
+                        if think_s:
+                            time.sleep(think_s)
+                    with lock:
+                        latencies.extend(local_lat)
+                        ios_total[0] += local_ios
+            except Exception as exc:  # noqa: BLE001 - collected, not raised
+                failures.add("errors", f"{name}[{threads}t] thread {tid}: {exc!r}")
+
+        wall = _fan_out(worker, threads)
+        ops = threads * queries
+        latencies.sort()
+        return {
+            "name": name,
+            "threads": threads,
+            "ops": ops,
+            "think_ms": think_ms,
+            "ops_per_sec": round(ops / wall, 1) if wall > 0 else float("inf"),
+            "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+            "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+            "ios_per_query": round(ios_total[0] / max(ops, 1), 2),
+            "oracle_ok": failures.oracle_ok,
+            "bound_ok": failures.bound_ok,
+            "failures": failures.oracle + failures.bound + failures.errors,
+        }
+
+    for threads in thread_counts:
+        scenarios.append(read_scenario(
+            "stab/read-only", lambda i: Stab(points[i]), threads))
+    max_threads = max(thread_counts)
+    scenarios.append(read_scenario(
+        "endpoint/read-only",
+        lambda i: EndpointRange("low", windows[i][0], windows[i][1]),
+        max_threads,
+    ))
+
+    # -- mixed read/write: private write targets, shared reads ------------ #
+    def mixed_scenario(threads: int) -> Dict[str, Any]:
+        failures = _Failures()
+        latencies: List[float] = []
+        ops_done = [0]
+        lock = threading.Lock()
+        seeds = [seed + 100 + t for t in range(threads)]
+        for t in range(threads):
+            setup.create(f"rw{t}", records=[])
+            setup.bulk_load(
+                f"rw{t}",
+                random_intervals(max(n // (2 * threads), 16), seed=seeds[t],
+                                 mean_length=mean_length),
+            )
+
+        def worker(tid: int) -> None:
+            name = f"rw{tid}"
+            try:
+                with ReproClient(host, port) as db:
+                    # deterministic local model: everything this thread's
+                    # collection holds (no other thread writes to it)
+                    snapshot = db.query(name, EndpointRange("low", -1e9, 1e9))
+                    model = {r.uid: r for r in snapshot.records}
+                    handle = db.prepare(name, Stab(Param("x")))
+                    fresh = random_intervals(
+                        write_ops, seed=seeds[tid] + 7, mean_length=mean_length)
+                    local: List[float] = []
+                    for i, iv in enumerate(fresh):
+                        t0 = time.perf_counter()
+                        stored = db.insert(name, iv)
+                        model[stored.uid] = stored
+                        x = points[(tid * write_ops + i) % len(points)]
+                        res = handle.run(x=x)
+                        if _uids(res.records) != _oracle_uids(list(model.values()), Stab(x)):
+                            failures.add("oracle", f"mixed[{threads}t] rw stab({x}) mismatch")
+                        shared_q = Stab(points[(i * 13 + tid) % len(points)])
+                        shared_res = db.query(BASE, shared_q)
+                        if _uids(shared_res.records) != _oracle_uids(base, shared_q):
+                            failures.add("oracle", f"mixed[{threads}t] base {shared_q!r} mismatch")
+                        removed = db.delete(name, stored)["removed"]
+                        if removed != 1:
+                            failures.add("oracle", f"mixed[{threads}t] delete lost {stored!r}")
+                        del model[stored.uid]
+                        local.append(time.perf_counter() - t0)
+                    with lock:
+                        latencies.extend(local)
+                        ops_done[0] += 4 * len(fresh)
+            except Exception as exc:  # noqa: BLE001
+                failures.add("errors", f"mixed[{threads}t] thread {tid}: {exc!r}")
+
+        wall = _fan_out(worker, threads)
+        latencies.sort()
+        return {
+            "name": "mixed/insert-query-delete",
+            "threads": threads,
+            "ops": ops_done[0],
+            "ops_per_sec": round(ops_done[0] / wall, 1) if wall > 0 else float("inf"),
+            "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+            "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+            "oracle_ok": failures.oracle_ok,
+            "bound_ok": failures.bound_ok,
+            "failures": failures.oracle + failures.bound + failures.errors,
+        }
+
+    scenarios.append(mixed_scenario(max_threads))
+
+    # -- shared-collection snapshot consistency --------------------------- #
+    def shared_scenario(threads: int) -> Dict[str, Any]:
+        failures = _Failures()
+        setup.create(SHARED, records=[])
+        shared_base = setup.bulk_load(
+            SHARED, random_intervals(max(n // 4, 32), seed=seed + 50,
+                                     mean_length=mean_length))
+        base_set = _uids(shared_base)
+        # transients are identified by *value* (a per-thread payload tag
+        # precomputed before the storm), not by a uid registry: a concurrent
+        # reader may legitimately see a record after the server committed it
+        # but before the inserting thread could have registered the uid, so
+        # any post-insert registry races into false "phantom" reports
+        fresh_by_thread = {
+            tid: [
+                Interval(iv.low, iv.high, payload=f"transient-{tid}-{i}")
+                for i, iv in enumerate(random_intervals(
+                    write_ops, seed=seed + 300 + tid, mean_length=mean_length))
+            ]
+            for tid in range(threads)
+        }
+        transient_tags = {
+            iv.payload for batch in fresh_by_thread.values() for iv in batch
+        }
+
+        def worker(tid: int) -> None:
+            try:
+                with ReproClient(host, port) as db:
+                    for i, iv in enumerate(fresh_by_thread[tid]):
+                        stored = db.insert(SHARED, iv)
+                        q = Stab(points[(i * 11 + tid * 3) % len(points)])
+                        res = db.query(SHARED, q)
+                        answer = _uids(res.records)
+                        expected_base = _oracle_uids(shared_base, q)
+                        # snapshot consistency: all matching base records,
+                        # plus only known transients that do match q
+                        if not expected_base <= answer:
+                            failures.add("oracle", f"shared {q!r} lost base records")
+                        for rec in res.records:
+                            if rec.uid in expected_base:
+                                continue
+                            if rec.payload not in transient_tags:
+                                failures.add(
+                                    "oracle", f"shared {q!r} phantom record {rec!r}")
+                            elif not q.matches(rec):
+                                failures.add(
+                                    "oracle", f"shared {q!r} non-matching extra {rec!r}")
+                        db.delete(SHARED, stored)
+            except Exception as exc:  # noqa: BLE001
+                failures.add("errors", f"shared thread {tid}: {exc!r}")
+
+        wall = _fan_out(worker, threads)
+        # after the dust settles: the shared collection is exactly its base
+        final = setup.query(SHARED, EndpointRange("low", -1e9, 1e9))
+        if _uids(final.records) != base_set:
+            failures.add("oracle", "shared collection did not return to its base set")
+        ops = threads * write_ops * 3
+        return {
+            "name": "shared/snapshot-consistency",
+            "threads": threads,
+            "ops": ops,
+            "ops_per_sec": round(ops / wall, 1) if wall > 0 else float("inf"),
+            "oracle_ok": failures.oracle_ok,
+            "bound_ok": failures.bound_ok,
+            "failures": failures.oracle + failures.bound + failures.errors,
+        }
+
+    scenarios.append(shared_scenario(max_threads))
+
+    # -- summary ----------------------------------------------------------- #
+    by_stab = {row["threads"]: row for row in scenarios
+               if row["name"] == "stab/read-only"}
+    lo, hi = min(by_stab), max(by_stab)
+    scaling = (
+        round(by_stab[hi]["ops_per_sec"] / by_stab[lo]["ops_per_sec"], 2)
+        if by_stab[lo]["ops_per_sec"] else float("inf")
+    )
+    server_stats = setup.stats()
+    payload = {
+        "benchmark": "concurrency",
+        "n": n,
+        "queries_per_thread": queries,
+        "thread_counts": list(thread_counts),
+        "generated_by": "python -m benchmarks.bench_concurrency",
+        "scenarios": scenarios,
+        "summary": {
+            "read_scaling": {
+                "scenario": "stab/read-only",
+                "threads": [lo, hi],
+                "ops_per_sec": [by_stab[lo]["ops_per_sec"], by_stab[hi]["ops_per_sec"]],
+                "speedup": scaling,
+            },
+            "oracle_ok": all(row["oracle_ok"] for row in scenarios),
+            "bound_ok": all(row["bound_ok"] for row in scenarios),
+            "server_sessions_served": len(server_stats["sessions"]),
+            "server_engine": {
+                k: server_stats["engine"][k]
+                for k in ("block_size", "blocks", "reads", "writes")
+            },
+        },
+    }
+    if shutdown:
+        payload["summary"]["shutdown_acknowledged"] = bool(
+            setup.shutdown().get("stopping")
+        )
+    setup.close()
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# reporting + the CI gate
+# --------------------------------------------------------------------------- #
+def report(payload: Dict[str, Any], out: Any = None) -> None:
+    """Print the scenario table; ``out`` additionally writes the JSON."""
+    for row in payload["scenarios"]:
+        extras = ""
+        if "p50_ms" in row:
+            extras = f" p50={row['p50_ms']:7.2f}ms p99={row['p99_ms']:7.2f}ms"
+        if "ios_per_query" in row:
+            extras += f" ios/q={row['ios_per_query']:6.2f}"
+        flags = "ok" if row["oracle_ok"] and row["bound_ok"] else "FAIL"
+        print(f"  {row['name']:28s} x{row['threads']}  "
+              f"ops/s={row['ops_per_sec']:9.1f}{extras}  [{flags}]")
+        for failure in row.get("failures", []):
+            print(f"      ! {failure}")
+    summary = payload["summary"]
+    scale = summary["read_scaling"]
+    print(f"  read scaling {scale['threads'][0]} -> {scale['threads'][1]} threads: "
+          f"{scale['speedup']}x   oracle={summary['oracle_ok']} "
+          f"bounds={summary['bound_ok']}")
+    if out:
+        import json
+
+        with open(out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"  wrote {out}")
+
+
+def gate_failures(
+    payload: Dict[str, Any], *, require_scaling: Optional[float] = None
+) -> List[str]:
+    """The concurrency gate: oracle-equivalence always; scaling on demand.
+
+    Oracle equivalence and bound compliance are exact and must hold at any
+    size (the CI smoke gate).  ``require_scaling`` additionally enforces a
+    minimum read-only speedup between the smallest and largest thread
+    count — used when regenerating the committed BENCH file, not in CI
+    smoke runs, where two-thread wall-clock on a loaded runner is noise.
+    """
+    failures = []
+    if not payload["summary"]["oracle_ok"]:
+        for row in payload["scenarios"]:
+            for f in row.get("failures", []):
+                failures.append(f"oracle: {f}")
+        if not failures:
+            failures.append("oracle: unknown mismatch")
+    if not payload["summary"]["bound_ok"]:
+        failures.append("bound: some request exceeded BOUND_SLACK x bound")
+    if payload["summary"].get("shutdown_acknowledged") is False:
+        failures.append("shutdown: server did not acknowledge the stop request")
+    if payload["summary"].get("server_exit_clean") is False:
+        failures.append("shutdown: spawned server exited uncleanly")
+    if require_scaling is not None:
+        speedup = payload["summary"]["read_scaling"]["speedup"]
+        if speedup < require_scaling:
+            failures.append(
+                f"scaling: read-only speedup {speedup}x < required "
+                f"{require_scaling}x"
+            )
+    return failures
+
+
+def run_gate(payload: Dict[str, Any], *, require_scaling: Optional[float] = None) -> int:
+    failures = gate_failures(payload, require_scaling=require_scaling)
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    return 1 if failures else 0

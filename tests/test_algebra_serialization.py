@@ -1,0 +1,172 @@
+"""Algebra wire form: ``to_dict``/``from_dict`` round-trips every node.
+
+Property-based (hypothesis): for randomly composed query trees over every
+node type — leaves, combinators, modifiers, ``Param`` placeholders and the
+geometric shapes — ``query_from_dict(q.to_dict())`` must preserve
+
+* equality and :meth:`~repro.algebra.AlgebraicQuery.signature` (the plan
+  cache key: a deserialized query must hit the same cached strategy), and
+* ``matches`` semantics over arbitrary records (the oracle the serving
+  layer's correctness rests on).
+
+Plus JSON-serializability (the actual wire) and the documented rejection
+of non-serializable operands.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.queries import (
+    And,
+    ClassRange,
+    DiagonalCornerQuery,
+    EndpointRange,
+    Limit,
+    Not,
+    Or,
+    OrderBy,
+    Param,
+    Range,
+    Stab,
+    ThreeSidedQuery,
+    TwoSidedQuery,
+    bind_params,
+    query_from_dict,
+    unbound_params,
+)
+from repro.interval import Interval
+from repro.metablock.geometry import PlanarPoint, RangeQuery
+
+# ----------------------------------------------------------------------- #
+# strategies
+# ----------------------------------------------------------------------- #
+scalars = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+)
+operand = st.one_of(scalars, st.builds(Param, st.sampled_from("xyzw")))
+
+
+def leaf_nodes(op):
+    ordered = st.tuples(scalars, scalars).map(sorted)
+    return st.one_of(
+        st.builds(Stab, op),
+        st.builds(Range, op, op, min_inclusive=st.booleans(),
+                  max_inclusive=st.booleans()),
+        st.builds(EndpointRange, st.sampled_from(["low", "high"]), op, op,
+                  min_inclusive=st.booleans(), max_inclusive=st.booleans()),
+        st.builds(ClassRange, st.sampled_from(["a", "b", "c"]), op, op),
+        st.builds(DiagonalCornerQuery, scalars),
+        st.builds(TwoSidedQuery, scalars, scalars),
+        ordered.map(lambda lohi: ThreeSidedQuery(lohi[0], lohi[1], 0.0)),
+        ordered.map(lambda lohi: RangeQuery(lohi[0], lohi[1], -5.0, 5.0)),
+    )
+
+
+def query_trees(op):
+    return st.recursive(
+        leaf_nodes(op),
+        lambda children: st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(lambda ps: And(*ps)),
+            st.lists(children, min_size=2, max_size=3).map(lambda ps: Or(*ps)),
+            st.builds(Not, children),
+            st.builds(Limit, children, st.integers(min_value=0, max_value=50)),
+            st.builds(OrderBy, children,
+                      st.sampled_from([None, "low", "high"]),
+                      reverse=st.booleans()),
+        ),
+        max_leaves=6,
+    )
+
+
+records = st.one_of(
+    st.tuples(scalars, scalars).map(
+        lambda lh: Interval(min(lh), max(lh), payload="r")),
+    st.builds(PlanarPoint, scalars, scalars),
+    scalars,  # bare keys
+)
+
+
+# ----------------------------------------------------------------------- #
+# the properties
+# ----------------------------------------------------------------------- #
+class TestRoundTripProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(q=query_trees(st.one_of(scalars)))
+    def test_round_trip_preserves_equality_and_signature(self, q):
+        data = q.to_dict()
+        json.dumps(data)  # must be actual wire material
+        back = query_from_dict(data)
+        assert back == q
+        assert back.signature() == q.signature()
+
+    @settings(max_examples=200, deadline=None)
+    @given(q=query_trees(st.one_of(scalars)), record=records)
+    def test_round_trip_preserves_matches(self, q, record):
+        back = query_from_dict(q.to_dict())
+        try:
+            expected = q.matches(record)
+        except (TypeError, AttributeError) as exc:
+            # mixed-type comparisons / shape-specific nodes (geometric
+            # queries expect point records) reject the record either way
+            with pytest.raises(type(exc)):
+                back.matches(record)
+            return
+        assert back.matches(record) == expected
+
+    @settings(max_examples=150, deadline=None)
+    @given(q=query_trees(operand))
+    def test_round_trip_preserves_params(self, q):
+        back = query_from_dict(q.to_dict())
+        names = unbound_params(q)
+        assert unbound_params(back) == names
+        assert back.signature() == q.signature()
+        if names:
+            bindings = {name: 1.0 for name in names}
+            assert bind_params(back, bindings) == bind_params(q, bindings)
+
+
+class TestWireFormEdges:
+    def test_param_wire_form(self):
+        assert Param("x").to_dict() == {"node": "Param", "name": "x"}
+        q = query_from_dict(Stab(Param("x")).to_dict())
+        assert q == Stab(Param("x"))
+        assert unbound_params(q) == {"x"}
+
+    def test_class_range_drops_process_local_hierarchy(self):
+        class FakeHierarchy:
+            def descendants(self, name):
+                return {name}
+
+        q = ClassRange("c", 0, 9, hierarchy=FakeHierarchy())
+        data = q.to_dict()
+        assert "hierarchy" not in data
+        assert query_from_dict(data) == ClassRange("c", 0, 9)
+
+    def test_callable_order_by_key_is_rejected(self):
+        q = OrderBy(Stab(1.0), key=lambda r: r.low)
+        with pytest.raises(ValueError, match="not\\s+wire-serializable"):
+            q.to_dict()
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError, match="unknown query node"):
+            query_from_dict({"node": "Nonsense"})
+
+    def test_malformed_node_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            query_from_dict({"node": "Range", "low": 1})  # missing high
+        with pytest.raises(ValueError, match="malformed"):
+            # ThreeSidedQuery validates x1 <= x2 in __post_init__
+            query_from_dict({"node": "ThreeSidedQuery",
+                             "x1": 5, "x2": 1, "y0": 0})
+
+    def test_not_a_node_rejected(self):
+        with pytest.raises(ValueError, match="not a serialized query"):
+            query_from_dict({"low": 1, "high": 2})
+        with pytest.raises(ValueError, match="not a serialized query"):
+            query_from_dict([1, 2, 3])

@@ -43,7 +43,7 @@ class TestExampleModulesImportable:
         "name",
         ["quickstart", "temporal_versions", "people_class_hierarchy",
          "constraint_rectangles", "io_scaling_study", "planner_tour",
-         "lifecycle_tour"],
+         "lifecycle_tour", "server_tour"],
     )
     def test_importable_without_running_main(self, name):
         """Every example is importable (its functions can be reused as a library)."""
@@ -87,6 +87,22 @@ class TestPlannerTour:
         assert "residual filter" in result.stdout
         assert "Union" in result.stdout
         assert "pagination" in result.stdout
+
+
+class TestServerTour:
+    def test_runs_end_to_end(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "server_tour.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=_ENV,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "concurrent clients" in result.stdout
+        assert "ios/query" in result.stdout
+        assert "retired sessions: 4" in result.stdout
+        assert "server tour ok" in result.stdout
 
 
 class TestLifecycleTour:

@@ -175,3 +175,64 @@ class TestErrorReplay:
             limited.all()
         with pytest.raises(RuntimeError):
             list(limited)
+
+
+class TestConsumptionContract:
+    """The documented double-iteration contract (see result.py docstring):
+
+    decorated consumption (``iter``/``all``/``first``/``pages``) replays
+    the cache; ``raw()`` on a pristine result is one-shot — anything after
+    it raises :class:`ResultConsumedError` instead of silently re-running
+    the query or yielding nothing.
+    """
+
+    def test_all_then_iter_replays_cached_rows(self):
+        engine = _engine()
+        result = engine.query("ivs", Stab(500.0))
+        first = result.all()
+        assert list(result) == first
+        assert result.all() == first
+
+    def test_iter_after_exhaustion_replays_not_empty(self):
+        engine = _engine()
+        result = engine.query("ivs", Stab(500.0))
+        first = list(result)
+        assert first  # the workload guarantees hits at 500.0
+        assert list(result) == first  # not silently empty
+
+    def test_raw_after_start_replays_cache(self):
+        engine = _engine()
+        result = engine.query("ivs", Stab(500.0))
+        first = result.all()
+        assert list(result.raw()) == first
+
+    def test_raw_on_pristine_result_is_one_shot(self):
+        from repro import ResultConsumedError
+
+        calls = []
+
+        def source():
+            calls.append(1)
+            return iter([1, 2, 3])
+
+        result = QueryResult(source)
+        assert list(result.raw()) == [1, 2, 3]
+        with pytest.raises(ResultConsumedError, match="raw\\(\\)"):
+            list(result)
+        with pytest.raises(ResultConsumedError):
+            result.all()
+        with pytest.raises(ResultConsumedError):
+            result.raw()
+        assert calls == [1]  # the query never silently re-ran
+
+    def test_raw_consumption_never_double_runs_the_query(self):
+        engine = _engine()
+        result = engine.query("ivs", Stab(500.0))
+        hits = list(result.raw())
+        assert hits
+        before = engine.io_stats().total
+        from repro import ResultConsumedError
+
+        with pytest.raises(ResultConsumedError):
+            result.all()
+        assert engine.io_stats().total == before  # no I/O on the failure path
