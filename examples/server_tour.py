@@ -18,6 +18,7 @@ Run::
 from __future__ import annotations
 
 import threading
+import time
 
 from repro import Engine, Interval, Param, SimulatedDisk, Stab
 from repro.server import ReproClient, ReproServer
@@ -87,7 +88,20 @@ def main() -> None:
               f"{total_ios / total_q:.1f} ios/query\n")
 
         with ReproClient(host, port) as db:
-            stats = db.stats()
+            # a closed client socket retires its server session
+            # asynchronously (the handler thread notices EOF on its own
+            # schedule); poll briefly so the ledger below is complete
+            deadline = time.monotonic() + 5.0
+            while True:
+                stats = db.stats()
+                if stats["retired"]["sessions"] >= CLIENTS:
+                    break
+                if time.monotonic() > deadline:
+                    print("warning: ledger incomplete — "
+                          f"{stats['retired']['sessions']}/{CLIENTS} sessions "
+                          "retired before the poll deadline")
+                    break
+                time.sleep(0.05)
             print("server-side I/O attribution (wire `stats`):")
             for sid, row in stats["sessions"].items():
                 print(f"  live session {sid}: requests={row['requests']} "
