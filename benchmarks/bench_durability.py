@@ -1,0 +1,383 @@
+"""Durability benchmark — emits ``BENCH_durability.json``.
+
+Four legs, each measuring one claim the durability subsystem makes:
+
+* **commit throughput** — single-threaded acknowledged inserts against a
+  file-backed engine, WAL fsync on vs. off vs. no WAL at all, so the
+  price of the durability barrier is a number, not a vibe;
+* **group commit** — N threads committing concurrently; the gate checks
+  ``fsyncs / commit < 1``, i.e. that concurrent commits actually share
+  barriers instead of queueing one fsync each;
+* **crash recovery** — a child process performs acknowledged commits and
+  ``os._exit``\\ s; the parent reopens (WAL-tail replay) and verifies
+  **zero acknowledged commits lost**, reporting the recovery wall time;
+* **MVCC snapshot reads** — reader latency on one collection while a
+  bulk writer hammers another: the gate checks the contended p50 stays
+  within a small factor of the idle p50 (readers never wait for other
+  indexes' commits or for any fsync).
+
+Usage::
+
+    python -m benchmarks.bench_durability --out BENCH_durability.json
+    python -m benchmarks.bench_durability --smoke --check       # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List
+
+from repro import Engine, Interval, Stab
+from repro.io import FileDisk
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    k = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[k]
+
+
+def _intervals(n: int, *, seed: int = 0) -> List[Interval]:
+    import random
+
+    rnd = random.Random(seed)
+    out = []
+    for i in range(n):
+        low = rnd.uniform(0.0, 1000.0)
+        out.append(Interval(low, low + rnd.uniform(1.0, 40.0), payload=i))
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# leg 1: commit throughput (the price of the barrier)
+# ---------------------------------------------------------------------- #
+def leg_commit_throughput(workdir: str, n: int) -> Dict[str, Any]:
+    rows = []
+    for mode in ("no-wal", "wal-nosync", "wal-fsync"):
+        path = os.path.join(workdir, f"commit-{mode}.pages")
+        engine = Engine(FileDisk(path, block_size=16))
+        if mode == "wal-nosync":
+            engine.attach_wal(fsync=False)
+        elif mode == "wal-fsync":
+            engine.attach_wal()
+        engine.create_collection("c", dynamic=True)
+        batch = _intervals(n, seed=1)
+        start = time.perf_counter()
+        for iv in batch:
+            engine.insert("c", iv)
+        elapsed = time.perf_counter() - start
+        stats = engine.io_stats().snapshot()
+        rows.append(
+            {
+                "mode": mode,
+                "commits": n,
+                "seconds": round(elapsed, 4),
+                "commits_per_sec": round(n / elapsed, 1),
+                "fsyncs": stats.fsyncs,
+                "wal_records": 0 if engine.wal is None else engine.wal.record_count,
+            }
+        )
+        engine.close()
+    return {"n": n, "modes": rows}
+
+
+# ---------------------------------------------------------------------- #
+# leg 2: group commit (barriers amortize under concurrency)
+# ---------------------------------------------------------------------- #
+def leg_group_commit(workdir: str, threads: int, per_thread: int) -> Dict[str, Any]:
+    path = os.path.join(workdir, "group.pages")
+    engine = Engine(FileDisk(path, block_size=16))
+    engine.attach_wal()
+    engine.create_collection("c", dynamic=True)
+    batches = [
+        _intervals(per_thread, seed=100 + t) for t in range(threads)
+    ]
+    start = time.perf_counter()
+
+    def committer(tid: int) -> None:
+        session = engine.session()
+        for iv in batches[tid]:
+            session.insert("c", iv)
+
+    workers = [
+        threading.Thread(target=committer, args=(t,)) for t in range(threads)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    elapsed = time.perf_counter() - start
+    wal = engine.wal
+    total = threads * per_thread
+    out = {
+        "threads": threads,
+        "commits": total,
+        "seconds": round(elapsed, 4),
+        "commits_per_sec": round(total / elapsed, 1),
+        "syncs": wal.syncs,
+        "group_absorbed": wal.group_absorbed,
+        "fsyncs_per_commit": round(wal.syncs / max(wal.commits, 1), 4),
+    }
+    engine.close()
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# leg 3: crash recovery (kill -9 semantics, zero acknowledged loss)
+# ---------------------------------------------------------------------- #
+_CHILD = """
+import os, sys, time
+db, n = sys.argv[1], int(sys.argv[2])
+import random
+from repro import Engine, Interval
+from repro.io import FileDisk
+engine = Engine(FileDisk(db, block_size=16))
+engine.attach_wal()
+engine.create_collection("c", dynamic=True)
+rnd = random.Random(2)
+start = time.perf_counter()
+for i in range(n):
+    low = rnd.uniform(0.0, 1000.0)
+    engine.insert("c", Interval(low, low + rnd.uniform(1.0, 40.0), payload=i))
+elapsed = time.perf_counter() - start
+print(f"{n} {elapsed:.4f}", flush=True)
+os._exit(1)
+"""
+
+
+def leg_crash_recovery(workdir: str, n: int) -> Dict[str, Any]:
+    db = os.path.join(workdir, "crash.pages")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, db, str(n)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    if proc.returncode != 1 or not proc.stdout.strip():
+        raise RuntimeError(f"crash child failed: {proc.stderr}")
+    acked_s, commit_secs = proc.stdout.split()
+    acked = int(acked_s)
+    wal_bytes = os.path.getsize(db + ".wal")
+    start = time.perf_counter()
+    engine = Engine.open(db)
+    recovery_secs = time.perf_counter() - start
+    from repro.engine.queries import Range
+
+    recovered = {r.payload for r in engine.query("c", Range(-1e9, 1e9)).all()}
+    engine.close()
+    lost = acked - len(recovered)
+    return {
+        "acked_commits": acked,
+        "commit_seconds": float(commit_secs),
+        "wal_bytes_at_crash": wal_bytes,
+        "recovered": len(recovered),
+        "lost": lost,
+        "recovery_seconds": round(recovery_secs, 4),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# leg 4: MVCC snapshot reads (readers vs. a bulk writer)
+# ---------------------------------------------------------------------- #
+def leg_mvcc_reads(workdir: str, n: int, duration: float) -> Dict[str, Any]:
+    path = os.path.join(workdir, "mvcc.pages")
+    engine = Engine(FileDisk(path, block_size=16))
+    engine.attach_wal()
+    read_set = _intervals(n, seed=3)
+    engine.create_collection("readers", read_set, dynamic=True)
+    engine.create_collection("writers", dynamic=True)
+    probes = [iv.low + 0.5 for iv in read_set[:64]]
+
+    def read_loop(latencies: List[float], stop: threading.Event) -> None:
+        session = engine.session()
+        i = 0
+        while not stop.is_set():
+            t0 = time.perf_counter()
+            session.query("readers", Stab(probes[i % len(probes)]))
+            latencies.append(time.perf_counter() - t0)
+            i += 1
+
+    # idle baseline: reader alone
+    idle: List[float] = []
+    stop = threading.Event()
+    reader = threading.Thread(target=read_loop, args=(idle, stop))
+    reader.start()
+    time.sleep(duration)
+    stop.set()
+    reader.join()
+
+    # contended: same reader loop while a writer bulk-commits (fsync per
+    # group) into the other collection
+    contended: List[float] = []
+    stop = threading.Event()
+    writes = [0]
+
+    def write_loop() -> None:
+        session = engine.session()
+        fresh = _intervals(100000, seed=4)
+        i = 0
+        while not stop.is_set():
+            session.insert("writers", fresh[i % len(fresh)])
+            writes[0] += 1
+            i += 1
+
+    reader = threading.Thread(target=read_loop, args=(contended, stop))
+    writer = threading.Thread(target=write_loop)
+    reader.start()
+    writer.start()
+    time.sleep(duration)
+    stop.set()
+    reader.join()
+    writer.join()
+    out = {
+        "n": n,
+        "duration_seconds": duration,
+        "idle": {
+            "reads": len(idle),
+            "p50_ms": round(_percentile(idle, 0.5) * 1e3, 3),
+            "p99_ms": round(_percentile(idle, 0.99) * 1e3, 3),
+        },
+        "contended": {
+            "reads": len(contended),
+            "writes": writes[0],
+            "p50_ms": round(_percentile(contended, 0.5) * 1e3, 3),
+            "p99_ms": round(_percentile(contended, 0.99) * 1e3, 3),
+        },
+    }
+    idle_p50 = max(out["idle"]["p50_ms"], 1e-6)
+    out["p50_ratio"] = round(out["contended"]["p50_ms"] / idle_p50, 2)
+    engine.close()
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# gate + report
+# ---------------------------------------------------------------------- #
+def gate_failures(payload: Dict[str, Any]) -> List[str]:
+    failures = []
+    crash = payload["crash_recovery"]
+    if crash["lost"] != 0:
+        failures.append(
+            f"crash recovery lost {crash['lost']} acknowledged commits"
+        )
+    group = payload["group_commit"]
+    if group["fsyncs_per_commit"] >= 1.0:
+        failures.append(
+            f"group commit is not amortizing: {group['fsyncs_per_commit']} "
+            "fsyncs per commit (expected < 1)"
+        )
+    mvcc = payload["mvcc_reads"]
+    # generous: the reader shares a process and a disk with the writer;
+    # what the gate rejects is readers queueing behind write turns again
+    if mvcc["p50_ratio"] > 5.0:
+        failures.append(
+            f"contended read p50 is {mvcc['p50_ratio']}x idle (expected <= 5x)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--commits", type=int, default=2000,
+                        help="single-threaded commits for the throughput leg")
+    parser.add_argument("--threads", type=int, default=8,
+                        help="committers in the group-commit leg")
+    parser.add_argument("--per-thread", type=int, default=250)
+    parser.add_argument("--crash-commits", type=int, default=1500,
+                        help="acknowledged commits before the child dies")
+    parser.add_argument("--n", type=int, default=5000,
+                        help="resident records in the MVCC read leg")
+    parser.add_argument("--read-seconds", type=float, default=3.0,
+                        help="sampling window per MVCC scenario")
+    parser.add_argument("--out", default=None, metavar="JSON")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 when a durability gate fails")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for CI")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.commits, args.per_thread = 300, 60
+        args.crash_commits, args.n = 300, 1200
+        args.read_seconds = 1.5
+
+    workdir = tempfile.mkdtemp(prefix="bench-durability-")
+    try:
+        print(f"bench durability: commits={args.commits} "
+              f"threads={args.threads}x{args.per_thread} "
+              f"crash={args.crash_commits} mvcc n={args.n}")
+        throughput = leg_commit_throughput(workdir, args.commits)
+        for row in throughput["modes"]:
+            print(f"  commit {row['mode']:>10s}: "
+                  f"{row['commits_per_sec']:>9.1f} commits/s "
+                  f"fsyncs={row['fsyncs']}")
+        group = leg_group_commit(workdir, args.threads, args.per_thread)
+        print(f"  group commit    : {group['commits']} commits "
+              f"{group['syncs']} fsync barriers "
+              f"({group['fsyncs_per_commit']:.3f}/commit, "
+              f"{group['group_absorbed']} absorbed)")
+        crash = leg_crash_recovery(workdir, args.crash_commits)
+        print(f"  crash recovery  : {crash['acked_commits']} acked, "
+              f"{crash['recovered']} recovered, lost={crash['lost']}, "
+              f"replay {crash['recovery_seconds']}s")
+        mvcc = leg_mvcc_reads(workdir, args.n, args.read_seconds)
+        print(f"  mvcc reads      : idle p50={mvcc['idle']['p50_ms']}ms, "
+              f"contended p50={mvcc['contended']['p50_ms']}ms "
+              f"({mvcc['p50_ratio']}x) with {mvcc['contended']['writes']} "
+              "concurrent writes")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    payload = {
+        "bench": "durability",
+        "params": {
+            "commits": args.commits,
+            "threads": args.threads,
+            "per_thread": args.per_thread,
+            "crash_commits": args.crash_commits,
+            "n": args.n,
+            "read_seconds": args.read_seconds,
+            "smoke": args.smoke,
+        },
+        "commit_throughput": throughput,
+        "group_commit": group,
+        "crash_recovery": crash,
+        "mvcc_reads": mvcc,
+    }
+    failures = gate_failures(payload)
+    payload["summary"] = {
+        "zero_acked_loss": crash["lost"] == 0,
+        "fsyncs_per_commit": group["fsyncs_per_commit"],
+        "mvcc_p50_ratio": mvcc["p50_ratio"],
+        "gate_failures": failures,
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"  wrote {args.out}")
+    if args.check:
+        for failure in failures:
+            print(f"GATE FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

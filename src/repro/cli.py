@@ -10,6 +10,7 @@ Usage::
     python -m repro bulk-load --db app.pages --index temporal --file records.json
     python -m repro delete    --db app.pages --index temporal --range 10 20
     python -m repro catalog   --db app.pages
+    python -m repro wal inspect --db app.pages -v
 
 The ``bulk-load`` / ``delete`` / ``catalog`` subcommands operate on a
 *persistent* database: ``--db PATH`` names a :class:`~repro.io.FileDisk`
@@ -225,22 +226,31 @@ def _bench_concurrency(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: the concurrent JSON-line server over one engine.
 
-    ``--db PATH`` reopens a persistent catalog (``Engine.open``) and
-    checkpoints it on shutdown; without it the server runs on an
-    in-memory SimulatedDisk.  ``--demo N`` preloads a ``base`` interval
-    collection so clients have something to query immediately.
+    ``--db PATH`` reopens a persistent catalog (``Engine.open``: WAL-tail
+    replay, then re-attach) and checkpoints it on shutdown; without it the
+    server runs on an in-memory SimulatedDisk.  SIGINT *and* SIGTERM both
+    shut down cleanly — checkpoint, WAL truncate, close — so a supervised
+    server (systemd, ``kill``) loses nothing and recovers instantly.
+    ``--demo N`` preloads a ``base`` interval collection so clients have
+    something to query immediately.
     """
+    import signal
+
     from repro.server import ReproServer
 
+    use_wal = not args.no_wal
     if args.db:
         sidecar = FileDisk._meta_path_for(args.db)
         if os.path.exists(sidecar):
-            engine = Engine.open(args.db, buffer_pages=args.buffer_pages)
+            engine = Engine.open(args.db, buffer_pages=args.buffer_pages,
+                                 wal=use_wal)
         else:
             engine = Engine(
                 FileDisk(args.db, block_size=args.block_size),
                 buffer_pages=args.buffer_pages,
             )
+            if use_wal:
+                engine.attach_wal()
     else:
         engine = Engine(SimulatedDisk(args.block_size),
                         buffer_pages=args.buffer_pages)
@@ -251,13 +261,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = ReproServer(engine, host=args.host, port=args.port,
                          close_engine=True)
     host, port = server.address
+    durability = "wal" if engine.wal is not None else "checkpoint-only"
     print(f"repro serve: B={engine.block_size} indexes={engine.names()} "
-          f"listening on {host}:{port}", flush=True)
+          f"durability={durability} listening on {host}:{port}", flush=True)
+
+    # a termination signal must run the same orderly path as Ctrl-C:
+    # stop accepting, drain, checkpoint, truncate the WAL, close the
+    # engine — an acknowledged write is durable either way, but a clean
+    # exit spares the next open a replay
+    def _terminate(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _terminate)
+        except (ValueError, OSError):  # non-main thread / unsupported
+            pass
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("repro serve: interrupted, shutting down", flush=True)
     finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
         server.close()
     print("repro serve: stopped", flush=True)
     return 0
@@ -280,7 +307,11 @@ def _open_db(args: argparse.Namespace, *, must_exist: bool = False) -> Engine:
         raise FileNotFoundError(
             f"no database at {args.db!r} (missing {sidecar} sidecar)"
         )
-    return Engine(FileDisk(args.db, block_size=args.block_size))
+    engine = Engine(FileDisk(args.db, block_size=args.block_size))
+    # fresh databases get a write-ahead log from the first commit on, so
+    # even a crash before the first explicit checkpoint loses nothing
+    engine.attach_wal()
+    return engine
 
 
 def _read_rows(path: str) -> List[Any]:
@@ -379,6 +410,54 @@ def _cmd_delete(args: argparse.Namespace) -> int:
         return 2
     finally:
         engine.close()
+    return 0
+
+
+def _cmd_wal(args: argparse.Namespace) -> int:
+    """``repro wal inspect``: decode a database's write-ahead log.
+
+    Read-only — a torn tail (the fingerprint of a crash mid-append) is
+    reported, never truncated, so the command is safe on a live server's
+    log and preserves a crashed process's evidence for a later recovery.
+    """
+    from repro.durability.wal import read_log
+    from repro.engine.core import WAL_SUFFIX
+
+    path = args.db + WAL_SUFFIX
+    if not os.path.exists(path):
+        print(f"wal inspect: no log at {path!r}", file=sys.stderr)
+        return 2
+    file_size = os.path.getsize(path)
+    records = list(read_log(path))
+    intact = sum(r.length for r in records)
+    print(f"wal inspect: {path} ({file_size} bytes, {len(records)} records)")
+    by_kind: dict = {}
+    for r in records:
+        by_kind[r.op[0]] = by_kind.get(r.op[0], 0) + 1
+        if args.verbose:
+            kind = r.op[0]
+            if kind in ("insert", "delete", "update", "bulk", "drop"):
+                target = r.op[1]
+            else:  # create carries its catalog entry
+                target = r.op[1].get("name", "?")
+            extra = ""
+            if kind == "bulk":
+                extra = f" ({len(r.op[2])} records)"
+            elif kind == "create":
+                extra = f" ({len(r.op[2])} records, kind={r.op[1].get('kind')})"
+            print(f"  lsn={r.lsn:<6d} epoch={r.epoch:<6d} offset={r.offset:<10d}"
+                  f" {kind:7s} {target}{extra}")
+    if by_kind:
+        ops = ", ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
+        print(f"  operations     : {ops}")
+    epochs = [r.epoch for r in records]
+    if epochs:
+        print(f"  epoch range    : {min(epochs)}..{max(epochs)}")
+    if intact < file_size:
+        print(f"  torn tail      : {file_size - intact} trailing bytes fail "
+              "framing/checksum (crash mid-append; recovery will truncate)")
+    else:
+        print("  torn tail      : none")
     return 0
 
 
@@ -523,8 +602,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve",
-        help="serve the engine over TCP (JSON-line protocol; concurrent "
-             "sessions under the engine's readers-writer lock)",
+        help="serve the engine over TCP (JSON-line protocol; MVCC snapshot "
+             "reads, WAL-durable writes on persistent catalogs)",
     )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7411,
@@ -539,6 +618,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--demo", type=int, default=0, metavar="N",
                    help="preload a 'base' collection of N random intervals")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-wal", action="store_true",
+                   help="[--db] run without a write-ahead log: acknowledged "
+                        "writes are only durable at the next checkpoint "
+                        "(the pre-WAL behaviour)")
     p.set_defaults(func=_cmd_serve)
 
     def add_db(p: argparse.ArgumentParser) -> None:
@@ -585,6 +668,22 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("catalog", help="list the persisted engine catalog of a database")
     p.add_argument("--db", required=True, metavar="PATH")
     p.set_defaults(func=_cmd_catalog)
+
+    p = sub.add_parser(
+        "wal",
+        help="write-ahead-log tools for a persistent database",
+    )
+    wal_sub = p.add_subparsers(dest="wal_command", required=True)
+    wi = wal_sub.add_parser(
+        "inspect",
+        help="decode the log next to --db read-only: records, epochs, "
+             "operation mix, torn-tail diagnosis",
+    )
+    wi.add_argument("--db", required=True, metavar="PATH",
+                    help="page file whose <PATH>.wal log to inspect")
+    wi.add_argument("--verbose", "-v", action="store_true",
+                    help="print every record (lsn, epoch, offset, operation)")
+    wi.set_defaults(func=_cmd_wal)
 
     return parser
 

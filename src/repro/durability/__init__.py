@@ -1,0 +1,25 @@
+"""Durability: write-ahead logging, crash recovery, MVCC snapshot epochs.
+
+Three pieces, wired together by the :class:`~repro.engine.Engine`:
+
+* :mod:`repro.durability.wal` — the append-only, checksummed redo log
+  with group-commit ``fsync`` (a write is acknowledged only after its
+  record is durable);
+* :mod:`repro.durability.recovery` — replay of the WAL tail past the
+  last checkpoint on ``Engine.open`` / ``Engine.attach_wal``;
+* :mod:`repro.durability.mvcc` — the epoch clock that gives reader
+  sessions pinned snapshots while writers commit concurrently.
+"""
+
+from repro.durability.mvcc import EpochManager
+from repro.durability.recovery import apply_op, replay_wal
+from repro.durability.wal import WalRecord, WriteAheadLog, read_log
+
+__all__ = [
+    "EpochManager",
+    "WalRecord",
+    "WriteAheadLog",
+    "apply_op",
+    "read_log",
+    "replay_wal",
+]

@@ -166,6 +166,17 @@ class Collection:
         self._accessors: List[Accessor] = []
         self._planner = QueryPlanner(self._accessors, disk=disk)
         self._batch: Optional[WriteBatch] = None
+        #: the engine's :class:`~repro.durability.mvcc.EpochManager`; when
+        #: attached, committed writes tag record versions for snapshot
+        #: readers.  ``None`` for standalone collections (legacy behavior:
+        #: no tags, physical deletes are immediate).
+        self.epochs: Optional[Any] = None
+        #: uid -> created_epoch, for records newer than the GC horizon —
+        #: a pinned reader older than the epoch must not see them
+        self._fresh: Dict[Any, int] = {}
+        #: uid -> (record, deleted_epoch): logically deleted, physically
+        #: still indexed until no pinned reader can see the version
+        self._tombstones: Dict[Any, Tuple[Any, int]] = {}
 
     @property
     def _uids(self):
@@ -415,6 +426,10 @@ class Collection:
         return self._batch
 
     # -- the unbuffered appliers (WriteBatch.flush calls these) ---------- #
+    def _write_epoch(self) -> Optional[int]:
+        """The epoch of the engine commit applying on this thread, if any."""
+        return self.epochs.write_epoch() if self.epochs is not None else None
+
     def _apply_insert(self, record: Any) -> None:
         key = record_key(record)
         if key in self._uids:
@@ -422,19 +437,34 @@ class Collection:
                 f"record uid {key!r} is already indexed; inserting the same "
                 "object twice would silently double-index it"
             )
+        # a logically deleted uid may be physically indexed still (its
+        # tombstone waits for pinned readers): evict it now, or the
+        # physical indexes would hold the uid twice
+        self._evict_tombstone(key)
         # the manager raises on static collections *before* any state changes
         for acc in self._accessors:
             if acc.insert is not None:
                 acc.insert(record)
         self._records[key] = record
+        epoch = self._write_epoch()
+        if epoch is not None:
+            self._fresh[key] = epoch
 
     def _apply_delete(self, record: Any) -> bool:
         key = record_key(record)
         if key not in self._uids:
             return False
-        for acc in self._accessors:
-            if acc.delete is not None:
-                acc.delete(record)
+        epoch = self._write_epoch()
+        if epoch is None:
+            # standalone (no epoch clock): physical delete, immediately
+            for acc in self._accessors:
+                if acc.delete is not None:
+                    acc.delete(record)
+        else:
+            # committed turn: keep the physical entries for pinned
+            # readers; the engine purges them once the GC horizon passes
+            # (immediately after publish when nobody is pinned)
+            self._tombstones[key] = (self._records[key], epoch)
         del self._records[key]
         return True
 
@@ -442,14 +472,73 @@ class Collection:
         # one reorganisation per member index changes costs wholesale —
         # drop cached plan strategies so the next query re-costs candidates
         self._planner.invalidate()
+        for record in batch:
+            self._evict_tombstone(record_key(record))
         for acc in self._accessors:
             if acc.bulk is not None:
                 acc.bulk(batch)
             elif acc.insert is not None:
                 for record in batch:
                     acc.insert(record)
+        epoch = self._write_epoch()
         for record in batch:
             self._records[record_key(record)] = record
+            if epoch is not None:
+                self._fresh[record_key(record)] = epoch
+
+    # ------------------------------------------------------------------ #
+    # MVCC version state (tagged by the appliers, filtered by sessions)
+    # ------------------------------------------------------------------ #
+    @property
+    def has_mvcc_state(self) -> bool:
+        """Whether any version tags exist (fast gate for the read filter)."""
+        return bool(self._fresh or self._tombstones)
+
+    def visible_at(self, key: Any, epoch: int) -> bool:
+        """Whether the record with identity ``key`` is visible at ``epoch``.
+
+        Untagged records are visible at every epoch (they predate the
+        oldest pin, or the collection never saw a committed turn); a
+        fresh tag hides the record from older epochs, a tombstone from
+        ``deleted_epoch`` onward.
+        """
+        entry = self._tombstones.get(key)
+        if entry is not None and entry[1] <= epoch:
+            return False
+        created = self._fresh.get(key)
+        return created is None or created <= epoch
+
+    def _evict_tombstone(self, key: Any) -> None:
+        entry = self._tombstones.pop(key, None)
+        if entry is not None:
+            record, _ = entry
+            for acc in self._accessors:
+                if acc.delete is not None:
+                    acc.delete(record)
+            self._fresh.pop(key, None)
+
+    def purge_versions(self, safe_epoch: int) -> int:
+        """Reclaim version state no pinned reader can see (engine GC hook).
+
+        Tombstones with ``deleted_epoch <= safe_epoch`` are physically
+        deleted from every member index; fresh tags with
+        ``created_epoch <= safe_epoch`` become implicit (every current and
+        future pin sees them).  Returns the number of physical purges.
+        Caller holds the collection's write latch.
+        """
+        for key in [k for k, c in self._fresh.items() if c <= safe_epoch]:
+            del self._fresh[key]
+        doomed = [
+            (key, record)
+            for key, (record, deleted) in self._tombstones.items()
+            if deleted <= safe_epoch
+        ]
+        for key, record in doomed:
+            for acc in self._accessors:
+                if acc.delete is not None:
+                    acc.delete(record)
+            del self._tombstones[key]
+        return len(doomed)
 
     # ------------------------------------------------------------------ #
     # the uniform Index surface
@@ -520,6 +609,8 @@ class Collection:
             if callable(destroy):
                 destroy()
         self._records = {}
+        self._fresh = {}
+        self._tombstones = {}
 
     def io_stats(self):
         """Live I/O counters of the shared backing store."""

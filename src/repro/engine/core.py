@@ -20,8 +20,10 @@ True
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from types import MappingProxyType
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.btree import BPlusTree
 from repro.classes.hierarchy import ClassHierarchy, ClassObject
@@ -29,6 +31,8 @@ from repro.constraints.index import GeneralizedOneDimensionalIndex
 from repro.constraints.relation import GeneralizedRelation
 from repro.core.class_indexer import ClassIndexer
 from repro.core.interval_manager import ExternalIntervalManager
+from repro.durability import EpochManager, WriteAheadLog
+from repro.durability.recovery import replay_wal
 from repro.engine.collection import Collection
 from repro.engine.planner import Plan, QueryPlanner
 from repro.engine.queries import COMPOSED
@@ -39,8 +43,12 @@ from repro.interval import Interval
 from repro.io import BufferManager, FileDisk, SimulatedDisk
 from repro.metablock.geometry import PlanarPoint
 from repro.pst import ExternalPST
+from repro.records import record_key
 
 DEFAULT_BLOCK_SIZE = 16
+
+#: the write-ahead log lives next to the page file: ``<path>.wal``
+WAL_SUFFIX = ".wal"
 
 
 def _catalog_records(kind: str, index: Any) -> List[Any]:
@@ -126,10 +134,24 @@ class Engine:
             BufferManager(self.backend, buffer_pages) if buffer_pages else self.backend
         )
         self._indexes: Dict[str, Any] = {}
-        #: the engine-wide readers-writer lock every
-        #: :class:`~repro.engine.session.EngineSession` of this engine
-        #: shares (created eagerly: sessions may be opened from any thread)
+        #: kept for compatibility with callers that constructed sessions
+        #: around it; sessions no longer hold it for reads (they pin an
+        #: MVCC epoch and take a per-index latch instead)
         self._rwlock = RWLock()
+        #: the global MVCC epoch clock: committed writes advance it,
+        #: reader sessions pin it (see :mod:`repro.durability.mvcc`)
+        self._epochs = EpochManager()
+        #: serializes committed write turns engine-wide (reentrant: a
+        #: write turn may issue nested commits, e.g. delete-by-query)
+        self._write_mutex = threading.RLock()
+        #: per-index-name structural latches: readers share one while
+        #: draining, the committing writer takes it exclusively while
+        #: applying — so a write to index A never blocks readers of B
+        self._latches: Dict[str, RWLock] = {}
+        self._latch_guard = threading.Lock()
+        #: the attached :class:`~repro.durability.WriteAheadLog`, or
+        #: ``None`` (in-memory engines run without one by default)
+        self.wal: Optional[WriteAheadLog] = None
         #: per-index catalog spec (kind + construction parameters); what
         #: :meth:`checkpoint` serializes through the storage backend
         self._catalog: Dict[str, Dict[str, Any]] = {}
@@ -137,6 +159,125 @@ class Engine:
         #: lazily — constructing a planner per query would re-enumerate
         #: candidates every call and throw the plan cache away with it
         self._planners: Dict[str, QueryPlanner] = {}
+
+    # ------------------------------------------------------------------ #
+    # the commit kernel (every mutation is one committed write turn)
+    # ------------------------------------------------------------------ #
+    def _latch(self, name: str) -> RWLock:
+        """The structural latch for one index name (created on first use)."""
+        with self._latch_guard:
+            latch = self._latches.get(name)
+            if latch is None:
+                latch = self._latches[name] = RWLock()
+            return latch
+
+    def _commit(
+        self,
+        name: str,
+        fn: Callable[[], Any],
+        op: Any = None,
+    ) -> Any:
+        """One committed write turn: apply → log → fsync → publish → GC.
+
+        Inside the engine-wide write mutex the commit allocates its epoch,
+        applies ``fn`` under the target index's exclusive latch (readers of
+        *other* indexes are untouched; readers of this one wait only for
+        the structural change, never for the fsync), and appends the WAL
+        record — so log order equals epoch order.  The durability barrier
+        (:meth:`~repro.durability.WriteAheadLog.sync_to`) runs *outside*
+        the mutex: concurrent committers overlap here and group-commit one
+        fsync.  Publication is ordered; the caller is only answered — the
+        write acknowledged — after its epoch is both durable and visible.
+
+        ``op`` is the WAL operation tuple (or a zero-argument callable
+        producing it, evaluated after a successful apply; ``None`` skips
+        logging).  A failed apply publishes an empty epoch so the epoch
+        chain never stalls, and logs nothing.
+        """
+        lsn = None
+        epoch: Optional[int] = None
+        try:
+            with self._write_mutex:
+                epoch = self._epochs.begin()
+                latch = self._latch(name)
+                latch.acquire_write()
+                self._epochs.set_write_epoch(epoch)
+                try:
+                    out = fn()
+                finally:
+                    self._epochs.clear_write_epoch()
+                    latch.release_write()
+                if self.wal is not None and op is not None:
+                    logged = op() if callable(op) else op
+                    if logged is not None:
+                        lsn = self.wal.append(epoch, logged)
+            if lsn is not None:
+                self.wal.sync_to(lsn)
+        finally:
+            if epoch is not None:
+                self._epochs.publish(epoch)
+        # version GC: physically reclaim tombstones no pinned reader can
+        # see — with no readers pinned this purges the commit's own
+        # tombstones before returning, so single-caller deletes stay
+        # physically immediate
+        index = self._indexes.get(name)
+        if isinstance(index, Collection) and index.has_mvcc_state:
+            with self._write_mutex:
+                latch = self._latch(name)
+                latch.acquire_write()
+                try:
+                    index.purge_versions(self._epochs.safe_epoch())
+                finally:
+                    latch.release_write()
+        return out
+
+    @contextmanager
+    def read_turn(self, name: str) -> Iterator[int]:
+        """One snapshot read turn: pin the current epoch, share the latch.
+
+        Yields the pinned epoch.  The caller drains its result inside the
+        scope and filters it with :meth:`visible_records` — records of
+        commits published after the pin (or deleted at/before it) are
+        residual-filtered out, so the answer is the oracle of the pinned
+        epoch even while writers commit concurrently.
+        """
+        latch = self._latch(name)
+        with self._epochs.pinned() as epoch:
+            latch.acquire_read()
+            try:
+                yield epoch
+            finally:
+                latch.release_read()
+
+    @contextmanager
+    def write_turn(self) -> Iterator[None]:
+        """Hold the engine write mutex across several commits (reentrant).
+
+        What :meth:`~repro.engine.session.EngineSession.delete_matching`
+        uses: the victim query and the per-victim deletes run with no
+        other writer in between.
+        """
+        with self._write_mutex:
+            yield
+
+    @property
+    def epochs(self) -> EpochManager:
+        """The engine's MVCC epoch clock."""
+        return self._epochs
+
+    def visible_records(self, name: str, records: List[Any], epoch: int) -> List[Any]:
+        """Filter a drained result down to what ``epoch`` may see.
+
+        Only collections carry version tags (and only while some version
+        is newer than the GC horizon), so this is a no-op pass-through in
+        the common case.  Plain indexes get per-turn consistency from the
+        latch instead of snapshot semantics — the server documents that
+        contract.
+        """
+        index = self._indexes.get(name)
+        if isinstance(index, Collection) and index.has_mvcc_state:
+            return [r for r in records if index.visible_at(record_key(r), epoch)]
+        return records
 
     # ------------------------------------------------------------------ #
     # index creation
@@ -149,19 +290,39 @@ class Engine:
     def _register(self, name: str, index: Any, kind: str, **params: Any) -> Any:
         self._indexes[name] = index
         self._catalog[name] = {"kind": kind, "params": params}
+        if isinstance(index, Collection):
+            index.epochs = self._epochs
         return index
+
+    def _create_op(self, name: str) -> Tuple[Any, ...]:
+        """The WAL record for a just-registered index: entry + records.
+
+        Mirrors the catalog checkpoint format, so recovery replays a
+        create through the same ``_restore`` machinery — which is what
+        makes WAL-only recovery (a crash before the first checkpoint)
+        work for every index kind.
+        """
+        spec = self._catalog[name]
+        records = _catalog_records(spec["kind"], self._indexes[name])
+        entry = {"name": name, "kind": spec["kind"], "params": dict(spec["params"])}
+        return ("create", entry, records)
 
     def create_interval_index(
         self, name: str, intervals: Iterable[Interval] = (), *, dynamic: bool = True
     ) -> ExternalIntervalManager:
         """Stabbing/intersection index (Proposition 2.2 + Section 3)."""
-        self._claim_name(name)
-        return self._register(
-            name,
-            ExternalIntervalManager(self.disk, intervals, dynamic=dynamic),
-            "interval",
-            dynamic=dynamic,
-        )
+        items = list(intervals)
+
+        def do() -> ExternalIntervalManager:
+            self._claim_name(name)
+            return self._register(
+                name,
+                ExternalIntervalManager(self.disk, items, dynamic=dynamic),
+                "interval",
+                dynamic=dynamic,
+            )
+
+        return self._commit(name, do, op=lambda: self._create_op(name))
 
     def create_class_index(
         self,
@@ -172,14 +333,19 @@ class Engine:
         method: str = "simple",
     ) -> ClassIndexer:
         """Full-extent class index (Theorems 2.6 / 4.7 or a baseline)."""
-        self._claim_name(name)
-        return self._register(
-            name,
-            ClassIndexer(self.disk, hierarchy, objects, method=method),
-            "class",
-            method=method,
-            hierarchy=hierarchy,
-        )
+        items = list(objects)
+
+        def do() -> ClassIndexer:
+            self._claim_name(name)
+            return self._register(
+                name,
+                ClassIndexer(self.disk, hierarchy, items, method=method),
+                "class",
+                method=method,
+                hierarchy=hierarchy,
+            )
+
+        return self._commit(name, do, op=lambda: self._create_op(name))
 
     def create_constraint_index(
         self,
@@ -190,16 +356,22 @@ class Engine:
         dynamic: bool = True,
     ) -> GeneralizedOneDimensionalIndex:
         """Generalized 1-D index over a constraint relation (Section 2.1)."""
-        self._claim_name(name)
-        return self._register(
-            name,
-            GeneralizedOneDimensionalIndex(self.disk, relation, attribute, dynamic=dynamic),
-            "constraint",
-            attribute=attribute,
-            dynamic=dynamic,
-            variables=list(relation.variables),
-            relation_name=relation.name,
-        )
+
+        def do() -> GeneralizedOneDimensionalIndex:
+            self._claim_name(name)
+            return self._register(
+                name,
+                GeneralizedOneDimensionalIndex(
+                    self.disk, relation, attribute, dynamic=dynamic
+                ),
+                "constraint",
+                attribute=attribute,
+                dynamic=dynamic,
+                variables=list(relation.variables),
+                relation_name=relation.name,
+            )
+
+        return self._commit(name, do, op=lambda: self._create_op(name))
 
     def create_point_index(
         self, name: str, points: Iterable[PlanarPoint] = ()
@@ -213,20 +385,30 @@ class Engine:
         threshold-triggered global rebuilds — exactly the wholesale
         reconstruction Lemma 4.4 prescribes, with the I/Os charged.
         """
-        self._claim_name(name)
+        pts = list(points)
         disk = self.disk
-        return self._register(
-            name,
-            RebuildingIndex(disk, lambda items: ExternalPST(disk, items), points),
-            "point",
-        )
+
+        def do() -> RebuildingIndex:
+            self._claim_name(name)
+            return self._register(
+                name,
+                RebuildingIndex(disk, lambda items: ExternalPST(disk, items), pts),
+                "point",
+            )
+
+        return self._commit(name, do, op=lambda: self._create_op(name))
 
     def create_key_index(self, name: str, pairs: Iterable[Tuple[Any, Any]] = ()) -> BPlusTree:
         """Plain external B+-tree over ``(key, value)`` pairs (Section 1.4)."""
-        self._claim_name(name)
-        return self._register(
-            name, BPlusTree.bulk_load(self.disk, pairs, name=name), "key"
-        )
+        items = list(pairs)
+
+        def do() -> BPlusTree:
+            self._claim_name(name)
+            return self._register(
+                name, BPlusTree.bulk_load(self.disk, items, name=name), "key"
+            )
+
+        return self._commit(name, do, op=lambda: self._create_op(name))
 
     def create_collection(
         self,
@@ -242,13 +424,18 @@ class Engine:
         ``bulk_load``/``batch``); queries go through the cost-aware
         :class:`~repro.engine.planner.QueryPlanner` (see ``explain``).
         """
-        self._claim_name(name)
-        return self._register(
-            name,
-            Collection.for_intervals(self.disk, intervals, name=name, dynamic=dynamic),
-            "collection",
-            dynamic=dynamic,
-        )
+        items = list(intervals)
+
+        def do() -> Collection:
+            self._claim_name(name)
+            return self._register(
+                name,
+                Collection.for_intervals(self.disk, items, name=name, dynamic=dynamic),
+                "collection",
+                dynamic=dynamic,
+            )
+
+        return self._commit(name, do, op=lambda: self._create_op(name))
 
     def drop_index(self, name: str) -> None:
         """Forget an index (and free its blocks when it knows how to).
@@ -258,18 +445,22 @@ class Engine:
         next :meth:`checkpoint`).  Unknown names raise the same
         descriptive :class:`KeyError` as :meth:`index`.
         """
-        index = self.index(name)
-        del self._indexes[name]
-        self._catalog.pop(name, None)
-        planner = self._planners.pop(name, None)
-        if planner is not None:
-            # prepared queries still holding this planner must re-plan (and
-            # fail loudly against the destroyed index) rather than serve a
-            # cached strategy over freed blocks
-            planner.invalidate()
-        destroy = getattr(index, "destroy", None)
-        if callable(destroy):
-            destroy()
+
+        def do() -> None:
+            index = self.index(name)
+            del self._indexes[name]
+            self._catalog.pop(name, None)
+            planner = self._planners.pop(name, None)
+            if planner is not None:
+                # prepared queries still holding this planner must re-plan
+                # (and fail loudly against the destroyed index) rather than
+                # serve a cached strategy over freed blocks
+                planner.invalidate()
+            destroy = getattr(index, "destroy", None)
+            if callable(destroy):
+                destroy()
+
+        self._commit(name, do, op=("drop", name))
 
     # ------------------------------------------------------------------ #
     # namespace
@@ -306,8 +497,17 @@ class Engine:
         other index takes the single record object.  Inserting a record
         whose uid the index already holds raises a descriptive
         :class:`ValueError` instead of silently double-indexing it.
+
+        Like every engine mutation, this is one committed write turn:
+        applied under the index's latch, WAL-logged and fsynced (when a
+        log is attached), and published as one MVCC epoch before the call
+        returns — the returning call *is* the acknowledgement.
         """
-        self.index(name).insert(*item)
+        self._commit(
+            name,
+            lambda: self.index(name).insert(*item),
+            op=("insert", name, item),
+        )
 
     def delete(self, name: str, *item: Any) -> bool:
         """Delete a record from the named index; ``True`` when present.
@@ -315,7 +515,19 @@ class Engine:
         B+-tree indexes take ``engine.delete(name, key[, value])``; every
         other index takes the single record object (matched by uid).
         """
-        return bool(self.index(name).delete(*item))
+        outcome: List[bool] = []
+
+        def do() -> bool:
+            removed = bool(self.index(name).delete(*item))
+            outcome.append(removed)
+            return removed
+
+        # a miss mutates nothing: log (and fsync) only actual removals
+        return self._commit(
+            name,
+            do,
+            op=lambda: ("delete", name, item) if outcome[0] else None,
+        )
 
     def update(self, name: str, old: Any, new: Any) -> None:
         """Replace ``old`` with ``new`` in the named index.
@@ -327,32 +539,36 @@ class Engine:
         take ``(key, value)`` pairs for both arguments, mirroring the
         :meth:`insert`/:meth:`delete` calling convention.
         """
-        index = self.index(name)
-        native = getattr(index, "update", None)
-        if callable(native):
-            native(old, new)
-            return
 
-        def spread(item: Any) -> Tuple[Any, ...]:
-            # B+-trees address records as (key, value); everything else
-            # takes the single record object
-            if isinstance(index, BPlusTree) and isinstance(item, tuple):
-                return tuple(item)
-            return (item,)
+        def do() -> None:
+            index = self.index(name)
+            native = getattr(index, "update", None)
+            if callable(native):
+                native(old, new)
+                return
 
-        if not index.delete(*spread(old)):
-            raise KeyError(f"cannot update {name!r}: record not present")
-        try:
-            index.insert(*spread(new))
-        except BaseException:
-            # restore through the bulk path: it works even where single
-            # inserts are what just failed (static structures)
-            restore = getattr(index, "bulk_load", None)
-            if callable(restore):
-                restore([old])
-            else:
-                index.insert(*spread(old))
-            raise
+            def spread(item: Any) -> Tuple[Any, ...]:
+                # B+-trees address records as (key, value); everything else
+                # takes the single record object
+                if isinstance(index, BPlusTree) and isinstance(item, tuple):
+                    return tuple(item)
+                return (item,)
+
+            if not index.delete(*spread(old)):
+                raise KeyError(f"cannot update {name!r}: record not present")
+            try:
+                index.insert(*spread(new))
+            except BaseException:
+                # restore through the bulk path: it works even where single
+                # inserts are what just failed (static structures)
+                restore = getattr(index, "bulk_load", None)
+                if callable(restore):
+                    restore([old])
+                else:
+                    index.insert(*spread(old))
+                raise
+
+        self._commit(name, do, op=("update", name, old, new))
 
     def bulk_load(self, name: str, items: Iterable[Any]) -> int:
         """Load a batch into the named index in one reorganisation.
@@ -362,23 +578,28 @@ class Engine:
         per-record insert fallback otherwise; returns the number of
         records added.
         """
-        index = self.index(name)
-        bulk = getattr(index, "bulk_load", None)
-        try:
-            if callable(bulk):
-                return int(bulk(items))
-            count = 0
-            for item in items:
-                index.insert(item)
-                count += 1
-            return count
-        finally:
-            # a bulk reorganisation changes costs wholesale: cached plan
-            # strategies over this index must be re-costed (Collections
-            # invalidate their own planner inside bulk_load)
-            planner = self._planners.get(name)
-            if planner is not None:
-                planner.invalidate()
+        batch = list(items)
+
+        def do() -> int:
+            index = self.index(name)
+            bulk = getattr(index, "bulk_load", None)
+            try:
+                if callable(bulk):
+                    return int(bulk(batch))
+                count = 0
+                for item in batch:
+                    index.insert(item)
+                    count += 1
+                return count
+            finally:
+                # a bulk reorganisation changes costs wholesale: cached plan
+                # strategies over this index must be re-costed (Collections
+                # invalidate their own planner inside bulk_load)
+                planner = self._planners.get(name)
+                if planner is not None:
+                    planner.invalidate()
+
+        return self._commit(name, do, op=lambda: ("bulk", name, batch))
 
     def _planner_for(self, name: str, index: Any) -> QueryPlanner:
         """The long-lived planner for an index (Collections own their own).
@@ -548,6 +769,13 @@ class Engine:
         :meth:`open` reverses the process.  Superseded catalog blocks from
         a previous checkpoint are freed first, so repeated checkpoints do
         not leak space.
+
+        With a WAL attached the checkpoint is also the log's horizon: the
+        commit stream is quiesced, the catalog is stamped with the
+        ``durable_epoch`` it covers and made durable (the backend's
+        ``sync`` fsyncs pages and sidecar), and only *then* is the log
+        truncated — a crash anywhere in between replays a tail the
+        ``durable_epoch`` filter recognises as already applied.
         """
         meta = getattr(self.backend, "meta", None)
         if meta is None:
@@ -555,41 +783,66 @@ class Engine:
                 f"backend {type(self.backend).__name__} has no meta store; "
                 "cannot persist a catalog"
             )
-        for bid in meta.get("catalog_blocks", ()):
-            self.disk.free(bid)
-        blocks: List[int] = []
-        entries: List[Dict[str, Any]] = []
-        B = self.block_size
-        for name in sorted(self._catalog):
-            spec = self._catalog[name]
-            records = _catalog_records(spec["kind"], self._indexes[name])
-            head = None
-            for start in reversed(range(0, len(records), B)):
-                chunk = records[start : start + B]
-                block = self.disk.allocate(records=list(chunk), header={"next": head})
-                head = block.block_id
-                blocks.append(block.block_id)
-            entries.append(
-                {
-                    "name": name,
-                    "kind": spec["kind"],
-                    "params": dict(spec["params"]),
-                    "head": head,
-                    "count": len(records),
-                }
+        with self._write_mutex:
+            # wait for in-flight commits to publish: the checkpoint must
+            # cover a prefix of the epoch order, not race its tail
+            self._epochs.quiesce()
+            for name, index in sorted(self._indexes.items()):
+                if isinstance(index, Collection) and index.has_mvcc_state:
+                    latch = self._latch(name)
+                    latch.acquire_write()
+                    try:
+                        index.purge_versions(self._epochs.safe_epoch())
+                    finally:
+                        latch.release_write()
+            for bid in meta.get("catalog_blocks", ()):
+                self.disk.free(bid)
+            blocks: List[int] = []
+            entries: List[Dict[str, Any]] = []
+            B = self.block_size
+            for name in sorted(self._catalog):
+                spec = self._catalog[name]
+                records = _catalog_records(spec["kind"], self._indexes[name])
+                head = None
+                for start in reversed(range(0, len(records), B)):
+                    chunk = records[start : start + B]
+                    block = self.disk.allocate(
+                        records=list(chunk), header={"next": head}
+                    )
+                    head = block.block_id
+                    blocks.append(block.block_id)
+                entries.append(
+                    {
+                        "name": name,
+                        "kind": spec["kind"],
+                        "params": dict(spec["params"]),
+                        "head": head,
+                        "count": len(records),
+                    }
+                )
+            root = self.disk.allocate(
+                records=[], header={"entries": entries, "format": 1}
             )
-        root = self.disk.allocate(records=[], header={"entries": entries, "format": 1})
-        blocks.append(root.block_id)
-        meta["catalog_root"] = root.block_id
-        meta["catalog_blocks"] = blocks
-        self.flush()
-        sync = getattr(self.backend, "sync", None)
-        if callable(sync):
-            sync()
+            blocks.append(root.block_id)
+            meta["catalog_root"] = root.block_id
+            meta["catalog_blocks"] = blocks
+            meta["durable_epoch"] = self._epochs.current
+            self.flush()
+            sync = getattr(self.backend, "sync", None)
+            if callable(sync):
+                sync()
+            if self.wal is not None:
+                self.wal.truncate()
         return root.block_id
 
     @classmethod
-    def open(cls, path: str, *, buffer_pages: Optional[int] = None) -> "Engine":
+    def open(
+        cls,
+        path: str,
+        *,
+        buffer_pages: Optional[int] = None,
+        wal: bool = True,
+    ) -> "Engine":
         """Reopen an engine from a page file written by a prior process.
 
         Reads the catalog chain back (``O(n/B)`` I/Os) and restores every
@@ -598,36 +851,104 @@ class Engine:
         results and within the same I/O bounds as the original engine.
         The dead blocks of the previous incarnation are freed and the page
         file compacted, keeping the space bound at ``O(n/B)``.
+
+        With ``wal=True`` (the default) recovery then replays the
+        write-ahead log at ``path + ".wal"``: every commit acknowledged
+        after the restored checkpoint — including after a crash that never
+        reached :meth:`close` — is re-applied, the log is re-attached for
+        the new incarnation's writes, and a fresh checkpoint truncates it.
+        ``wal=False`` opts out (checkpoint-only durability, the pre-WAL
+        behaviour).
         """
         backend = FileDisk.open(path)
         engine = cls(backend, buffer_pages=buffer_pages)
         root_id = backend.meta.get("catalog_root")
-        if root_id is None:
+        durable_epoch = int(backend.meta.get("durable_epoch", 0))
+        if root_id is not None:
+            stale = set(backend.block_ids())
+            root = engine.disk.read(root_id)
+            for entry in root.header["entries"]:
+                records: List[Any] = []
+                head = entry["head"]
+                while head is not None:
+                    block = engine.disk.read(head)
+                    records.extend(block.records)
+                    head = block.header["next"]
+                _advance_uid_counters(records)
+                engine._restore(entry, records)
+        # the restore itself ran commits and advanced the clock; realign to
+        # the epoch the checkpoint covers so WAL-tail filtering is exact
+        engine._epochs.advance_to(durable_epoch)
+        replayed = 0
+        if wal:
+            replayed = engine.attach_wal(
+                path + WAL_SUFFIX, durable_epoch=durable_epoch, checkpoint=False
+            )
+        if root_id is None and replayed == 0:
+            # nothing restored, nothing replayed: keep the fast no-op open
             return engine
-        stale = set(backend.block_ids())
-        root = engine.disk.read(root_id)
-        for entry in root.header["entries"]:
-            records: List[Any] = []
-            head = entry["head"]
-            while head is not None:
-                block = engine.disk.read(head)
-                records.extend(block.records)
-                head = block.header["next"]
-            _advance_uid_counters(records)
-            engine._restore(entry, records)
-        # everything that predates the restore — the consumed catalog chain
-        # and the previous incarnation's structure blocks — is now dead
-        for bid in stale:
-            engine.disk.free(bid)
-        backend.meta.pop("catalog_root", None)
-        backend.meta["catalog_blocks"] = []
-        backend.compact()
+        if root_id is not None:
+            # everything that predates the restore — the consumed catalog
+            # chain and the previous incarnation's structure blocks — is dead
+            for bid in stale:
+                engine.disk.free(bid)
+            backend.meta.pop("catalog_root", None)
+            backend.meta["catalog_blocks"] = []
+            backend.compact()
         # checkpoint immediately: compact() rewrote the page file and the
         # restore consumed the old catalog chain, so a process that exits
         # between here and close() must find a sidecar + catalog that
         # describe the file as it now is, not as it was before the restore
         engine.checkpoint()
         return engine
+
+    def attach_wal(
+        self,
+        path: Optional[str] = None,
+        *,
+        replay: bool = True,
+        checkpoint: bool = True,
+        fsync: bool = True,
+        durable_epoch: Optional[int] = None,
+    ) -> int:
+        """Open (or create) a write-ahead log and attach it to this engine.
+
+        From the attach onwards every committed mutation appends a
+        checksummed record and is acknowledged only after the record is
+        fsync-durable (see :meth:`_commit`).  If the log already holds a
+        tail — the engine's last incarnation crashed — and ``replay`` is
+        true, the tail past ``durable_epoch`` (defaulting to the current
+        epoch) is re-applied *before* attaching.  On a persistent backend
+        ``checkpoint=True`` then writes a checkpoint and truncates the log
+        — both to fold in any replayed state and to establish the log's
+        baseline (sidecar + ``durable_epoch``) for a fresh database, so a
+        crash at *any* later point finds a reopenable checkpoint to replay
+        against.  Returns the number of replayed records.
+        """
+        if self.wal is not None:
+            raise RuntimeError("engine already has a WAL attached")
+        if path is None:
+            file_path = getattr(self.backend, "path", None)
+            if file_path is None:
+                raise TypeError(
+                    "backend has no path; pass an explicit WAL path"
+                )
+            path = str(file_path) + WAL_SUFFIX
+        wal = WriteAheadLog(path, stats=self.io_stats(), fsync=fsync)
+        replayed = 0
+        try:
+            if replay:
+                baseline = (
+                    self._epochs.current if durable_epoch is None else durable_epoch
+                )
+                replayed = replay_wal(self, wal, baseline)
+        except Exception:
+            wal.close()
+            raise
+        self.wal = wal
+        if checkpoint and getattr(self.backend, "persistent", False):
+            self.checkpoint()
+        return replayed
 
     def _restore(self, entry: Dict[str, Any], records: List[Any]) -> None:
         """Rebuild one catalog entry through the matching ``create_*``."""
@@ -673,6 +994,9 @@ class Engine:
         close = getattr(self.backend, "close", None)
         if callable(close):
             close()
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
 
     def __enter__(self) -> "Engine":
         return self

@@ -14,10 +14,16 @@ subsystem multiplexes it with two small pieces:
   upgrade` to exclusive access without releasing the read lock, so no
   other writer can slip between what it read and what it writes.
 
-* :class:`EngineSession` — one caller's handle on a shared engine.  Every
-  request runs under the appropriate lock side and drains its result
-  *inside* the critical section, so a reader sees one consistent snapshot:
-  the engine state between two write turns.  Per-request I/O is attributed
+* :class:`EngineSession` — one caller's handle on a shared engine.  Reads
+  run as **MVCC snapshot turns**: the session pins the engine's current
+  epoch (:meth:`~repro.engine.core.Engine.read_turn`), shares only the
+  target index's structural latch — never an engine-wide lock — drains its
+  result, and residual-filters it to the pinned epoch's visibility.  A
+  writer committing on *another* index therefore never delays the read at
+  all, and a writer on the *same* index delays it only for the structural
+  change, not for the WAL fsync.  Writes go straight through the engine's
+  commit kernel (:meth:`~repro.engine.core.Engine._commit`): logged,
+  group-fsynced, published in epoch order.  Per-request I/O is attributed
   through the backend's thread-local sink mechanism
   (:meth:`repro.io.counters.IOStats.attributed`) — concurrent sessions on
   one disk each measure exactly their own block accesses, which keeps the
@@ -26,8 +32,13 @@ subsystem multiplexes it with two small pieces:
 
 Consistency model (what the server documents to clients): readers never
 observe a half-applied write; a query's answer is the brute-force oracle
-of the record set as it stood at some instant between write turns.  There
-are no multi-request transactions — each request is one atomic turn.
+of the record set at the pinned epoch — a prefix of the committed write
+history (commits publish in order).  A session that writes sees its own
+write in every later read (the ack happens after publication).  There are
+no multi-request transactions — each request is one atomic turn.
+
+:class:`RWLock` remains the latch primitive the engine instantiates per
+index name; its upgrade path still serves engine-wide exclusive turns.
 """
 
 from __future__ import annotations
@@ -205,13 +216,16 @@ class SessionResult:
 class EngineSession:
     """One caller's thread-safe handle on a shared :class:`Engine`.
 
-    Sessions of one engine share its :class:`RWLock` (``engine.session()``
-    hands them out): :meth:`query`, :meth:`run` and :meth:`explain` take
-    the read side, the write surface (:meth:`insert`, :meth:`delete`,
-    :meth:`bulk_load`, :meth:`create_collection`, :meth:`drop_index`)
-    takes the write side, and :meth:`delete_matching` demonstrates the
-    write-intent upgrade: victims are streamed under the read lock, then
-    deleted under the upgraded lock with no writer window in between.
+    Reads (:meth:`query`, :meth:`run`, :meth:`explain`) are snapshot
+    turns: pin the current MVCC epoch, share the one index's latch, drain,
+    filter to the pinned epoch.  The write surface (:meth:`insert`,
+    :meth:`delete`, :meth:`bulk_load`, :meth:`create_collection`,
+    :meth:`drop_index`) delegates to the engine's commit kernel — each
+    call is one committed, WAL-durable write turn, acknowledged only after
+    its log record is fsynced and its epoch published.
+    :meth:`delete_matching` holds the engine's write mutex across the
+    victim query and the per-victim commits, so no other writer can run
+    between what it read and what it deletes.
 
     Each request's I/Os land in a fresh sink (returned on the
     :class:`SessionResult`) and accumulate in :attr:`stats`; the paper's
@@ -220,9 +234,11 @@ class EngineSession:
     shared between threads — one session per client connection.
     """
 
-    def __init__(self, engine: Any, lock: RWLock) -> None:
+    def __init__(self, engine: Any, lock: Optional[RWLock] = None) -> None:
         self.engine = engine
-        self.lock = lock
+        #: kept for compatibility (pre-MVCC sessions serialized on one
+        #: engine-wide RWLock); requests no longer take it
+        self.lock = lock if lock is not None else RWLock()
         self.session_id = next(_SESSION_IDS)
         #: cumulative I/O attributed to this session's requests
         self.stats = IOStats()
@@ -240,32 +256,35 @@ class EngineSession:
         self.stats.merge(sink)
         self.requests += 1
 
-    def _read(self, fn: Callable[[], List[Any]]) -> SessionResult:
-        with self.lock.read():
+    def _read(self, name: str, fn: Callable[[], List[Any]]) -> SessionResult:
+        with self.engine.read_turn(name) as epoch:
             with self._attributed() as sink:
-                records = fn()
+                records = self.engine.visible_records(name, fn(), epoch)
         return SessionResult(records, sink)
 
     def _write(self, fn: Callable[[], Any]) -> SessionResult:
-        with self.lock.write():
-            with self._attributed() as sink:
-                out = fn()
+        # no session-side lock: the engine's commit kernel serializes,
+        # logs, fsyncs and publishes the turn before returning
+        with self._attributed() as sink:
+            out = fn()
         records = out if isinstance(out, list) else ([] if out is None else [out])
         return SessionResult(records, sink)
 
     # ------------------------------------------------------------------ #
-    # the read surface
+    # the read surface (snapshot turns)
     # ------------------------------------------------------------------ #
     def query(self, name: str, q: Any) -> SessionResult:
-        """Answer ``q`` on the named index: one consistent read turn.
+        """Answer ``q`` on the named index: one pinned-epoch snapshot turn.
 
-        The lazy result is drained inside the read lock — concurrent
-        writers wait, so the answer is the oracle of a single engine state.
+        The lazy result is drained while sharing only this index's latch,
+        then residual-filtered to the pinned epoch — the answer is the
+        oracle of that epoch's record set even while writers commit
+        concurrently on this or any other index.
         """
-        with self.lock.read():
+        with self.engine.read_turn(name) as epoch:
             with self._attributed() as sink:
                 result = self.engine.query(name, q)
-                records = result.all()
+                records = self.engine.visible_records(name, result.all(), epoch)
                 bound = result.bound
                 plan = result.plan
         return SessionResult(records, sink, bound=bound, plan=plan)
@@ -276,12 +295,14 @@ class EngineSession:
         Handles are leased per session/connection and must not be shared
         across threads (their cached-template bookkeeping is unguarded);
         the planner they delegate to is internally locked, so re-planning
-        after an invalidation is safe under the shared read lock.
+        after an invalidation is safe under the shared latch.
         """
-        with self.lock.read():
+        with self.engine.read_turn(prepared.name) as epoch:
             with self._attributed() as sink:
                 result = prepared.run(**params)
-                records = result.all()
+                records = self.engine.visible_records(
+                    prepared.name, result.all(), epoch
+                )
                 bound = result.bound
                 plan = result.plan
         return SessionResult(
@@ -290,13 +311,13 @@ class EngineSession:
         )
 
     def prepare(self, name: str, q: Any) -> Any:
-        """Plan once under the read lock; returns the prepared handle."""
-        with self.lock.read():
+        """Plan once under a shared read turn; returns the prepared handle."""
+        with self.engine.read_turn(name):
             return self.engine.prepare(name, q)
 
     def explain(self, name: str, q: Any) -> Any:
         """The plan :meth:`query` would run (pure, but planner-locked)."""
-        with self.lock.read():
+        with self.engine.read_turn(name):
             return self.engine.explain(name, q)
 
     # ------------------------------------------------------------------ #
@@ -327,29 +348,22 @@ class EngineSession:
         return self._write(lambda: self.engine.drop_index(name))
 
     def delete_matching(self, name: str, q: Any, limit: Optional[int] = None) -> SessionResult:
-        """Delete every record matching ``q``: read, upgrade, write — atomically.
+        """Delete every record matching ``q``: one atomic multi-commit turn.
 
-        The victim set is streamed under the read lock, then the lock is
-        *upgraded* — no other writer can run between the read and the
-        deletes, so the victims cannot go stale.  If another session
-        already holds the write-intent slot (:class:`WriteIntentError`),
-        fall back to a plain exclusive turn and re-run the victim query
-        inside it: same atomicity, one extra query.
+        Holds the engine's (reentrant) write mutex across the victim query
+        and the per-victim delete commits, so no other writer can run
+        between what was read and what is deleted — the victims cannot go
+        stale.  Concurrent readers keep streaming their pinned snapshots
+        throughout; each delete publishes as its own epoch.  (The lock
+        upgrade this method used pre-MVCC survives on :class:`RWLock` for
+        the engine's per-index latches.)
         """
-        def victims_of(engine_state_query: Any) -> List[Any]:
-            victims = self.engine.query(name, engine_state_query).all()
-            return victims if limit is None else victims[:limit]
-
         with self._attributed() as sink:
-            try:
-                with self.lock.read():
-                    victims = victims_of(q)
-                    with self.lock.upgrade():
-                        removed = [v for v in victims if self.engine.delete(name, v)]
-            except WriteIntentError:
-                with self.lock.write():
-                    victims = victims_of(q)
-                    removed = [v for v in victims if self.engine.delete(name, v)]
+            with self.engine.write_turn():
+                victims = self.engine.query(name, q).all()
+                if limit is not None:
+                    victims = victims[:limit]
+                removed = [v for v in victims if self.engine.delete(name, v)]
         return SessionResult(removed, sink)
 
     # ------------------------------------------------------------------ #

@@ -50,6 +50,11 @@ class IOStats:
     cache_hits:
         Number of reads absorbed by a buffer pool and therefore *not*
         counted as I/Os.
+    fsyncs:
+        Number of ``fsync`` barriers issued (WAL group commits, sidecar
+        checkpoints).  Durability work, not block transfer: excluded from
+        :attr:`total` so the paper's I/O bounds are unaffected, but
+        counted so group-commit amortization is measurable.
     """
 
     reads: int = 0
@@ -57,6 +62,7 @@ class IOStats:
     allocations: int = 0
     frees: int = 0
     cache_hits: int = 0
+    fsyncs: int = 0
     #: guards every read-modify-write (``count``/``merge``/``reset``)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
@@ -76,6 +82,7 @@ class IOStats:
         allocations: int = 0,
         frees: int = 0,
         cache_hits: int = 0,
+        fsyncs: int = 0,
     ) -> None:
         """Add to the counters under the lock; mirror into this thread's sinks.
 
@@ -89,6 +96,7 @@ class IOStats:
             self.allocations += allocations
             self.frees += frees
             self.cache_hits += cache_hits
+            self.fsyncs += fsyncs
         sinks = getattr(self._local, "sinks", None)
         if sinks:
             for sink in sinks:
@@ -98,6 +106,7 @@ class IOStats:
                     allocations=allocations,
                     frees=frees,
                     cache_hits=cache_hits,
+                    fsyncs=fsyncs,
                 )
 
     def merge(self, other: "IOStats") -> None:
@@ -108,6 +117,7 @@ class IOStats:
             allocations=other.allocations,
             frees=other.frees,
             cache_hits=other.cache_hits,
+            fsyncs=other.fsyncs,
         )
 
     def reset(self) -> None:
@@ -118,6 +128,7 @@ class IOStats:
             self.allocations = 0
             self.frees = 0
             self.cache_hits = 0
+            self.fsyncs = 0
 
     # ------------------------------------------------------------------ #
     # per-thread attribution
@@ -163,6 +174,7 @@ class IOStats:
                 allocations=self.allocations,
                 frees=self.frees,
                 cache_hits=self.cache_hits,
+                fsyncs=self.fsyncs,
             )
 
     def diff(self, earlier: "IOStats") -> "IOStats":
@@ -173,6 +185,7 @@ class IOStats:
             allocations=self.allocations - earlier.allocations,
             frees=self.frees - earlier.frees,
             cache_hits=self.cache_hits - earlier.cache_hits,
+            fsyncs=self.fsyncs - earlier.fsyncs,
         )
 
     def as_dict(self) -> dict:
@@ -183,6 +196,7 @@ class IOStats:
             "allocations": self.allocations,
             "frees": self.frees,
             "cache_hits": self.cache_hits,
+            "fsyncs": self.fsyncs,
             "total": self.total,
         }
 
@@ -195,10 +209,12 @@ class IOStats:
             "allocations": self.allocations,
             "frees": self.frees,
             "cache_hits": self.cache_hits,
+            "fsyncs": self.fsyncs,
         }
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        self.__dict__.setdefault("fsyncs", 0)  # pickles from older layouts
         self.__dict__["_lock"] = threading.Lock()
         self.__dict__["_local"] = threading.local()
 

@@ -134,20 +134,35 @@ class FileDisk:
         A no-op for anonymous temporary disks (they are scratch space by
         contract).  Sidecar maintenance is not an I/O in the model: it is
         constant-size control information, exactly like the block headers.
+
+        Durability contract: the page file is flushed **and fsynced**
+        before the sidecar is written, and the sidecar itself is written
+        atomically (temp file + ``os.replace``) and fsynced — a crash
+        leaves either the previous consistent (pages, sidecar) pair or the
+        new one, never a sidecar describing pages that were lost in a
+        buffer.  The two barriers are counted as ``fsyncs`` (not I/Os).
         """
         if self._owns_file or self._closed:
             return
-        state = {
-            "block_size": self.block_size,
-            "extents": self._extents,
-            "capacities": self._capacities,
-            "next_id": self._next_id,
-            "end": self._end,
-            "meta": self.meta,
-        }
-        self._file.flush()
-        with open(self._meta_path_for(self.path), "wb") as fh:
+        with self._io_lock:
+            state = {
+                "block_size": self.block_size,
+                "extents": dict(self._extents),
+                "capacities": dict(self._capacities),
+                "next_id": self._next_id,
+                "end": self._end,
+                "meta": self.meta,
+            }
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        sidecar = self._meta_path_for(self.path)
+        tmp = sidecar + ".tmp"
+        with open(tmp, "wb") as fh:
             fh.write(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, sidecar)
+        self.stats.count(fsyncs=2)
 
     # ------------------------------------------------------------------ #
     # serialization

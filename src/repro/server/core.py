@@ -374,6 +374,8 @@ class ReproServer:
                 "blocks": self.engine.block_count(),
                 **self.engine.io_stats().snapshot().as_dict(),
             },
+            epochs=self.engine.epochs.as_dict(),
+            wal=(None if self.engine.wal is None else self.engine.wal.as_dict()),
         )
 
 

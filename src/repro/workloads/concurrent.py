@@ -318,23 +318,31 @@ def run_matrix(
                     fresh = random_intervals(
                         write_ops, seed=seeds[tid] + 7, mean_length=mean_length)
                     local: List[float] = []
+                    # each server round-trip is its own latency sample;
+                    # client-side oracle verification stays untimed
                     for i, iv in enumerate(fresh):
                         t0 = time.perf_counter()
                         stored = db.insert(name, iv)
+                        local.append(time.perf_counter() - t0)
                         model[stored.uid] = stored
                         x = points[(tid * write_ops + i) % len(points)]
+                        t0 = time.perf_counter()
                         res = handle.run(x=x)
+                        local.append(time.perf_counter() - t0)
                         if _uids(res.records) != _oracle_uids(list(model.values()), Stab(x)):
                             failures.add("oracle", f"mixed[{threads}t] rw stab({x}) mismatch")
                         shared_q = Stab(points[(i * 13 + tid) % len(points)])
+                        t0 = time.perf_counter()
                         shared_res = db.query(BASE, shared_q)
+                        local.append(time.perf_counter() - t0)
                         if _uids(shared_res.records) != _oracle_uids(base, shared_q):
                             failures.add("oracle", f"mixed[{threads}t] base {shared_q!r} mismatch")
+                        t0 = time.perf_counter()
                         removed = db.delete(name, stored)["removed"]
+                        local.append(time.perf_counter() - t0)
                         if removed != 1:
                             failures.add("oracle", f"mixed[{threads}t] delete lost {stored!r}")
                         del model[stored.uid]
-                        local.append(time.perf_counter() - t0)
                     with lock:
                         latencies.extend(local)
                         ops_done[0] += 4 * len(fresh)
