@@ -231,11 +231,14 @@ def leg_mvcc_reads(workdir: str, n: int, duration: float) -> Dict[str, Any]:
     def write_loop() -> None:
         session = engine.session()
         fresh = _intervals(100000, seed=4)
-        i = 0
+        done = 0
         while not stop.is_set():
-            session.insert("writers", fresh[i % len(fresh)])
-            writes[0] += 1
-            i += 1
+            session.insert("writers", fresh[done % len(fresh)])
+            done += 1
+        # single publish of a thread-private counter: the main thread only
+        # reads this after join(), so no lock is needed — unlike the bare
+        # `writes[0] += 1` per insert this replaces, which raced the cell
+        writes[0] = done
 
     reader = threading.Thread(target=read_loop, args=(contended, stop))
     writer = threading.Thread(target=write_loop)

@@ -1,5 +1,7 @@
-"""Analysis helpers: cost-model predictions and the tessellation lower bound."""
+"""Analysis helpers: cost-model predictions, the tessellation lower bound,
+and the concurrency toolchain (static lint + runtime lockdep witness)."""
 
+from repro.analysis import lockdep
 from repro.analysis.complexity import (
     btree_query_bound,
     log_b,
@@ -9,16 +11,37 @@ from repro.analysis.complexity import (
     three_sided_query_bound,
     bound_ratio,
 )
+from repro.analysis.lint import Linter, lint_paths, render_report, write_json_report
+from repro.analysis.lintrules import Finding, Rule, register, rule_catalog
+from repro.analysis.lockdep import (
+    BlockingUnderLockError,
+    LockdepWitness,
+    LockOrderError,
+    watching,
+)
 from repro.analysis.tessellation import GridTessellation, row_query_cost_ratio
 
 __all__ = [
+    "BlockingUnderLockError",
+    "Finding",
     "GridTessellation",
+    "Linter",
+    "LockOrderError",
+    "LockdepWitness",
+    "Rule",
     "bound_ratio",
     "btree_query_bound",
+    "lint_paths",
+    "lockdep",
     "log_b",
     "metablock_insert_bound",
     "metablock_query_bound",
+    "register",
+    "render_report",
+    "rule_catalog",
     "row_query_cost_ratio",
     "simple_class_query_bound",
     "three_sided_query_bound",
+    "watching",
+    "write_json_report",
 ]

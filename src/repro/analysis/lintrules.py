@@ -1,0 +1,382 @@
+"""The concurrency linter's rule catalog: one class per invariant.
+
+The AST walker in :mod:`repro.analysis.lint` understands *mechanism* —
+which lock tokens are held at every point, which calls happen, which
+attributes are mutated.  The **rules** here decide *policy*: what the
+commit kernel promised (PR 6) and what every later PR must keep true.
+
+Adding an invariant is one subclass of :class:`Rule` registered with
+:func:`register`; the CLI, the fixture corpus, the suppression syntax and
+the README catalog all pick it up by its ``id``.
+
+Rule ids (the names ``# lint: allow(...)`` takes):
+
+``lock-order``
+    Locks are ranked mutex(0) ≺ latch(1) ≺ wal(2) ≺ leaf(3); acquiring a
+    lower rank while holding a higher one is an inversion, and same-rank
+    locks must be acquired in one global order (A→B somewhere and B→A
+    elsewhere is a cycle, i.e. a deadlock waiting for its interleaving).
+``blocking-under-mutex``
+    No blocking call — ``fsync``/``sync``/``sync_to``/``sleep``/socket
+    or subprocess work — while holding a non-barrier lock.  The commit
+    kernel fsyncs *outside* the mutex; the WAL's dedicated sync lock is a
+    declared barrier lock (group commit happens under it, by design).
+``unlocked-shared-mutation``
+    No bare ``+=``/``-=`` on shared counters (:class:`~repro.io.counters.
+    IOStats` fields, WAL/planner counters, anything a class declares in a
+    ``_shared`` tuple) outside a lock context — a read-modify-write loses
+    updates under concurrency.  Inside functions used as ``Thread``
+    targets the rule also covers mutation of closure cells
+    (``counter[0] += 1``).
+``engine-lock-in-read-turn``
+    Read turns pin an MVCC epoch and share one index latch; they must
+    never take an engine-wide lock (``_write_mutex`` / ``write_turn()`` /
+    the legacy session RWLock) — that is what keeps readers unblockable
+    by writers on other indexes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple, Type
+
+from repro.analysis.lockdep import RANK_LATCH, RANK_LEAF, RANK_MUTEX, RANK_WAL
+
+# --------------------------------------------------------------------------- #
+# lock-token classification (what the walker reports to the rules)
+# --------------------------------------------------------------------------- #
+#: attribute names that denote the engine-wide write mutex
+MUTEX_ATTRS = {"_write_mutex"}
+#: attribute names that denote an engine-wide readers-writer lock
+ENGINE_RWLOCK_ATTRS = {"_rwlock"}
+#: attribute names that denote the WAL's internal locks; ``_sync_lock`` is
+#: a *barrier* lock — the group-commit fsync legitimately runs under it
+WAL_LOCK_CLASSES = {"WriteAheadLog"}
+BARRIER_LOCK_ATTRS = {"_sync_lock"}
+#: call names that block (syscalls, barriers, schedulers); matched against
+#: the final attribute of a call chain
+BLOCKING_CALLS = {
+    "fsync",
+    "sync",
+    "sync_to",
+    "sleep",
+    "serve_forever",
+    "accept",
+    "recv",
+    "sendall",
+    "connect",
+    "wait_for_clean_exit",
+}
+#: base names whose entire attribute surface blocks (``socket.create_...``)
+BLOCKING_BASES = {"socket", "subprocess", "requests"}
+
+#: counter fields that are shared across threads by contract; a bare
+#: augmented assignment on any of these outside a lock loses updates
+SHARED_COUNTER_FIELDS = {
+    # IOStats
+    "reads", "writes", "allocations", "frees", "cache_hits", "fsyncs",
+    # WriteAheadLog
+    "commits", "syncs", "group_absorbed",
+    # QueryPlanner's plan cache
+    "cache_hits", "cache_misses",
+}
+
+
+@dataclass(frozen=True)
+class LockToken:
+    """One syntactically-held lock: a key, its declared rank, barrier-ness."""
+
+    key: str
+    rank: int
+    #: blocking calls are legitimate under barrier locks (WAL sync lock)
+    barrier: bool = False
+
+
+def classify_lock(owner: str, attr: str) -> LockToken:
+    """The token for ``with <recv>.<attr>`` given the enclosing class name."""
+    if attr in MUTEX_ATTRS or attr in ENGINE_RWLOCK_ATTRS:
+        return LockToken(f"{owner}.{attr}", RANK_MUTEX)
+    if owner in WAL_LOCK_CLASSES:
+        return LockToken(
+            f"{owner}.{attr}", RANK_WAL, barrier=attr in BARRIER_LOCK_ATTRS
+        )
+    return LockToken(f"{owner}.{attr}", RANK_LEAF)
+
+
+def latch_token(receiver: str) -> LockToken:
+    """The token for an RWLock acquisition on ``receiver``."""
+    if receiver.endswith("_rwlock") or receiver.endswith(".rwlock"):
+        # the engine-wide session RWLock ranks as a mutex, not a latch
+        return LockToken(receiver, RANK_MUTEX)
+    return LockToken(f"latch:{receiver}", RANK_LATCH)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter diagnostic, pinned to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class Context:
+    """What the walker exposes to rules at each callback.
+
+    ``held`` is the stack of lock tokens syntactically held at the current
+    node; ``read_turn_depth`` counts enclosing ``with ...read_turn(...)``
+    blocks; ``thread_targets`` are module functions passed to
+    ``threading.Thread(target=...)``; ``shared_fields`` are the builtin
+    counter names plus any ``_shared = (...)`` declarations in the module.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        emit: Callable[[int, int, str, str], None],
+    ) -> None:
+        self.path = path
+        self._emit = emit
+        self.held: List[LockToken] = []
+        self.read_turn_depth = 0
+        self.current_class: str = "<module>"
+        self.current_function: str = "<module>"
+        self.thread_targets: Set[str] = set()
+        self.local_names: Set[str] = set()
+        self.shared_fields: Set[str] = set(SHARED_COUNTER_FIELDS)
+
+    def emit(self, node: ast.AST, rule: str, message: str) -> None:
+        self._emit(
+            getattr(node, "lineno", 0), getattr(node, "col_offset", 0),
+            rule, message,
+        )
+
+    def holding_non_barrier(self) -> Optional[LockToken]:
+        for token in self.held:
+            if not token.barrier:
+                return token
+        return None
+
+
+class Rule:
+    """Base class: override the callbacks the invariant needs."""
+
+    id: str = ""
+    description: str = ""
+
+    def on_acquire(self, ctx: Context, token: LockToken, node: ast.AST) -> None:
+        """A lock token is being acquired with ``ctx.held`` still unchanged."""
+
+    def on_call(self, ctx: Context, node: ast.Call, chain: str) -> None:
+        """Any call expression; ``chain`` is the dotted callee (best effort)."""
+
+    def on_augassign(self, ctx: Context, node: ast.AugAssign) -> None:
+        """Any ``+=`` / ``-=`` statement."""
+
+    def finalize(self, emit: Callable[[Finding], None]) -> None:
+        """Called once after every file was walked (cross-file checks)."""
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the catalog under its ``id``."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def rule_catalog() -> Dict[str, str]:
+    """``{rule_id: description}`` for ``repro lint --rules`` and the README."""
+    return {rid: _REGISTRY[rid].description for rid in sorted(_REGISTRY)}
+
+
+def all_rules() -> List[Rule]:
+    """Fresh rule instances (rules keep per-run state, e.g. the edge graph)."""
+    return [_REGISTRY[rid]() for rid in sorted(_REGISTRY)]
+
+
+# --------------------------------------------------------------------------- #
+# the rules
+# --------------------------------------------------------------------------- #
+@register
+class LockOrderRule(Rule):
+    """mutex ≺ latch ≺ wal ≺ leaf; same-rank locks in one global order."""
+
+    id = "lock-order"
+    description = (
+        "locks must be acquired in rank order (mutex < latch < wal < leaf); "
+        "rank inversions and same-rank A/B-B/A cycles are deadlocks in waiting"
+    )
+
+    def __init__(self) -> None:
+        #: (held_key, acquired_key) -> acquisition site
+        self.edges: Dict[Tuple[str, str], Finding] = {}
+
+    def on_acquire(self, ctx: Context, token: LockToken, node: ast.AST) -> None:
+        if not ctx.held:
+            return
+        top = ctx.held[-1]
+        if token.rank < top.rank:
+            ctx.emit(
+                node, self.id,
+                f"acquiring {token.key!r} (rank {token.rank}) while holding "
+                f"{top.key!r} (rank {top.rank}); declared order is "
+                f"mutex < latch < wal < leaf",
+            )
+        for held in ctx.held:
+            if held.key == token.key:
+                continue
+            edge = (held.key, token.key)
+            if edge not in self.edges:
+                self.edges[edge] = Finding(
+                    ctx.path,
+                    getattr(node, "lineno", 0),
+                    getattr(node, "col_offset", 0),
+                    self.id,
+                    f"acquired {token.key!r} while holding {held.key!r}",
+                )
+
+    def finalize(self, emit: Callable[[Finding], None]) -> None:
+        for (a, b), site in sorted(self.edges.items()):
+            if a < b and (b, a) in self.edges:
+                other = self.edges[(b, a)]
+                emit(Finding(
+                    site.path, site.line, site.col, self.id,
+                    f"lock-order cycle: {a!r} -> {b!r} here, but "
+                    f"{b!r} -> {a!r} at {other.path}:{other.line}",
+                ))
+
+
+@register
+class BlockingUnderMutexRule(Rule):
+    """No fsync/sync_to/socket/sleep while holding a non-barrier lock."""
+
+    id = "blocking-under-mutex"
+    description = (
+        "no blocking calls (fsync, sync, sync_to, sleep, socket/subprocess "
+        "work) while holding the commit mutex, a latch, or any non-barrier "
+        "lock; the kernel fsyncs outside the mutex, then publishes"
+    )
+
+    def on_call(self, ctx: Context, node: ast.Call, chain: str) -> None:
+        holder = ctx.holding_non_barrier()
+        if holder is None:
+            return
+        leaf = chain.rsplit(".", 1)[-1]
+        base = chain.split(".", 1)[0]
+        if leaf in BLOCKING_CALLS or base in BLOCKING_BASES:
+            ctx.emit(
+                node, self.id,
+                f"blocking call {chain}() while holding {holder.key!r}; "
+                f"move the barrier outside the lock or declare a barrier "
+                f"lock / add a justified suppression",
+            )
+
+
+@register
+class UnlockedSharedMutationRule(Rule):
+    """No bare ``+=``/``-=`` on shared counters outside a lock context."""
+
+    id = "unlocked-shared-mutation"
+    description = (
+        "no bare += / -= on shared counters (IOStats fields, WAL/planner "
+        "counters, _shared-declared attributes) or on closure cells inside "
+        "Thread targets, outside a lock context; use IOStats.count() or "
+        "hold the owning lock"
+    )
+
+    def on_augassign(self, ctx: Context, node: ast.AugAssign) -> None:
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return
+        if ctx.held:
+            return
+        target = node.target
+        if isinstance(target, ast.Attribute):
+            if target.attr in ctx.shared_fields:
+                ctx.emit(
+                    node, self.id,
+                    f"bare augmented assignment on shared counter "
+                    f"'.{target.attr}' outside any lock; this "
+                    f"read-modify-write loses updates under concurrency",
+                )
+            return
+        if (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and ctx.current_function in ctx.thread_targets
+            and target.value.id not in ctx.local_names
+        ):
+            ctx.emit(
+                node, self.id,
+                f"augmented assignment on closure cell "
+                f"{target.value.id!r} inside thread target "
+                f"{ctx.current_function!r} without a lock",
+            )
+
+
+@register
+class EngineLockInReadTurnRule(Rule):
+    """Read turns must never take an engine-wide lock."""
+
+    id = "engine-lock-in-read-turn"
+    description = (
+        "no engine-wide lock acquisition (_write_mutex, write_turn(), the "
+        "engine RWLock) inside a read_turn scope; snapshot reads share one "
+        "index latch and nothing else"
+    )
+
+    def on_acquire(self, ctx: Context, token: LockToken, node: ast.AST) -> None:
+        if ctx.read_turn_depth > 0 and token.rank == RANK_MUTEX:
+            ctx.emit(
+                node, self.id,
+                f"engine-wide lock {token.key!r} acquired inside a "
+                f"read_turn scope; readers must share only the target "
+                f"index's latch",
+            )
+
+    def on_call(self, ctx: Context, node: ast.Call, chain: str) -> None:
+        if ctx.read_turn_depth > 0 and chain.rsplit(".", 1)[-1] == "write_turn":
+            ctx.emit(
+                node, self.id,
+                "write_turn() entered inside a read_turn scope; upgrade by "
+                "releasing the read turn and committing instead",
+            )
+
+
+# re-exported so a downstream rule module can extend the leaf set
+__all__ = [
+    "BLOCKING_BASES",
+    "BLOCKING_CALLS",
+    "Context",
+    "Finding",
+    "LockToken",
+    "RANK_LATCH",
+    "RANK_LEAF",
+    "RANK_MUTEX",
+    "RANK_WAL",
+    "Rule",
+    "SHARED_COUNTER_FIELDS",
+    "all_rules",
+    "classify_lock",
+    "latch_token",
+    "register",
+    "rule_catalog",
+]

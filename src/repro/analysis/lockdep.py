@@ -1,0 +1,395 @@
+"""Runtime lock-order witness (lockdep): dynamic teeth for the lock rules.
+
+The static pass in :mod:`repro.analysis.lint` proves what it can see in the
+syntax; this module watches what actually happens.  When a
+:class:`LockdepWitness` is enabled (:func:`enable`), every instrumented
+lock — the engine's per-index :class:`~repro.engine.session.RWLock`
+latches, the engine-wide session lock, and the commit kernel's write
+mutex — reports its acquisitions and releases per thread, and the witness
+maintains the global **acquisition DAG**: an edge ``A -> B`` means some
+thread acquired ``B`` while holding ``A``.
+
+Two violation classes fail *immediately* (first occurrence, with both
+acquisition sites in the error):
+
+* **cycles / rank inversions** — acquiring a lock whose declared rank is
+  lower than one already held (the commit kernel's partial order is
+  mutex ≺ latch ≺ WAL), or closing a cycle among same-rank locks (latch A
+  then B on one thread, B then A on another): the classic deadlock
+  witness.  Deadlocks need an unlucky interleaving to bite; the DAG
+  catches the *possibility* on any interleaving that exercises both
+  orders.
+* **held-across-blocking** — a durability barrier
+  (:meth:`~repro.durability.wal.WriteAheadLog.sync_to`, a sidecar fsync)
+  reached while this thread holds a lock marked ``no_block`` (the
+  latches).  The kernel's whole point is that readers wait for structural
+  changes, never for the platter; this is the invariant that keeps it
+  true.  The engine-wide *write mutex* is deliberately not ``no_block``:
+  multi-commit turns (``delete_matching``) hold it across acknowledged
+  commits by design, so fsync-under-mutex is enforced by the static pass
+  at the kernel's own syntax instead.
+
+The witness costs one attribute load per acquisition when disabled (the
+module global :data:`ACTIVE` is ``None``) and is therefore safe to leave
+compiled into the hot paths.  Enable it in tests::
+
+    from repro.analysis import lockdep
+
+    with lockdep.watching() as witness:
+        ... run a concurrent workload ...
+    assert witness.edge_count() > 0      # it saw real nesting
+
+:func:`allow_blocking` is the runtime analogue of the static
+``# lint: allow(...)`` suppression — a scope in which barrier calls are
+legitimate (a quiesced checkpoint), recorded in the witness report.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Type
+
+#: the commit kernel's declared partial order (lower acquires first)
+RANK_MUTEX = 0   #: engine write mutex / engine-wide session lock
+RANK_LATCH = 1   #: per-index structural latches
+RANK_WAL = 2     #: WAL append / sync barrier locks
+RANK_LEAF = 3    #: innermost leaf locks (counters, buffer pool, file handle)
+
+RANK_NAMES = {
+    RANK_MUTEX: "mutex",
+    RANK_LATCH: "latch",
+    RANK_WAL: "wal",
+    RANK_LEAF: "leaf",
+}
+
+
+class LockOrderError(RuntimeError):
+    """The witness saw an acquisition that closes a cycle or inverts rank."""
+
+
+class BlockingUnderLockError(RuntimeError):
+    """A blocking barrier ran while this thread held a ``no_block`` lock."""
+
+
+class _Held:
+    """One held lock on one thread's stack (reentrant holds count up)."""
+
+    __slots__ = ("key", "rank", "no_block", "count")
+
+    def __init__(self, key: str, rank: int, no_block: bool) -> None:
+        self.key = key
+        self.rank = rank
+        self.no_block = no_block
+        self.count = 1
+
+
+class LockdepWitness:
+    """Records the per-thread acquisition DAG; raises on the first violation.
+
+    Thread-safe: the graph and counters live behind one internal leaf lock;
+    per-thread held stacks are thread-local.  ``strict=False`` collects
+    violations into :attr:`violations` instead of raising (used by the
+    report path of ``repro lint``).
+    """
+
+    def __init__(self, *, strict: bool = True) -> None:
+        self.strict = strict
+        self._local = threading.local()
+        self._graph_lock = threading.Lock()
+        #: edge -> first acquisition site description
+        self._edges: Dict[Tuple[str, str], str] = {}
+        self._locks_seen: Set[str] = set()
+        self.acquisitions = 0
+        self.blocking_calls = 0
+        self.allowed_blocking_calls = 0
+        self.violations: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # thread-local held stack
+    # ------------------------------------------------------------------ #
+    def _stack(self) -> List[_Held]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _allow_depth(self) -> int:
+        return int(getattr(self._local, "allow_depth", 0))
+
+    # ------------------------------------------------------------------ #
+    # instrumentation entry points (called by the locks themselves)
+    # ------------------------------------------------------------------ #
+    def acquired(
+        self,
+        key: str,
+        rank: int,
+        *,
+        no_block: bool = False,
+        reentrant: bool = False,
+    ) -> None:
+        """A lock was just acquired by the current thread.
+
+        Called *after* the underlying primitive granted the lock, so the
+        recorded edges describe real nesting, not contention.  Reentrant
+        re-acquisition of an already-held key only bumps its hold count —
+        no self-edge, no rank check against itself.
+        """
+        stack = self._stack()
+        for held in stack:
+            if held.key == key:
+                if reentrant:
+                    held.count += 1
+                    return
+                self._violate(
+                    LockOrderError,
+                    f"non-reentrant lock {key!r} re-acquired while already "
+                    f"held by this thread",
+                )
+                return
+        holder = _Held(key, rank, no_block)
+        with self._graph_lock:
+            self.acquisitions += 1
+            self._locks_seen.add(key)
+        if stack:
+            top = stack[-1]
+            if rank < top.rank:
+                self._violate(
+                    LockOrderError,
+                    f"rank inversion: acquired {key!r} "
+                    f"({RANK_NAMES.get(rank, rank)}) while holding "
+                    f"{top.key!r} ({RANK_NAMES.get(top.rank, top.rank)}); "
+                    f"the declared order is mutex ≺ latch ≺ wal",
+                )
+            for held in stack:
+                self._add_edge(held.key, key)
+        stack.append(holder)
+
+    def released(self, key: str) -> None:
+        """A lock was released by the current thread (LIFO not required)."""
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i].key == key:
+                stack[i].count -= 1
+                if stack[i].count == 0:
+                    del stack[i]
+                return
+        # a release the witness never saw acquired (enabled mid-hold):
+        # ignore rather than poison the run
+        return
+
+    def blocking(self, what: str) -> None:
+        """A blocking barrier (fsync, sync_to) is about to run on this thread."""
+        if self._allow_depth():
+            with self._graph_lock:
+                self.allowed_blocking_calls += 1
+            return
+        with self._graph_lock:
+            self.blocking_calls += 1
+        for held in self._stack():
+            if held.no_block:
+                self._violate(
+                    BlockingUnderLockError,
+                    f"blocking call {what!r} while holding {held.key!r}; "
+                    f"barriers must run outside latches (fsync outside the "
+                    f"mutex, then ordered publish)",
+                )
+
+    @contextmanager
+    def allow_blocking(self, reason: str) -> Iterator[None]:
+        """Scope in which barriers are legitimate (a quiesced checkpoint)."""
+        self._local.allow_depth = self._allow_depth() + 1
+        try:
+            yield
+        finally:
+            self._local.allow_depth = self._allow_depth() - 1
+
+    # ------------------------------------------------------------------ #
+    # the acquisition DAG
+    # ------------------------------------------------------------------ #
+    def _add_edge(self, a: str, b: str) -> None:
+        with self._graph_lock:
+            if (a, b) in self._edges:
+                return
+            thread = threading.current_thread().name
+            if self._path_exists(b, a):
+                self._edges[(a, b)] = thread
+                cycle = self._describe_cycle(a, b)
+                self._violate_locked(
+                    LockOrderError,
+                    f"lock-order cycle: acquired {b!r} while holding {a!r}, "
+                    f"but the reverse order was already witnessed ({cycle})",
+                )
+                return
+            self._edges[(a, b)] = thread
+
+    def _path_exists(self, start: str, goal: str) -> bool:
+        # caller holds self._graph_lock
+        frontier = [start]
+        seen = {start}
+        while frontier:
+            node = frontier.pop()
+            if node == goal:
+                return True
+            for (a, b) in self._edges:
+                if a == node and b not in seen:
+                    seen.add(b)
+                    frontier.append(b)
+        return False
+
+    def _describe_cycle(self, a: str, b: str) -> str:
+        reverse = [
+            f"{x!r} -> {y!r} on thread {t}"
+            for (x, y), t in self._edges.items()
+            if (x, y) != (a, b)
+        ]
+        return "; ".join(reverse[:4]) if reverse else "reverse edge"
+
+    def _violate(self, kind: Type[RuntimeError], message: str) -> None:
+        with self._graph_lock:
+            self.violations.append(message)
+        if self.strict:
+            raise kind(message)
+
+    def _violate_locked(self, kind: Type[RuntimeError], message: str) -> None:
+        # caller holds self._graph_lock
+        self.violations.append(message)
+        if self.strict:
+            raise kind(message)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def edge_count(self) -> int:
+        with self._graph_lock:
+            return len(self._edges)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """The witnessed acquisition edges, sorted for stable output."""
+        with self._graph_lock:
+            return sorted(self._edges)
+
+    def report(self) -> Dict[str, object]:
+        """Witness state as plain data (what ``repro lint`` can attach)."""
+        with self._graph_lock:
+            return {
+                "locks": sorted(self._locks_seen),
+                "edges": [list(edge) for edge in sorted(self._edges)],
+                "acquisitions": self.acquisitions,
+                "blocking_calls": self.blocking_calls,
+                "allowed_blocking_calls": self.allowed_blocking_calls,
+                "violations": list(self.violations),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LockdepWitness(locks={len(self._locks_seen)}, "
+            f"edges={self.edge_count()}, violations={len(self.violations)})"
+        )
+
+
+class WitnessedMutex:
+    """A reentrant mutex that reports acquisitions to the active witness.
+
+    A drop-in replacement for ``threading.RLock()`` at the engine's write
+    mutex: ``with engine._write_mutex:`` keeps its exact syntax (so the
+    static pass still classifies the attribute by name) while the runtime
+    witness sees every acquisition.  Reentrant holds bump a count instead
+    of adding self-edges, matching :meth:`LockdepWitness.acquired`'s
+    ``reentrant=True`` contract.
+    """
+
+    __slots__ = ("_lock", "name", "rank", "no_block")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        rank: int = RANK_MUTEX,
+        no_block: bool = False,
+    ) -> None:
+        self._lock = threading.RLock()
+        self.name = name
+        self.rank = rank
+        self.no_block = no_block
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            witness = ACTIVE
+            if witness is not None:
+                witness.acquired(
+                    self.name, self.rank, no_block=self.no_block, reentrant=True
+                )
+        return got
+
+    def release(self) -> None:
+        self._lock.release()
+        witness = ACTIVE
+        if witness is not None:
+            witness.released(self.name)
+
+    def __enter__(self) -> "WitnessedMutex":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WitnessedMutex({self.name!r}, rank={self.rank})"
+
+
+#: the enabled witness, or ``None`` (the common, zero-instrumentation case).
+#: Hot paths read this exactly once per acquisition.
+ACTIVE: Optional[LockdepWitness] = None
+
+
+def enable(witness: Optional[LockdepWitness] = None) -> LockdepWitness:
+    """Install a witness as the process-wide :data:`ACTIVE` instance."""
+    global ACTIVE
+    if ACTIVE is not None:
+        raise RuntimeError("a lockdep witness is already enabled")
+    ACTIVE = witness if witness is not None else LockdepWitness()
+    return ACTIVE
+
+
+def disable() -> Optional[LockdepWitness]:
+    """Remove the active witness; returns it for post-mortem inspection."""
+    global ACTIVE
+    witness, ACTIVE = ACTIVE, None
+    return witness
+
+
+@contextmanager
+def watching(witness: Optional[LockdepWitness] = None) -> Iterator[LockdepWitness]:
+    """``with lockdep.watching() as w:`` — enable for the scope, then detach."""
+    w = enable(witness)
+    try:
+        yield w
+    finally:
+        disable()
+
+
+@contextmanager
+def allowed(reason: str) -> Iterator[None]:
+    """Blocking-barrier suppression that is safe when no witness is active.
+
+    The engine brackets its *legitimate* barrier-under-lock sites (the
+    quiesced checkpoint) with this, mirroring the static pass's
+    ``# lint: allow(blocking-under-mutex)`` suppressions.
+    """
+    witness = ACTIVE
+    if witness is None:
+        yield
+        return
+    with witness.allow_blocking(reason):
+        yield
+
+
+def notify_blocking(what: str) -> None:
+    """Report an imminent blocking barrier to the active witness, if any."""
+    witness = ACTIVE
+    if witness is not None:
+        witness.blocking(what)

@@ -482,6 +482,62 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: the static concurrency analyzer (see repro.analysis).
+
+    Lints the given paths (default: the installed ``repro`` package — or
+    ``src/repro`` when run from a checkout) against the concurrency rule
+    catalog.  ``--fixtures DIR`` instead checks the seeded-bad corpus: the
+    linter must flag exactly the ``# seeded: <rule>`` lines.  ``--check``
+    makes findings (or a corpus mismatch) exit nonzero — the CI gate.
+    """
+    from pathlib import Path
+
+    from repro.analysis.lint import (
+        Linter,
+        check_fixture_corpus,
+        render_report,
+        write_json_report,
+    )
+    from repro.analysis.lintrules import rule_catalog
+
+    if args.rules:
+        for rule_id, description in rule_catalog().items():
+            print(f"{rule_id}:\n    {description}")
+        return 0
+
+    status = 0
+    if args.fixtures is not None:
+        corpus = check_fixture_corpus(Path(args.fixtures))
+        for path, line, rule in corpus["missed"]:  # type: ignore[union-attr]
+            print(f"{path}:{line}: seeded [{rule}] violation NOT flagged")
+        for path, line, rule in corpus["unexpected"]:  # type: ignore[union-attr]
+            print(f"{path}:{line}: unseeded [{rule}] finding (false positive)")
+        expected = corpus["expected"]
+        assert isinstance(expected, list)
+        print(
+            f"fixture corpus: {len(expected)} seeded violation(s), "
+            f"{'all flagged, no false positives' if corpus['ok'] else 'MISMATCH'}"
+        )
+        if not corpus["ok"]:
+            status = 1
+
+    if args.paths or args.fixtures is None:
+        if args.paths:
+            paths = [Path(p) for p in args.paths]
+        else:
+            checkout = Path("src/repro")
+            paths = [checkout if checkout.is_dir() else Path(__file__).parent]
+        linter = Linter()
+        linter.lint_paths(paths)
+        print(render_report(linter))
+        if args.report is not None:
+            write_json_report(linter, Path(args.report))
+        if args.check and linter.findings:
+            status = 1
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -684,6 +740,26 @@ def build_parser() -> argparse.ArgumentParser:
     wi.add_argument("--verbose", "-v", action="store_true",
                     help="print every record (lsn, epoch, offset, operation)")
     wi.set_defaults(func=_cmd_wal)
+
+    p = sub.add_parser(
+        "lint",
+        help="static concurrency analyzer: lock order, blocking-under-lock, "
+             "unlocked shared counters, engine locks in read turns",
+    )
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="files or directories to lint (default: the repro "
+                        "package / src/repro in a checkout)")
+    p.add_argument("--check", action="store_true",
+                   help="exit nonzero on any finding (the CI gate)")
+    p.add_argument("--fixtures", default=None, metavar="DIR",
+                   help="also verify the seeded-bad fixture corpus in DIR "
+                        "(every '# seeded: <rule>' line must be flagged)")
+    p.add_argument("--report", default=None, metavar="FILE",
+                   help="write the JSON report (findings, suppressions, "
+                        "lock graph, rule catalog) to FILE")
+    p.add_argument("--rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

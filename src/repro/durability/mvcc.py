@@ -153,7 +153,7 @@ class EpochManager:
                 return min(self._pins) - 1
             return self._current
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, Optional[int]]:
         """Clock state as plain data (the server's ``stats`` response)."""
         with self._cond:
             return {

@@ -25,6 +25,7 @@ from contextlib import contextmanager
 from types import MappingProxyType
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
+from repro.analysis import lockdep
 from repro.btree import BPlusTree
 from repro.classes.hierarchy import ClassHierarchy, ClassObject
 from repro.constraints.index import GeneralizedOneDimensionalIndex
@@ -137,13 +138,13 @@ class Engine:
         #: kept for compatibility with callers that constructed sessions
         #: around it; sessions no longer hold it for reads (they pin an
         #: MVCC epoch and take a per-index latch instead)
-        self._rwlock = RWLock()
+        self._rwlock = RWLock("engine.session_rwlock", rank=lockdep.RANK_MUTEX)
         #: the global MVCC epoch clock: committed writes advance it,
         #: reader sessions pin it (see :mod:`repro.durability.mvcc`)
         self._epochs = EpochManager()
         #: serializes committed write turns engine-wide (reentrant: a
         #: write turn may issue nested commits, e.g. delete-by-query)
-        self._write_mutex = threading.RLock()
+        self._write_mutex = lockdep.WitnessedMutex("engine.write_mutex")
         #: per-index-name structural latches: readers share one while
         #: draining, the committing writer takes it exclusively while
         #: applying — so a write to index A never blocks readers of B
@@ -168,7 +169,12 @@ class Engine:
         with self._latch_guard:
             latch = self._latches.get(name)
             if latch is None:
-                latch = self._latches[name] = RWLock()
+                # no_block: a latch holder must never wait on the platter —
+                # that is the commit kernel's core promise, and the lockdep
+                # witness enforces it at runtime
+                latch = self._latches[name] = RWLock(
+                    f"latch:{name}", no_block=True
+                )
             return latch
 
     def _commit(
@@ -830,6 +836,11 @@ class Engine:
             self.flush()
             sync = getattr(self.backend, "sync", None)
             if callable(sync):
+                # the checkpoint is the one place a durability barrier runs
+                # under the write mutex: commits are quiesced, every latch
+                # was released above, and the truncate that follows *must*
+                # happen-after this sync — the barrier belongs inside
+                # lint: allow(blocking-under-mutex)
                 sync()
             if self.wal is not None:
                 self.wal.truncate()

@@ -49,10 +49,14 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, List, Optional
 
+from repro.analysis import lockdep
 from repro.io.counters import IOStats
 
 #: process-wide session id source (sessions of all engines share it)
 _SESSION_IDS = itertools.count(1)
+
+#: names for anonymous RWLocks (tests construct them bare)
+_RWLOCK_IDS = itertools.count(1)
 
 
 class WriteIntentError(RuntimeError):
@@ -81,14 +85,41 @@ class RWLock:
 
     Non-reentrant by design: a thread holding the write lock must not
     re-acquire either side, and a reader must not call :meth:`read` again.
+
+    When a :mod:`repro.analysis.lockdep` witness is enabled, every grant
+    and release is reported under this lock's ``name`` with its declared
+    ``rank`` — the engine names its per-index latches ``latch:<index>``
+    (rank *latch*, ``no_block=True``: holding one across a durability
+    barrier is a violation) and its legacy session lock
+    ``engine.session_rwlock`` (rank *mutex*).  The disabled path costs one
+    module-global load per acquisition.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        *,
+        rank: int = lockdep.RANK_LATCH,
+        no_block: bool = False,
+    ) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writer = False
         self._waiting_writers = 0
         self._upgrader: Optional[int] = None
+        self.name = name if name is not None else f"rwlock-{next(_RWLOCK_IDS)}"
+        self.rank = rank
+        self.no_block = no_block
+
+    def _witness_acquired(self) -> None:
+        witness = lockdep.ACTIVE
+        if witness is not None:
+            witness.acquired(self.name, self.rank, no_block=self.no_block)
+
+    def _witness_released(self) -> None:
+        witness = lockdep.ACTIVE
+        if witness is not None:
+            witness.released(self.name)
 
     # -- the reader side ------------------------------------------------- #
     def acquire_read(self) -> None:
@@ -96,12 +127,14 @@ class RWLock:
             while self._writer or self._waiting_writers:
                 self._cond.wait()
             self._readers += 1
+        self._witness_acquired()
 
     def release_read(self) -> None:
         with self._cond:
             self._readers -= 1
             if self._readers <= (1 if self._upgrader is not None else 0):
                 self._cond.notify_all()
+        self._witness_released()
 
     @contextmanager
     def read(self) -> Iterator[None]:
@@ -122,11 +155,13 @@ class RWLock:
                 self._writer = True
             finally:
                 self._waiting_writers -= 1
+        self._witness_acquired()
 
     def release_write(self) -> None:
         with self._cond:
             self._writer = False
             self._cond.notify_all()
+        self._witness_released()
 
     @contextmanager
     def write(self) -> Iterator[None]:

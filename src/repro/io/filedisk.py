@@ -25,6 +25,7 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.analysis import lockdep
 from repro.io.counters import IOStats, Measurement
 from repro.io.disk import Block, BlockId
 
@@ -154,7 +155,14 @@ class FileDisk:
                 "meta": self.meta,
             }
             self._file.flush()
-            os.fsync(self._file.fileno())
+            fileno = self._file.fileno()
+        # the fsync runs *outside* _io_lock: the snapshot above is already
+        # consistent (flush happened under the lock), and holding the page
+        # lock across a platter barrier would stall every concurrent
+        # read/write for the fsync's duration — the exact pathology the
+        # blocking-under-mutex lint rule exists to catch
+        lockdep.notify_blocking("filedisk.sync")
+        os.fsync(fileno)
         sidecar = self._meta_path_for(self.path)
         tmp = sidecar + ".tmp"
         with open(tmp, "wb") as fh:

@@ -1,0 +1,42 @@
+# ruff: noqa
+"""Seeded-bad fixture: blocking calls while holding non-barrier locks."""
+import os
+import socket
+import threading
+import time
+
+
+class BadCommit:
+    def __init__(self, wal, fd):
+        self._write_mutex = threading.RLock()
+        self._lock = threading.Lock()
+        self.wal = wal
+        self.fd = fd
+
+    def fsync_under_leaf(self):
+        with self._lock:
+            os.fsync(self.fd)  # seeded: blocking-under-mutex
+
+    def sync_under_mutex(self, lsn):
+        with self._write_mutex:
+            self.wal.sync_to(lsn)  # seeded: blocking-under-mutex
+
+    def sleep_under_lock(self):
+        with self._lock:
+            time.sleep(0.1)  # seeded: blocking-under-mutex
+
+    def socket_under_mutex(self, addr):
+        with self._write_mutex:
+            socket.create_connection(addr)  # seeded: blocking-under-mutex
+
+    def recv_under_explicit_acquire(self, sock):
+        self._lock.acquire()
+        try:
+            sock.recv(4096)  # seeded: blocking-under-mutex
+        finally:
+            self._lock.release()
+
+    def fsync_after_release_is_fine(self):
+        self._lock.acquire()
+        self._lock.release()
+        os.fsync(self.fd)

@@ -1,0 +1,48 @@
+# ruff: noqa
+"""Seeded-bad fixture: unlocked read-modify-writes on shared counters."""
+import threading
+
+
+class BadStats:
+    _shared = ("pending",)
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.reads = 0
+        self.cache_hits = 0
+        self.pending = 0
+
+    def unlocked_iostats_field(self):
+        self.reads += 1  # seeded: unlocked-shared-mutation
+
+    def unlocked_planner_counter(self):
+        self.cache_hits += 1  # seeded: unlocked-shared-mutation
+
+    def unlocked_declared_shared(self):
+        self.pending += 1  # seeded: unlocked-shared-mutation
+
+    def locked_mutation_is_fine(self):
+        with self._lock:
+            self.reads += 1
+            self.pending -= 1
+
+
+def spawn_counter_thread():
+    done = [0]
+    lock = threading.Lock()
+
+    def worker():
+        done[0] += 1  # seeded: unlocked-shared-mutation
+
+    def careful_worker():
+        with lock:
+            done[0] += 1
+
+    def private_counter_is_fine():
+        mine = [0]
+        mine[0] += 1
+
+    threading.Thread(target=worker).start()
+    threading.Thread(target=careful_worker).start()
+    threading.Thread(target=private_counter_is_fine).start()
+    return done

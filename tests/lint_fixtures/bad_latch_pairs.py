@@ -1,0 +1,38 @@
+# ruff: noqa
+"""Seeded-bad fixture: explicit acquire_*/release_* latch discipline."""
+import os
+import threading
+
+
+class BadLatchUser:
+    def __init__(self, latch, fd):
+        self._write_mutex = threading.RLock()
+        self.latch = latch
+        self.fd = fd
+
+    def fsync_while_latched(self):
+        self.latch.acquire_write()
+        try:
+            os.fsync(self.fd)  # seeded: blocking-under-mutex
+        finally:
+            self.latch.release_write()
+
+    def mutex_while_read_latched(self):
+        self.latch.acquire_read()
+        try:
+            with self._write_mutex:  # seeded: lock-order
+                pass
+        finally:
+            self.latch.release_read()
+
+    def commit_shaped_correctly(self, other_latch, apply):
+        # a *different* latch: pairing it with the seeded inversion above
+        # on the same latch would itself be an A/B-B/A cycle (the detector
+        # catches exactly that), which is not what this function seeds
+        with self._write_mutex:
+            other_latch.acquire_write()
+            try:
+                apply()
+            finally:
+                other_latch.release_write()
+        os.fsync(self.fd)

@@ -1,0 +1,55 @@
+# ruff: noqa
+"""Seeded-bad fixture: rank inversions and a same-rank A/B-B/A cycle.
+
+Every line marked ``# seeded: <rule>`` must be flagged by the concurrency
+linter — this corpus is the linter's own regression suite, checked by
+``repro lint --fixtures`` in CI.  The code is deliberately wrong; never
+import it.
+"""
+import threading
+
+a_lock = threading.Lock()
+b_lock = threading.Lock()
+
+
+class BadKernel:
+    def __init__(self):
+        self._write_mutex = threading.RLock()
+        self._lock = threading.Lock()
+        self.latch = None
+
+    def latch_then_mutex(self):
+        # a latch holder taking the engine mutex inverts mutex < latch
+        with self.latch.write():
+            with self._write_mutex:  # seeded: lock-order
+                pass
+
+    def leaf_then_mutex(self):
+        with self._lock:
+            with self._write_mutex:  # seeded: lock-order
+                pass
+
+
+class WriteAheadLog:
+    """Shadows the real class name so its locks classify at WAL rank."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def wal_then_latch(self, latch):
+        with self._lock:
+            with latch.read():  # seeded: lock-order
+                pass
+
+
+def first_order():
+    with a_lock:
+        with b_lock:  # seeded: lock-order
+            pass
+
+
+def second_order():
+    # the reverse nesting: together with first_order this closes a cycle
+    with b_lock:
+        with a_lock:
+            pass

@@ -19,6 +19,7 @@ import threading
 import pytest
 
 from repro import Engine, Interval, Range, Stab
+from repro.analysis import lockdep
 from repro.classes.hierarchy import ClassHierarchy, ClassObject
 from repro.constraints.relation import GeneralizedRelation
 from repro.constraints.terms import Constraint, GeneralizedTuple, Variable
@@ -27,6 +28,15 @@ from repro.io import FileDisk
 from repro.metablock.geometry import PlanarPoint, ThreeSidedQuery
 
 from tests.conftest import make_intervals
+
+
+@pytest.fixture(autouse=True)
+def witness():
+    """The whole durability suite runs under a strict lockdep witness: any
+    latch held across a WAL/backend fsync, or any acquisition cycle in the
+    commit kernel, fails the offending test immediately."""
+    with lockdep.watching() as w:
+        yield w
 
 
 def wal_path(tmp_path, name="test.wal"):
@@ -541,3 +551,59 @@ class TestSnapshotReads:
         expected = {iv.uid for iv in ivs if iv.low <= 7.5 <= iv.high}
         assert {r.uid for r in res.records} == expected
         assert session.query("c", Stab(7.5)).records == []
+
+
+# ---------------------------------------------------------------------- #
+# the lockdep witness over the real durability paths
+# ---------------------------------------------------------------------- #
+class TestLockdepOverDurability:
+    def test_group_commit_barrier_is_observed_lock_free(self, tmp_path, witness):
+        """The WAL's fsync must reach the witness with no no_block lock held."""
+        with WriteAheadLog(wal_path(tmp_path)) as wal:
+            lsn = wal.append(1, ("insert", "a", (1.0, 2.0)))
+            assert wal.sync_to(lsn) is True
+        assert witness.blocking_calls >= 1
+        assert witness.violations == []
+
+    def test_concurrent_commits_stay_witness_clean(self, tmp_path, witness):
+        """8 threads through the full commit kernel (real fsyncs): the
+        acquisition DAG must stay acyclic and barrier-clean."""
+        eng = Engine(block_size=8)
+        eng.attach_wal(wal_path(tmp_path))  # real fsyncs
+        try:
+            eng.create_collection("c", [], dynamic=True)
+            errors = []
+
+            def committer(tid):
+                try:
+                    session = eng.session()
+                    for i in range(5):
+                        session.insert(
+                            "c", Interval(float(tid * 100 + i), float(tid * 100 + i + 1))
+                        )
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            ts = [threading.Thread(target=committer, args=(t,)) for t in range(8)]
+            for t in ts:
+                t.start()
+            for t in ts:
+                t.join()
+            assert errors == []
+            # the kernel's one legal edge, witnessed for real
+            assert ("engine.write_mutex", "latch:c") in witness.edges()
+            assert witness.blocking_calls >= 1      # real fsyncs happened
+            assert witness.violations == []
+        finally:
+            eng.close()
+
+    def test_checkpoint_runs_witness_clean(self, tmp_path, witness):
+        eng = Engine(FileDisk(str(tmp_path / "db.pages"), block_size=8))
+        eng.attach_wal(wal_path(tmp_path))
+        try:
+            eng.create_collection("c", make_intervals(12, seed=7), dynamic=True)
+            eng.insert("c", Interval(3.0, 4.0))
+            eng.checkpoint()
+            assert witness.violations == []
+        finally:
+            eng.close()

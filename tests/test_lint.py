@@ -1,0 +1,215 @@
+"""The concurrency linter's own suite: corpus, clean tree, suppressions, CLI.
+
+The acceptance gate has two halves — ``src/repro`` must lint *clean*, and
+the seeded-bad corpus in ``tests/lint_fixtures/`` must be flagged *fully*
+(every ``# seeded: <rule>`` line, no false positives).  Together they pin
+the analyzer from both sides: it cannot rot into silence and it cannot
+rot into noise.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.analysis.lint import (
+    Linter,
+    check_fixture_corpus,
+    lint_paths,
+    render_report,
+)
+from repro.analysis.lintrules import Rule, rule_catalog
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SRC = Path(repro.__file__).parent
+
+
+def lint_snippet(source: str) -> Linter:
+    linter = Linter()
+    linter.lint_source(source, "<snippet>")
+    linter.finish()
+    return linter
+
+
+class TestFixtureCorpus:
+    def test_every_seeded_violation_is_flagged(self):
+        corpus = check_fixture_corpus(FIXTURES)
+        assert corpus["missed"] == [], corpus["missed"]
+
+    def test_no_false_positives_in_corpus(self):
+        corpus = check_fixture_corpus(FIXTURES)
+        assert corpus["unexpected"] == [], corpus["unexpected"]
+
+    def test_corpus_is_at_least_fifteen_violations(self):
+        corpus = check_fixture_corpus(FIXTURES)
+        assert len(corpus["expected"]) >= 15
+
+    def test_corpus_covers_every_rule(self):
+        corpus = check_fixture_corpus(FIXTURES)
+        seeded_rules = {rule for _, _, rule in corpus["expected"]}
+        assert seeded_rules == set(rule_catalog())
+
+
+class TestSourceTreeIsClean:
+    def test_src_repro_has_zero_findings(self):
+        linter = lint_paths([SRC])
+        assert linter.findings == [], render_report(linter)
+        assert linter.files_checked > 50
+
+    def test_the_commit_kernel_edge_is_in_the_static_graph(self):
+        # the one edge the kernel is allowed: write mutex before latches
+        linter = lint_paths([SRC])
+        edges = linter.lock_edges()
+        assert any(
+            "mutex" in a and "latch" in b.lower() for a, b in edges
+        ), edges
+
+    def test_known_suppressions_are_counted_not_silent(self):
+        # checkpoint's sync-under-mutex and the WAL truncate barrier are
+        # deliberate; they must show up as audited suppressions
+        linter = lint_paths([SRC])
+        rules = {f.rule for f in linter.suppressed}
+        assert rules == {"blocking-under-mutex"}
+        assert len(linter.suppressed) == 2
+
+
+class TestSuppressionSyntax:
+    def test_same_line_allow(self):
+        linter = lint_snippet(
+            "import os\n"
+            "def f(fd, lock):\n"
+            "    with lock:\n"
+            "        os.fsync(fd)  # lint: allow(blocking-under-mutex)\n"
+        )
+        assert linter.findings == []
+        assert [f.rule for f in linter.suppressed] == ["blocking-under-mutex"]
+
+    def test_preceding_comment_line_allow(self):
+        linter = lint_snippet(
+            "import os\n"
+            "def f(fd, lock):\n"
+            "    with lock:\n"
+            "        # lint: allow(blocking-under-mutex)\n"
+            "        os.fsync(fd)\n"
+        )
+        assert linter.findings == []
+
+    def test_allow_for_a_different_rule_does_not_suppress(self):
+        linter = lint_snippet(
+            "import os\n"
+            "def f(fd, lock):\n"
+            "    with lock:\n"
+            "        os.fsync(fd)  # lint: allow(lock-order)\n"
+        )
+        assert [f.rule for f in linter.findings] == ["blocking-under-mutex"]
+
+    def test_non_adjacent_allow_does_not_suppress(self):
+        linter = lint_snippet(
+            "import os\n"
+            "# lint: allow(blocking-under-mutex)\n"
+            "def f(fd, lock):\n"
+            "    with lock:\n"
+            "        os.fsync(fd)\n"
+        )
+        assert [f.rule for f in linter.findings] == ["blocking-under-mutex"]
+
+
+class TestRuleMechanics:
+    def test_same_named_locks_on_different_classes_do_not_cycle(self):
+        # A._lock -> B nested one way, B._lock -> A the other: distinct
+        # owners must keep the keys distinct, so no bogus cycle
+        linter = lint_snippet(
+            "class A:\n"
+            "    def f(self):\n"
+            "        with self._a_lock:\n"
+            "            with self._b_lock:\n"
+            "                pass\n"
+            "    def g(self):\n"
+            "        with self._b_lock:\n"
+            "            with self._a_lock:\n"
+            "                pass\n"
+        )
+        assert [f for f in linter.findings if f.rule == "lock-order"] != [], (
+            "A/B-B/A on the *same* keys should cycle"
+        )
+        linter2 = lint_snippet(
+            "class A:\n"
+            "    def f(self):\n"
+            "        with self._lock:\n"
+            "            pass\n"
+            "class B:\n"
+            "    def g(self):\n"
+            "        with self._lock:\n"
+            "            pass\n"
+        )
+        assert linter2.findings == []
+
+    def test_barrier_lock_may_fsync(self):
+        linter = lint_snippet(
+            "import os\n"
+            "class WriteAheadLog:\n"
+            "    def sync(self, fd):\n"
+            "        with self._sync_lock:\n"
+            "            os.fsync(fd)\n"
+        )
+        assert linter.findings == []
+
+    def test_registry_extension_is_one_class(self):
+        class Custom(Rule):
+            id = "no-print"
+            description = "toy rule: no print calls under any lock"
+
+            def on_call(self, ctx, node, chain):
+                if ctx.held and chain == "print":
+                    ctx.emit(node, self.id, "print under a lock")
+
+        linter = Linter(rules=[Custom()])
+        linter.lint_source(
+            "def f(lock):\n"
+            "    with lock:\n"
+            "        print('hi')\n",
+            "<snippet>",
+        )
+        assert [f.rule for f in linter.finish()] == ["no-print"]
+
+
+class TestLintCli:
+    def test_check_is_clean_on_the_tree(self, capsys):
+        assert main(["lint", "--check", str(SRC)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_check_fails_on_a_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import os\n"
+            "def f(fd, lock):\n"
+            "    with lock:\n"
+            "        os.fsync(fd)\n"
+        )
+        assert main(["lint", "--check", str(bad)]) == 1
+        assert "blocking-under-mutex" in capsys.readouterr().out
+
+    def test_fixture_corpus_gate(self, capsys):
+        assert main(["lint", "--fixtures", str(FIXTURES)]) == 0
+        assert "all flagged" in capsys.readouterr().out
+
+    def test_json_report(self, tmp_path):
+        import json
+
+        report_file = tmp_path / "lint.json"
+        assert main(
+            ["lint", "--check", str(SRC), "--report", str(report_file)]
+        ) == 0
+        report = json.loads(report_file.read_text())
+        assert report["findings"] == []
+        assert len(report["suppressed"]) == 2
+        assert report["lock_graph"]
+        assert set(report["rules"]) == set(rule_catalog())
+
+    def test_rules_listing(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in rule_catalog():
+            assert rule_id in out

@@ -8,7 +8,11 @@ Covers the serving subsystem's foundation layer by layer:
 * ``RWLock``: shared readers, exclusive writers, writer preference, and
   the write-intent upgrade (including the two-upgrader conflict);
 * ``EngineSession``: concurrent readers and writers against one engine
-  stay oracle-equivalent, with per-request I/O attribution intact.
+  stay oracle-equivalent, with per-request I/O attribution intact;
+* the lockdep witness (:mod:`repro.analysis.lockdep`): every test in this
+  module runs under an enabled witness, so any lock-order cycle or
+  latch-held-across-fsync the workloads provoke fails the test on first
+  occurrence — plus deliberate-violation regressions proving it fires.
 """
 
 from __future__ import annotations
@@ -19,9 +23,23 @@ import time
 import pytest
 
 from repro import Engine, Interval, SimulatedDisk, Stab
+from repro.analysis import lockdep
+from repro.analysis.lockdep import (
+    BlockingUnderLockError,
+    LockdepWitness,
+    LockOrderError,
+    WitnessedMutex,
+)
 from repro.engine.session import RWLock, WriteIntentError
 from repro.io.counters import IOStats
 from repro.workloads import random_intervals
+
+
+@pytest.fixture(autouse=True)
+def witness():
+    """Every test in this module runs under a strict lockdep witness."""
+    with lockdep.watching() as w:
+        yield w
 
 
 class TestIOStatsThreadSafety:
@@ -187,6 +205,8 @@ class TestRWLock:
         def writer(tag):
             with lock.write():
                 log.append((tag, "in"))
+                # a deliberately slow critical section: the exclusion test
+                # lint: allow(blocking-under-mutex)
                 time.sleep(0.02)
                 log.append((tag, "out"))
 
@@ -218,7 +238,9 @@ class TestRWLock:
         wt = threading.Thread(target=writer)
         wt.start()
         writer_started.wait()
-        time.sleep(0.02)  # let the writer queue up
+        # let the writer queue up behind the held read lock
+        # lint: allow(blocking-under-mutex)
+        time.sleep(0.02)
         rt = threading.Thread(target=late_reader)
         rt.start()
         # the late reader must NOT enter while a writer is waiting
@@ -409,3 +431,110 @@ class TestEngineSession:
             iv.uid for iv in base if Stab(250.0).matches(iv)
         }
         assert res.from_cache is not None
+
+
+class TestLockdepWitness:
+    """The runtime lock-order witness: deliberate violations must fire."""
+
+    def test_deliberate_out_of_order_acquisition_fires(self, witness):
+        # thread-of-record order: A then B ...
+        a = RWLock("latch:A")
+        b = RWLock("latch:B")
+        a.acquire_read()
+        b.acquire_read()
+        b.release_read()
+        a.release_read()
+        # ... and the reverse nesting closes the cycle: first occurrence
+        # fails, even though no deadlock happened on *this* interleaving
+        b.acquire_read()
+        with pytest.raises(LockOrderError, match="cycle"):
+            a.acquire_read()
+        assert witness.violations
+
+    def test_cross_thread_cycle_is_witnessed(self, witness):
+        # the classic two-thread deadlock shape, run without overlap so it
+        # cannot actually deadlock — the DAG still convicts it
+        a = RWLock("latch:A")
+        b = RWLock("latch:B")
+        errors = []
+
+        def forward():
+            a.acquire_write()
+            b.acquire_write()
+            b.release_write()
+            a.release_write()
+
+        def backward():
+            b.acquire_write()
+            try:
+                a.acquire_write()
+            except LockOrderError as exc:
+                errors.append(exc)
+            else:
+                a.release_write()
+            b.release_write()
+
+        t1 = threading.Thread(target=forward)
+        t1.start()
+        t1.join()
+        t2 = threading.Thread(target=backward)
+        t2.start()
+        t2.join()
+        assert len(errors) == 1
+
+    def test_rank_inversion_fires(self):
+        latch = RWLock("latch:X")
+        mutex = WitnessedMutex("engine.write_mutex")
+        latch.acquire_write()
+        try:
+            with pytest.raises(LockOrderError, match="rank inversion"):
+                mutex.acquire()
+        finally:
+            latch.release_write()
+
+    def test_latch_held_across_fsync_fires(self):
+        latch = RWLock("latch:X", no_block=True)
+        latch.acquire_read()
+        try:
+            with pytest.raises(BlockingUnderLockError):
+                lockdep.notify_blocking("wal.sync_to")
+        finally:
+            latch.release_read()
+
+    def test_allowed_scope_permits_barriers(self, witness):
+        latch = RWLock("latch:X", no_block=True)
+        latch.acquire_read()
+        try:
+            with lockdep.allowed("quiesced checkpoint"):
+                lockdep.notify_blocking("backend.sync")
+        finally:
+            latch.release_read()
+        assert witness.allowed_blocking_calls == 1
+        assert witness.violations == []
+
+    def test_reentrant_mutex_holds_do_not_self_cycle(self, witness):
+        mutex = WitnessedMutex("engine.write_mutex")
+        with mutex:
+            with mutex:
+                pass
+        assert witness.violations == []
+
+    def test_engine_commit_kernel_is_clean_and_witnessed(self, witness):
+        engine = Engine(SimulatedDisk(16))
+        engine.create_collection("t", random_intervals(50, seed=1))
+        session = engine.session()
+        session.insert("t", Interval(1.0, 5.0))
+        session.query("t", Stab(2.0))
+        session.delete_matching("t", Stab(2.0))
+        assert ("engine.write_mutex", "latch:t") in witness.edges()
+        assert witness.violations == []
+
+    def test_witness_tolerates_unseen_releases(self, witness):
+        # enabling mid-hold: a release for a lock the witness never saw
+        # acquired must not poison the run
+        witness.released("latch:never-acquired")
+        assert witness.violations == []
+
+    def test_nested_witness_enable_is_refused(self):
+        with pytest.raises(RuntimeError, match="already enabled"):
+            lockdep.enable(LockdepWitness())
