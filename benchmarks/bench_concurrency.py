@@ -8,16 +8,27 @@ insert-query-delete workload, and the shared-collection snapshot
 consistency check — every response verified against the brute-force
 oracle while the interleaving happens.
 
+The **sharded legs** (``--cluster-sweep``) additionally boot
+range-partitioned ``repro cluster`` processes per shard count and measure
+write throughput from 16 closed-loop clients — the gate requires the
+rate to rise monotonically with shard count (S shards = S independent
+commit pipelines) — plus a range-partition pruning leg whose stab
+queries must touch at most 2 of the shards while staying oracle-exact.
+``--cluster N`` instead routes the whole base matrix through a spawned
+N-shard cluster (the protocol is identical, so the driver cannot tell).
+
 Usage::
 
     python -m benchmarks.bench_concurrency --out BENCH_concurrency.json
     python -m benchmarks.bench_concurrency --smoke --check       # CI gate
     python -m benchmarks.bench_concurrency --connect 127.0.0.1:7411 --smoke
+    python -m benchmarks.bench_concurrency --cluster-sweep 1 2 4 --check
 
-``--check`` exits non-zero on any oracle mismatch, bound violation or
-unclean shutdown; ``--require-scaling X`` additionally enforces the
-read-only speedup (used when regenerating the committed numbers, not in
-CI smoke, where wall-clock on a loaded runner is noise).
+``--check`` exits non-zero on any oracle mismatch, bound violation,
+unclean shutdown, non-monotonic sharded write scaling or un-pruned
+range read; ``--require-scaling X`` additionally enforces the read-only
+speedup (used when regenerating the committed numbers, not in CI smoke,
+where wall-clock on a loaded runner is noise).
 """
 
 from __future__ import annotations
@@ -41,6 +52,21 @@ def main(argv=None) -> int:
     parser.add_argument("--connect", default=None, metavar="HOST:PORT",
                         help="drive an already-running server instead of "
                              "spawning one")
+    parser.add_argument("--cluster", type=int, default=None, metavar="SHARDS",
+                        help="spawn a hash cluster with this many shards and "
+                             "run the base matrix through its router")
+    parser.add_argument("--strategy", choices=["hash", "range"],
+                        default="hash", help="[--cluster] partition strategy")
+    parser.add_argument("--cluster-sweep", type=int, nargs="+", default=None,
+                        metavar="SHARDS",
+                        help="run the sharded write-scaling legs over these "
+                             "shard counts (plus the range-pruning leg)")
+    parser.add_argument("--cluster-clients", type=int, default=16,
+                        help="closed-loop clients per sharded leg")
+    parser.add_argument("--no-shutdown", action="store_true",
+                        help="[--connect] leave the server running (the "
+                             "caller owns its lifecycle, e.g. a SIGTERM "
+                             "drain check)")
     parser.add_argument("--out", default=None, metavar="JSON")
     parser.add_argument("--check", action="store_true",
                         help="exit 1 on oracle/bound/shutdown failures")
@@ -59,18 +85,24 @@ def main(argv=None) -> int:
     if args.connect:
         host, port_s = args.connect.rsplit(":", 1)
         host, port = host, int(port_s)
+    elif args.cluster:
+        proc, host, port = C.spawn_cluster(
+            shards=args.cluster, strategy=args.strategy,
+            block_size=args.block_size,
+        )
     else:
         proc, host, port = C.spawn_server(block_size=args.block_size)
     print(f"bench concurrency: n={args.n} queries/thread={args.queries} "
           f"threads={args.threads} think={args.think_ms}ms "
-          f"server={host}:{port}")
+          f"server={host}:{port}"
+          + (f" cluster={args.cluster}x{args.strategy}" if args.cluster else ""))
     clean = None
     try:
         payload = C.run_matrix(
             host, port,
             n=args.n, queries=args.queries, thread_counts=tuple(args.threads),
             write_ops=args.write_ops, think_ms=args.think_ms,
-            shutdown=True,
+            shutdown=not args.no_shutdown,
         )
     finally:
         if proc is not None:
@@ -78,6 +110,21 @@ def main(argv=None) -> int:
             print(f"  server exit clean: {clean}")
     if clean is not None:
         payload["summary"]["server_exit_clean"] = clean
+
+    if args.cluster_sweep:
+        print(f"bench concurrency: sharded legs over {args.cluster_sweep} "
+              f"shards, {args.cluster_clients} clients")
+        rows, sharded = C.run_sharded_legs(
+            shard_counts=tuple(args.cluster_sweep),
+            clients=args.cluster_clients,
+            write_ops=args.write_ops * 3,
+            block_size=args.block_size,
+        )
+        payload["scenarios"].extend(rows)
+        payload["summary"]["sharded"] = sharded
+        payload["summary"]["oracle_ok"] &= sharded["oracle_ok"]
+        payload["summary"]["bound_ok"] &= sharded["bound_ok"]
+
     C.report(payload, out=args.out)
     if args.check:
         return C.run_gate(payload, require_scaling=args.require_scaling)

@@ -54,6 +54,13 @@ ENGINE_RWLOCK_ATTRS = {"_rwlock"}
 #: a *barrier* lock — the group-commit fsync legitimately runs under it
 WAL_LOCK_CLASSES = {"WriteAheadLog"}
 BARRIER_LOCK_ATTRS = {"_sync_lock"}
+#: the cluster router/supervisor latches: topology + namespace guard and
+#: the shard-handle list guard — both rank *above* the per-link RPC lock
+CLUSTER_LATCH_ATTRS = {"_topology_lock", "_spawn_lock"}
+#: the per-shard-connection RPC lock is a declared **barrier**: it is the
+#: serialization point of a connection pool and legitimately brackets a
+#: socket round-trip, exactly like the WAL's group-commit sync lock
+CLUSTER_BARRIER_ATTRS = {"_rpc_lock"}
 #: call names that block (syscalls, barriers, schedulers); matched against
 #: the final attribute of a call chain
 BLOCKING_CALLS = {
@@ -97,6 +104,10 @@ def classify_lock(owner: str, attr: str) -> LockToken:
     """The token for ``with <recv>.<attr>`` given the enclosing class name."""
     if attr in MUTEX_ATTRS or attr in ENGINE_RWLOCK_ATTRS:
         return LockToken(f"{owner}.{attr}", RANK_MUTEX)
+    if attr in CLUSTER_LATCH_ATTRS:
+        return LockToken(f"{owner}.{attr}", RANK_LATCH)
+    if attr in CLUSTER_BARRIER_ATTRS:
+        return LockToken(f"{owner}.{attr}", RANK_LEAF, barrier=True)
     if owner in WAL_LOCK_CLASSES:
         return LockToken(
             f"{owner}.{attr}", RANK_WAL, barrier=attr in BARRIER_LOCK_ATTRS
@@ -365,6 +376,8 @@ class EngineLockInReadTurnRule(Rule):
 __all__ = [
     "BLOCKING_BASES",
     "BLOCKING_CALLS",
+    "CLUSTER_BARRIER_ATTRS",
+    "CLUSTER_LATCH_ATTRS",
     "Context",
     "Finding",
     "LockToken",

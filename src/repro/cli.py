@@ -238,19 +238,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.server import ReproServer
 
+    # a dedicated server process services every connection from its own
+    # thread; the interpreter's default 5 ms switch interval makes each
+    # post-I/O wakeup queue behind whoever holds the GIL, inflating
+    # request latency by orders of magnitude once a dozen clients are
+    # connected — hand it off faster
+    sys.setswitchinterval(0.0005)
+
     use_wal = not args.no_wal
+    commit_latency = max(0.0, args.commit_latency_ms) / 1000.0
     if args.db:
         sidecar = FileDisk._meta_path_for(args.db)
         if os.path.exists(sidecar):
             engine = Engine.open(args.db, buffer_pages=args.buffer_pages,
-                                 wal=use_wal)
+                                 wal=use_wal, commit_latency=commit_latency)
         else:
             engine = Engine(
                 FileDisk(args.db, block_size=args.block_size),
                 buffer_pages=args.buffer_pages,
             )
             if use_wal:
-                engine.attach_wal()
+                engine.attach_wal(commit_latency=commit_latency)
     else:
         engine = Engine(SimulatedDisk(args.block_size),
                         buffer_pages=args.buffer_pages)
@@ -287,6 +295,111 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             signal.signal(sig, handler)
         server.close()
     print("repro serve: stopped", flush=True)
+    return 0
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    """``repro cluster serve``: N shard servers behind one scatter-gather
+    frontend, speaking the identical JSON-line protocol.
+
+    With ``--dir`` the topology persists as ``cluster.json`` (plus one
+    ``shard-<i>/`` data directory per shard): an existing catalog there is
+    *reopened* — same strategy, splits and pruning window — and ``--shards``
+    / ``--strategy`` are ignored with a notice.  Without ``--dir`` the
+    cluster is ephemeral (in-memory shards).  SIGINT/SIGTERM drain
+    gracefully: frontend first, then a parallel wire shutdown of every
+    shard, exiting 0 only when all of them checkpointed cleanly.
+    """
+    import signal
+
+    from repro.cluster import TOPOLOGY_FILE, Cluster
+
+    # same GIL handoff tuning as ``repro serve``: the router runs one
+    # frontend thread per client plus the scatter pool, and a 5 ms
+    # switch interval would serialize them in multi-millisecond steps
+    sys.setswitchinterval(0.0005)
+
+    directory = args.dir
+    if directory and os.path.exists(os.path.join(directory, TOPOLOGY_FILE)):
+        cluster = Cluster.open(
+            directory, mode="process", host=args.host, port=args.port,
+            buffer_pages=args.buffer_pages,
+            commit_latency_ms=args.commit_latency_ms,
+        )
+        print(
+            f"repro cluster: reopening {directory} "
+            f"({cluster.shard_map.describe()}); --shards/--strategy ignored",
+            flush=True,
+        )
+    else:
+        cluster = Cluster.create(
+            directory, shards=args.shards, strategy=args.strategy,
+            domain=(args.domain[0], args.domain[1]), mode="process",
+            host=args.host, port=args.port, block_size=args.block_size,
+            buffer_pages=args.buffer_pages,
+            commit_latency_ms=args.commit_latency_ms,
+        )
+    cluster.start()
+    host, port = cluster.address
+    print(
+        f"repro cluster: {cluster.shard_map.shards} shards "
+        f"[{cluster.shard_map.describe()}] "
+        f"dir={directory or '(ephemeral)'} listening on {host}:{port}",
+        flush=True,
+    )
+
+    def _terminate(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _terminate)
+        except (ValueError, OSError):  # non-main thread / unsupported
+            pass
+    clean = True
+    try:
+        cluster.serve_forever()
+    except KeyboardInterrupt:
+        print("repro cluster: interrupted, draining shards", flush=True)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        clean = cluster.close()
+    print(f"repro cluster: stopped ({'clean' if clean else 'UNCLEAN'} drain)",
+          flush=True)
+    return 0 if clean else 1
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    """``repro cluster status``: one-shot health/topology of a live cluster."""
+    from repro.server import ReproClient
+
+    host, _, port = args.connect.rpartition(":")
+    with ReproClient(host or "127.0.0.1", int(port), timeout=15.0) as db:
+        stats = db.stats()
+    cluster = stats.get("cluster")
+    if cluster is None:
+        print(f"{args.connect}: a single repro server (not a cluster)")
+        return 0
+    topo = cluster.get("topology", {})
+    print(f"cluster at {args.connect}: {topo.get('shards')} shards, "
+          f"strategy={topo.get('strategy')}")
+    if topo.get("splits"):
+        print(f"  splits: {topo['splits']}  max_length={topo.get('max_length')}")
+    for shard in cluster.get("shards", []):
+        line = (f"  shard {shard.get('shard')}: {shard.get('state', '?'):9s} "
+                f"{shard.get('address')}")
+        if shard.get("fault"):
+            line += f"  fault={shard['fault']}"
+        print(line)
+    routing = cluster.get("routing", {})
+    print(f"  routing: {routing}")
+    engine = stats.get("engine", {})
+    print(f"  engine: blocks={engine.get('blocks')} reads={engine.get('reads')} "
+          f"writes={engine.get('writes')} indexes={engine.get('indexes')}")
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True, default=str))
     return 0
 
 
@@ -678,7 +791,64 @@ def build_parser() -> argparse.ArgumentParser:
                    help="[--db] run without a write-ahead log: acknowledged "
                         "writes are only durable at the next checkpoint "
                         "(the pre-WAL behaviour)")
+    p.add_argument("--commit-latency-ms", type=float, default=0.0,
+                   metavar="MS",
+                   help="[--db] simulate a log device with this synchronous "
+                        "commit round-trip: every WAL barrier sleeps MS "
+                        "(no group absorption) — makes commit-pipeline "
+                        "parallelism measurable on filesystems where fsync "
+                        "is free")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "cluster",
+        help="hash/range-partitioned multi-shard serving behind one "
+             "scatter-gather frontend (same wire protocol as 'serve')",
+    )
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+    cs = cluster_sub.add_parser(
+        "serve",
+        help="boot N shard servers and the routing frontend; an existing "
+             "--dir cluster.json is reopened with its persisted topology",
+    )
+    cs.add_argument("--host", default="127.0.0.1")
+    cs.add_argument("--port", type=int, default=7412,
+                    help="frontend bind port (0 picks a free one; the bound "
+                         "address is printed on stdout); shards always bind "
+                         "ephemeral loopback ports")
+    cs.add_argument("--shards", type=int, default=2,
+                    help="number of shard servers (ignored when --dir holds "
+                         "an existing cluster catalog)")
+    cs.add_argument("--strategy", choices=["hash", "range"], default="hash",
+                    help="partitioning: 'hash' spreads records by uid "
+                         "(reads broadcast), 'range' slabs them by low "
+                         "endpoint (stab/range reads prune shards)")
+    cs.add_argument("--domain", type=float, nargs=2, default=(0.0, 1000.0),
+                    metavar=("LO", "HI"),
+                    help="[range] endpoint domain split evenly into slabs "
+                         "(shapes balance only; out-of-domain records still "
+                         "belong to the edge shards)")
+    cs.add_argument("--dir", default=None, metavar="DIR",
+                    help="cluster directory: cluster.json topology plus one "
+                         "persistent shard-<i>/ database per shard (WAL "
+                         "durability); omitted = ephemeral in-memory shards")
+    cs.add_argument("--block-size", type=int, default=16)
+    cs.add_argument("--buffer-pages", type=int, default=None, metavar="PAGES")
+    cs.add_argument("--commit-latency-ms", type=float, default=0.0,
+                    metavar="MS",
+                    help="[--dir] forward a simulated per-commit log-device "
+                         "round-trip to every shard (see 'serve "
+                         "--commit-latency-ms')")
+    cs.set_defaults(func=_cmd_cluster_serve)
+    ct = cluster_sub.add_parser(
+        "status",
+        help="print a live cluster's topology, shard health and routing "
+             "counters (one stats round-trip)",
+    )
+    ct.add_argument("--connect", default="127.0.0.1:7412", metavar="HOST:PORT")
+    ct.add_argument("--json", action="store_true",
+                    help="also dump the full stats payload as JSON")
+    ct.set_defaults(func=_cmd_cluster_status)
 
     def add_db(p: argparse.ArgumentParser) -> None:
         p.add_argument("--db", required=True, metavar="PATH",

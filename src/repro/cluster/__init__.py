@@ -1,0 +1,45 @@
+"""``repro.cluster`` — hash/range-partitioned serving over N shards.
+
+A cluster is N ordinary :class:`~repro.server.ReproServer` shards (each
+with its own page file, WAL and commit mutex — N independent write
+pipelines) behind one scatter-gather frontend that speaks the exact
+single-server JSON-line protocol: point a :class:`~repro.server.ReproClient`
+at :attr:`Cluster.address` and nothing in the client changes.
+
+Layers (bottom up):
+
+* :mod:`repro.cluster.topology` — :class:`ShardMap`: the pure partition
+  function (``hash`` on record uid, or ``range`` on interval low
+  endpoint with candidate-low-window pruning), serialized into the
+  cluster catalog;
+* :mod:`repro.cluster.supervisor` — :class:`ShardSupervisor`: spawns,
+  probes, watches and gracefully drains the shard processes (or
+  in-process thread shards for tests);
+* :mod:`repro.cluster.router` — :class:`ShardRouter` (classify, scatter
+  over pooled connections, uid-deduped merge, ordered merge for
+  ``OrderBy``, early-cutoff ``Limit``, summed ``ios``/``bound``) and
+  :class:`ClusterFrontend`, the client-facing server;
+* :mod:`repro.cluster.core` — :class:`Cluster`: create/open/start/close,
+  ``cluster.json`` persistence, uid-floor adoption on restart.
+
+CLI: ``repro cluster serve --shards N --strategy hash|range`` and
+``repro cluster status``.
+"""
+
+from repro.cluster.core import TOPOLOGY_FILE, Cluster
+from repro.cluster.router import ClusterFrontend, ShardConnection, ShardRouter
+from repro.cluster.supervisor import ShardHandle, ShardSupervisor
+from repro.cluster.topology import STRATEGIES, ShardMap, mix_uid
+
+__all__ = [
+    "STRATEGIES",
+    "TOPOLOGY_FILE",
+    "Cluster",
+    "ClusterFrontend",
+    "ShardConnection",
+    "ShardHandle",
+    "ShardMap",
+    "ShardRouter",
+    "ShardSupervisor",
+    "mix_uid",
+]

@@ -1,0 +1,711 @@
+"""``ShardRouter`` + ``ClusterFrontend`` — scatter-gather over N shards.
+
+The frontend is a :class:`~repro.server.core.JsonLineServer` speaking the
+**identical wire protocol** as a single ``ReproServer`` — a client cannot
+tell the difference.  Behind it, the router holds one pooled
+:class:`ShardConnection` per shard and turns each request into per-shard
+requests plus a merge:
+
+=============  ===========================================================
+request        routing
+=============  ===========================================================
+``query``      :meth:`~repro.cluster.topology.ShardMap.shards_for_query`
+               classifies the algebra tree: single-shard → direct call,
+               prunable window (range strategy) → the overlapping slabs,
+               otherwise broadcast.  Answers merge by **uid-deduped
+               union**, a global sort for a top-level ``OrderBy`` (each
+               shard pre-sorts, the router re-sorts the union), an early
+               cutoff for ``Limit`` (each shard already capped, the
+               router caps the union), and per-shard ``ios``/``bound``
+               summed — ``bound`` gains ``+2`` per extra shard so the
+               paper's ``BOUND_SLACK`` check stays valid per request
+               (k per-shard slacks, not one).
+``insert``     the router **mints the authoritative uid**, then routes by
+               partition key; the shard honours it (``keep_uids``) — one
+               identity per record across the whole cluster.
+``delete``     by record: the owning shard.  By query: the classified
+               targets; with a ``limit`` the scatter degrades to an
+               ordered walk that decrements the remaining budget so the
+               cluster never over-deletes.
+``bulk_load``  minted uids, split per shard, loaded **in parallel**.
+``create``     every shard gets the index (records partitioned as above);
+``drop``       broadcast.
+``prepare``    leased on the frontend connection (handle + declared
+``run``        params, exactly like a single server); ``run`` binds the
+               parameters locally — which both validates them and makes
+               the *bound* query classifiable — then executes as a read.
+               A shard answering ``unknown_index`` invalidates the lease
+               into the same structured ``stale_handle`` the single
+               server emits.
+``stats``      aggregated: engine counters summed, sessions namespaced
+               ``s<shard>:<id>``, plus a ``cluster`` section (topology,
+               routing counters, shard health).
+``shutdown``   acked, then the whole cluster drains (see
+               :class:`~repro.cluster.core.Cluster`).
+=============  ===========================================================
+
+A shard dying mid-request surfaces as a structured ``shard_unavailable``
+error (the supervisor's diagnosis included), never a hang or a torn
+client connection.
+
+Locking (ranked in the concurrency linter's table): ``_topology_lock``
+and the supervisor's ``_spawn_lock`` are latches; each shard link's
+``_rpc_lock`` is a declared **barrier** lock, held across the socket
+round-trip by design — it is the per-connection serialization point of
+the pool, exactly like the WAL's group-commit sync lock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.engine.queries import Limit, OrderBy, bind_params, unbound_params
+from repro.server import protocol as P
+from repro.server.client import ReproClient, ServerError
+from repro.server.core import JsonLineServer, _required, _ShutdownRequested
+from repro.cluster.topology import ShardMap
+
+
+class ShardConnection:
+    """A small pool of persistent client connections to one shard.
+
+    ``call`` checks a client out, runs one round-trip, checks it back in;
+    concurrent frontend connections therefore fan into a shard over up to
+    ``pool_size`` sockets instead of serializing on one.  A transport
+    failure closes the failed socket (the pool re-dials lazily, with the
+    client's own capped backoff) and propagates — the router turns it
+    into ``shard_unavailable``.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 60.0,
+        pool_size: int = 8,
+    ) -> None:
+        self.shard = shard
+        self.host = host
+        self.port = port
+        self._timeout = timeout
+        self._pool_size = pool_size
+        #: barrier lock: guards the idle pool (and is the serialization
+        #: point when callers outnumber pooled sockets)
+        self._rpc_lock = threading.Lock()
+        self._idle: List[ReproClient] = []
+
+    def call(self, cmd: str, **payload: Any) -> Dict[str, Any]:
+        with self._rpc_lock:
+            client = self._idle.pop() if self._idle else None
+        if client is None:
+            client = ReproClient(
+                self.host, self.port, timeout=self._timeout, connect_retries=4
+            )
+        try:
+            response = client.call(cmd, **payload)
+        except ServerError:
+            self._checkin(client)  # structured error; the socket is fine
+            raise
+        except Exception:
+            client.close()
+            raise
+        self._checkin(client)
+        return response
+
+    def _checkin(self, client: ReproClient) -> None:
+        with self._rpc_lock:
+            if len(self._idle) < self._pool_size:
+                self._idle.append(client)
+                return
+        client.close()
+
+    def close(self) -> None:
+        with self._rpc_lock:
+            idle, self._idle = self._idle, []
+        for client in idle:
+            client.close()
+
+
+def _wire_sort_key(order: OrderBy) -> Callable[[Dict[str, Any]], Any]:
+    """A sort key over *wire* records (dicts) for a top-level OrderBy."""
+    key = order.key
+    if key is None:
+        return lambda rec: (rec.get("low"), rec.get("high"), rec.get("uid"))
+    if callable(key):
+        raise P.ProtocolError(
+            "a routed OrderBy needs a field-name key ('low'/'high'), "
+            "not a callable"
+        )
+    return lambda rec: rec.get(key)
+
+
+class ShardRouter:
+    """Scatter-gather execution over a :class:`ShardMap` (see module doc)."""
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        links: List[ShardConnection],
+        *,
+        supervisor: Any = None,
+        persist: Optional[Callable[[], None]] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if len(links) != shard_map.shards:
+            raise ValueError(
+                f"map expects {shard_map.shards} shards, got {len(links)} links"
+            )
+        self._map = shard_map
+        self._links = links
+        self._supervisor = supervisor
+        self._persist = persist
+        #: latch: guards topology mutation (max_length) + the namespace
+        self._topology_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._indexes: Set[str] = set()
+        self._routing = {
+            "reads": 0, "writes": 0, "shard_contacts": 0,
+            "single_shard": 0, "pruned": 0, "broadcasts": 0,
+        }
+        workers = max_workers or max(8, min(64, shard_map.shards * 8))
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-scatter"
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def shard_map(self) -> ShardMap:
+        return self._map
+
+    def bootstrap(self) -> Dict[str, Any]:
+        """Adopt what the shards already hold (open of a persisted cluster).
+
+        Seeds the routed namespace from the union of shard catalogs and
+        advances this process's uid counters past every resident uid, so
+        a restarted router can never re-mint a stored record's identity.
+        """
+        from repro.engine.core import advance_uid_floor
+
+        info = self.stats()
+        advance_uid_floor(int(info["engine"].get("uid_horizon", -1)))
+        with self._topology_lock:
+            self._indexes.update(info["engine"].get("indexes", []))
+        return info
+
+    def known_index(self, name: str) -> bool:
+        with self._topology_lock:
+            return name in self._indexes
+
+    def known_indexes(self) -> List[str]:
+        with self._topology_lock:
+            return sorted(self._indexes)
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False)
+        for link in self._links:
+            link.close()
+
+    # ------------------------------------------------------------------ #
+    # the scatter primitive
+    # ------------------------------------------------------------------ #
+    def _call_shard(self, shard: int, cmd: str, **payload: Any) -> Dict[str, Any]:
+        try:
+            return self._links[shard].call(cmd, **payload)
+        except (ConnectionError, OSError) as exc:
+            if self._supervisor is not None:
+                # a dead shard gets the supervisor's diagnosis (exit code,
+                # drained, never-started); a live-but-flaky one falls through
+                self._supervisor.ensure_alive(shard, context=cmd)
+            raise P.ShardUnavailableError(
+                f"shard {shard} at {self._links[shard].host}:"
+                f"{self._links[shard].port} failed during {cmd!r}: {exc}"
+            ) from exc
+
+    def _scatter(
+        self,
+        targets: List[int],
+        cmd: str,
+        payload_for: Callable[[int], Dict[str, Any]],
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        """``cmd`` to every target in parallel; ``[(shard, response)]``.
+
+        All futures are drained even when one fails (no half-abandoned
+        requests racing the error path); the first failure then raises.
+        """
+        if not targets:
+            return []
+        if len(targets) == 1:
+            shard = targets[0]
+            return [(shard, self._call_shard(shard, cmd, **payload_for(shard)))]
+        futures = [
+            (s, self._executor.submit(self._call_shard, s, cmd, **payload_for(s)))
+            for s in targets
+        ]
+        out: List[Tuple[int, Dict[str, Any]]] = []
+        error: Optional[BaseException] = None
+        for shard, future in futures:
+            try:
+                out.append((shard, future.result()))
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        return out
+
+    def _count(self, kind: str, contacted: int) -> None:
+        with self._stats_lock:
+            self._routing[kind] += 1
+            self._routing["shard_contacts"] += contacted
+            if contacted == 1:
+                self._routing["single_shard"] += 1
+            elif contacted >= self._map.shards > 1:
+                self._routing["broadcasts"] += 1
+            else:
+                self._routing["pruned"] += 1
+
+    def _note_records(self, records: List[Any]) -> None:
+        with self._topology_lock:
+            grew = self._map.note_records(records)
+            if grew and self._persist is not None:
+                # eager persistence: the pruning window must never lag a
+                # resident record across a crash
+                self._persist()
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def read(self, index: str, q: Any) -> Dict[str, Any]:
+        """Classify, scatter, merge one query; the response payload."""
+        targets = self._map.shards_for_query(q)
+        wire = P.query_to_wire(q)
+        pairs = self._scatter(
+            targets, "query", lambda s: {"index": index, "q": wire}
+        )
+        self._count("reads", len(pairs))
+        return self._merge_read(q, pairs)
+
+    def _merge_read(
+        self, q: Any, pairs: List[Tuple[int, Dict[str, Any]]]
+    ) -> Dict[str, Any]:
+        records: List[Dict[str, Any]] = []
+        seen: Set[Any] = set()
+        for _shard, resp in pairs:
+            for rec in resp.get("records", []):
+                uid = rec.get("uid")
+                if uid is not None:
+                    if uid in seen:
+                        continue
+                    seen.add(uid)
+                records.append(rec)
+        # peel the top-level modifier chain: every Limit caps the union,
+        # the outermost OrderBy decides the final order
+        cap: Optional[int] = None
+        order: Optional[OrderBy] = None
+        node = q
+        while isinstance(node, (Limit, OrderBy)):
+            if isinstance(node, Limit):
+                cap = node.n if cap is None else min(cap, node.n)
+            elif order is None:
+                order = node
+            node = node.part
+        if order is not None:
+            records.sort(key=_wire_sort_key(order), reverse=bool(order.reverse))
+        if cap is not None:
+            records = records[:max(cap, 0)]
+        stats: Dict[str, Any] = {}
+        for _shard, resp in pairs:
+            for key, value in resp.get("stats", {}).items():
+                if isinstance(value, (int, float)):
+                    stats[key] = stats.get(key, 0) + value
+        payload: Dict[str, Any] = {
+            "ios": sum(resp.get("ios", 0) for _s, resp in pairs),
+            "stats": stats,
+            "records": records,
+            "count": len(records),
+            "shards_contacted": len(pairs),
+        }
+        bounds = [resp.get("bound") for _s, resp in pairs]
+        if not pairs:
+            payload["bound"] = 0
+        elif all(b is not None for b in bounds):
+            # k per-shard bounds each carry their own page slack; fold the
+            # extra (k-1) slacks in so BOUND_SLACK * bound + pages still
+            # dominates the summed ios
+            payload["bound"] = sum(bounds) + 2 * (len(pairs) - 1)
+        return payload
+
+    def explain(self, index: str, q: Any) -> Dict[str, Any]:
+        targets = self._map.shards_for_query(q) or self._map.all_shards()
+        resp = self._call_shard(
+            targets[0], "explain", index=index, q=P.query_to_wire(q)
+        )
+        plan = dict(resp.get("plan", {}))
+        plan["shards"] = len(targets)
+        plan["describe"] = (
+            f"cluster[{len(targets)}/{self._map.shards} shards] "
+            + str(plan.get("describe", ""))
+        )
+        return {"plan": plan}
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def insert(self, index: str, record_data: Dict[str, Any]) -> Dict[str, Any]:
+        record = P.record_from_dict(record_data, fresh_uid=True)
+        self._note_records([record])
+        shard = self._map.shard_for_record(record)
+        wire = P.record_to_dict(record)
+        resp = self._call_shard(shard, "insert", index=index, record=wire,
+                                keep_uids=True)
+        self._count("writes", 1)
+        return {
+            "record": resp.get("record", wire),
+            "ios": resp.get("ios", 0),
+            "shard": shard,
+        }
+
+    def delete_record(self, index: str, record_data: Dict[str, Any]) -> Dict[str, Any]:
+        record = P.record_from_dict(record_data)  # the wire uid is the name
+        shard = self._map.shard_for_record(record)
+        resp = self._call_shard(
+            shard, "delete", index=index, record=P.record_to_dict(record)
+        )
+        self._count("writes", 1)
+        return {
+            "removed": resp.get("removed", 0),
+            "ios": resp.get("ios", 0),
+            "shard": shard,
+        }
+
+    def delete_matching(
+        self, index: str, q: Any, limit: Optional[int]
+    ) -> Dict[str, Any]:
+        targets = self._map.shards_for_query(q)
+        wire = P.query_to_wire(q)
+        pairs: List[Tuple[int, Dict[str, Any]]]
+        if limit is None:
+            pairs = self._scatter(
+                targets, "delete", lambda s: {"index": index, "q": wire}
+            )
+        else:
+            # a capped delete must not over-delete across shards: walk the
+            # targets in order, shrinking the remaining budget as we go
+            pairs = []
+            remaining = limit
+            for shard in targets:
+                if remaining <= 0:
+                    break
+                resp = self._call_shard(
+                    shard, "delete", index=index, q=wire, limit=remaining
+                )
+                pairs.append((shard, resp))
+                remaining -= resp.get("removed", 0)
+        self._count("writes", len(pairs))
+        return {
+            "removed": sum(r.get("removed", 0) for _s, r in pairs),
+            "records": [rec for _s, r in pairs for rec in r.get("records", [])],
+            "ios": sum(r.get("ios", 0) for _s, r in pairs),
+            "shards_contacted": len(pairs),
+        }
+
+    def bulk_load(self, index: str, records_data: List[Any]) -> Dict[str, Any]:
+        records = P.records_from_wire(records_data, fresh_uid=True)
+        self._note_records(records)
+        groups = self._map.partition(records)
+        targets = sorted(groups)
+        pairs = self._scatter(
+            targets,
+            "bulk_load",
+            lambda s: {
+                "index": index,
+                "records": P.records_to_wire(groups[s]),
+                "keep_uids": True,
+            },
+        )
+        self._count("writes", len(pairs))
+        return {
+            "loaded": len(records),
+            # echo in submission order with the router's authoritative uids
+            "records": P.records_to_wire(records),
+            "ios": sum(r.get("ios", 0) for _s, r in pairs),
+            "shards_contacted": len(pairs),
+        }
+
+    # ------------------------------------------------------------------ #
+    # namespace
+    # ------------------------------------------------------------------ #
+    def create(
+        self, index: str, kind: str, records_data: List[Any], dynamic: bool
+    ) -> Dict[str, Any]:
+        if kind not in ("collection", "interval"):
+            raise P.ProtocolError(
+                f"unknown index kind {kind!r}; know ['collection', 'interval']"
+            )
+        records = P.records_from_wire(records_data, fresh_uid=True)
+        self._note_records(records)
+        groups = self._map.partition(records)
+        pairs = self._scatter(
+            self._map.all_shards(),
+            "create",
+            lambda s: {
+                "index": index,
+                "kind": kind,
+                "dynamic": dynamic,
+                "records": P.records_to_wire(groups.get(s, [])),
+                "keep_uids": True,
+            },
+        )
+        with self._topology_lock:
+            self._indexes.add(index)
+        return {
+            "index": index,
+            "kind": kind,
+            "loaded": len(records),
+            "ios": sum(r.get("ios", 0) for _s, r in pairs),
+        }
+
+    def drop(self, index: str) -> Dict[str, Any]:
+        pairs = self._scatter(
+            self._map.all_shards(), "drop", lambda s: {"index": index}
+        )
+        with self._topology_lock:
+            self._indexes.discard(index)
+        return {
+            "dropped": index,
+            "ios": sum(r.get("ios", 0) for _s, r in pairs),
+        }
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        pairs = self._scatter(self._map.all_shards(), "stats", lambda s: {})
+        indexes: Set[str] = set()
+        blocks = 0
+        uid_horizon = -1
+        block_size: Optional[int] = None
+        numeric: Dict[str, Any] = {}
+        sessions: Dict[str, Any] = {}
+        retired = {"sessions": 0, "requests": 0, "ios": 0}
+        per_shard: List[Dict[str, Any]] = []
+        for shard, resp in pairs:
+            engine = resp.get("engine", {})
+            if block_size is None:
+                block_size = engine.get("block_size")
+            indexes.update(engine.get("indexes", []))
+            blocks += engine.get("blocks", 0)
+            uid_horizon = max(uid_horizon, engine.get("uid_horizon", -1))
+            for key, value in engine.items():
+                if key in ("block_size", "indexes", "blocks", "uid_horizon"):
+                    continue
+                if isinstance(value, (int, float)):
+                    numeric[key] = numeric.get(key, 0) + value
+            for sid, sess in resp.get("sessions", {}).items():
+                sessions[f"s{shard}:{sid}"] = sess
+            for key in retired:
+                retired[key] += resp.get("retired", {}).get(key, 0)
+            per_shard.append({
+                "shard": shard,
+                "epochs": resp.get("epochs"),
+                "wal": resp.get("wal"),
+            })
+        with self._stats_lock:
+            routing = dict(self._routing)
+        with self._topology_lock:
+            topology = self._map.as_dict()
+        health = (
+            self._supervisor.status() if self._supervisor is not None
+            else [
+                {"shard": link.shard, "address": f"{link.host}:{link.port}"}
+                for link in self._links
+            ]
+        )
+        return {
+            "retired": retired,
+            "sessions": sessions,
+            "engine": {
+                "block_size": block_size,
+                "indexes": sorted(indexes),
+                "blocks": blocks,
+                "uid_horizon": uid_horizon,
+                **numeric,
+            },
+            "cluster": {
+                "topology": topology,
+                "routing": routing,
+                "shards": health,
+                "per_shard": per_shard,
+            },
+        }
+
+
+class _RouterConnection:
+    """One frontend connection's leases (mirrors the single server's)."""
+
+    __slots__ = ("conn_id", "leases", "lease_ids", "requests")
+
+    def __init__(self, conn_id: int) -> None:
+        self.conn_id = conn_id
+        self.leases: Dict[int, Dict[str, Any]] = {}
+        self.lease_ids = itertools.count(1)
+        self.requests = 0
+
+
+class ClusterFrontend(JsonLineServer):
+    """The cluster's client-facing server: protocol in, router out."""
+
+    thread_name = "repro-cluster"
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        close_router: bool = False,
+    ) -> None:
+        super().__init__(host, port)
+        self.router = router
+        self._close_router = close_router
+        self._conn_ids = itertools.count(1)
+
+    def __enter__(self) -> "ClusterFrontend":
+        self.start()
+        return self
+
+    def _on_close(self) -> None:
+        if self._close_router:
+            self.router.close()
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    def _open_connection(self) -> _RouterConnection:
+        return _RouterConnection(next(self._conn_ids))
+
+    def _dispatch_message(
+        self, conn: _RouterConnection, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        cmd = message.get("cmd")
+        request_id = message.get("id")
+        handler = getattr(self, f"_cmd_{cmd}", None) if isinstance(cmd, str) else None
+        if handler is None:
+            raise P.ProtocolError(
+                f"unknown command {cmd!r}; know {sorted(P.COMMANDS)}"
+            )
+        conn.requests += 1
+        return handler(conn, request_id, message)
+
+    # -- control --------------------------------------------------------- #
+    def _cmd_ping(self, conn, request_id, message):
+        shard_map = self.router.shard_map
+        return P.ok_response(
+            request_id, pong=True, version=P.PROTOCOL_VERSION,
+            session=conn.conn_id,
+            cluster={"shards": shard_map.shards, "strategy": shard_map.strategy},
+        )
+
+    def _cmd_shutdown(self, conn, request_id, message):
+        raise _ShutdownRequested
+
+    # -- namespace ------------------------------------------------------- #
+    def _cmd_create(self, conn, request_id, message):
+        name = _required(message, "index")
+        payload = self.router.create(
+            name,
+            message.get("kind", "collection"),
+            message.get("records", []),
+            bool(message.get("dynamic", True)),
+        )
+        return P.ok_response(request_id, **payload)
+
+    def _cmd_drop(self, conn, request_id, message):
+        return P.ok_response(
+            request_id, **self.router.drop(_required(message, "index"))
+        )
+
+    # -- reads ----------------------------------------------------------- #
+    def _cmd_query(self, conn, request_id, message):
+        name = _required(message, "index")
+        q = P.query_from_wire(_required(message, "q"))
+        return P.ok_response(request_id, **self.router.read(name, q))
+
+    def _cmd_explain(self, conn, request_id, message):
+        name = _required(message, "index")
+        q = P.query_from_wire(_required(message, "q"))
+        return P.ok_response(request_id, **self.router.explain(name, q))
+
+    def _cmd_prepare(self, conn, request_id, message):
+        name = _required(message, "index")
+        q = P.query_from_wire(_required(message, "q"))
+        if not self.router.known_index(name):
+            raise KeyError(
+                f"no index named {name!r}; the cluster serves "
+                f"{self.router.known_indexes()}"
+            )
+        params = sorted(unbound_params(q))
+        handle = next(conn.lease_ids)
+        conn.leases[handle] = {"index": name, "q": q, "params": params}
+        return P.ok_response(request_id, handle=handle, index=name, params=params)
+
+    def _cmd_run(self, conn, request_id, message):
+        handle = _required(message, "handle")
+        lease = conn.leases.get(handle)
+        if lease is None:
+            raise P.StaleHandleError(
+                f"no prepared handle {handle!r} on this connection; "
+                "handles are leased per connection by 'prepare'"
+            )
+        params = message.get("params", {})
+        if not isinstance(params, dict):
+            raise P.ProtocolError("'params' must be an object of name -> value")
+        bound = bind_params(lease["q"], params)  # strict: bad names raise
+        try:
+            payload = self.router.read(lease["index"], bound)
+        except ServerError as exc:
+            if exc.code == "unknown_index":
+                # the index this lease was planned against is gone: same
+                # invalidation surface as the single server
+                conn.leases.pop(handle, None)
+                raise P.StaleHandleError(
+                    f"prepared handle {handle} is stale: "
+                    + (exc.args[0] if exc.args else repr(exc))
+                ) from exc
+            raise
+        return P.ok_response(request_id, **payload)
+
+    # -- writes ---------------------------------------------------------- #
+    def _cmd_insert(self, conn, request_id, message):
+        name = _required(message, "index")
+        payload = self.router.insert(name, _required(message, "record"))
+        return P.ok_response(request_id, **payload)
+
+    def _cmd_delete(self, conn, request_id, message):
+        name = _required(message, "index")
+        if "record" in message:
+            payload = self.router.delete_record(name, message["record"])
+        elif "q" in message:
+            q = P.query_from_wire(message["q"])
+            payload = self.router.delete_matching(name, q, message.get("limit"))
+        else:
+            raise P.ProtocolError("'delete' takes a 'record' or a 'q' selector")
+        return P.ok_response(request_id, **payload)
+
+    def _cmd_bulk_load(self, conn, request_id, message):
+        name = _required(message, "index")
+        payload = self.router.bulk_load(name, _required(message, "records"))
+        return P.ok_response(request_id, **payload)
+
+    # -- accounting ------------------------------------------------------ #
+    def _cmd_stats(self, conn, request_id, message):
+        payload = self.router.stats()
+        payload["session"] = {"id": conn.conn_id, "requests": conn.requests}
+        return P.ok_response(request_id, **payload)

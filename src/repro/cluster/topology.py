@@ -1,0 +1,271 @@
+"""``ShardMap`` — who owns which records, and which shards a query needs.
+
+Two partition strategies:
+
+``hash``
+    A record lives on ``mix(uid) % shards``, where :func:`mix_uid` is a
+    fixed 64-bit avalanche (the splitmix64 finalizer) — deterministic
+    across processes and restarts, unlike Python's seeded ``hash()``.
+    Placement is uniform and oblivious to geometry, so every read
+    broadcasts; writes and per-record deletes route to exactly one shard.
+
+``range``
+    Records partition on their **low endpoint**: ``shards - 1`` sorted
+    interior split points give shard ``i`` the half-open slab
+    ``[splits[i-1], splits[i])`` (the first and last slabs extend to
+    ∓infinity).  A record *exactly on* a split point belongs to the shard
+    on the right — the same ``bisect_right`` everywhere, so ownership is
+    never ambiguous.  Reads prune: the map tracks ``max_length``, the
+    longest interval ever routed through it, so any interval matching
+    ``Stab(x)`` must have its low endpoint in ``[x - max_length, x]`` —
+    a *candidate-low window* that overlaps only a few slabs.  Windows
+    compose through the algebra (intersection under ``And``, hull under
+    ``Or``, pass-through under ``Limit``/``OrderBy``); anything without a
+    window — ``Not``, unknown leaves, unbound ``Param`` queries —
+    conservatively broadcasts.
+
+The map serializes to/from plain JSON data (:meth:`ShardMap.as_dict`),
+which the cluster catalog (``cluster.json``) persists so
+``Cluster.open`` restores the exact topology — including the grown
+``max_length``, without which a restart would silently un-prune nothing
+(correctness never depends on the window: it is a superset of owners).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.queries import (
+    And,
+    EndpointRange,
+    Limit,
+    Not,
+    Or,
+    OrderBy,
+    Range,
+    Stab,
+    unbound_params,
+)
+
+#: the partition strategies ``ShardMap`` understands
+STRATEGIES = ("hash", "range")
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix_uid(uid: int) -> int:
+    """The splitmix64 finalizer: a seed-free 64-bit avalanche of ``uid``.
+
+    Used for hash placement instead of ``hash()`` because Python string
+    hashing is salted per process (PYTHONHASHSEED) and even integer
+    ``hash`` is the identity — adjacent uids would stripe shards in
+    insertion order instead of spreading them.
+    """
+    x = (uid + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+#: a closed window of candidate low endpoints; ``None`` means "anywhere"
+_Window = Optional[Tuple[float, float]]
+
+
+class ShardMap:
+    """The partition function of one cluster: N shards, one strategy.
+
+    Plain data plus pure functions — no sockets, no processes; the router
+    consults it, the cluster catalog persists it.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        strategy: str = "hash",
+        *,
+        splits: Optional[Sequence[float]] = None,
+        max_length: float = 0.0,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"a cluster needs at least one shard, not {shards}")
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown partition strategy {strategy!r}; know {list(STRATEGIES)}"
+            )
+        self.shards = shards
+        self.strategy = strategy
+        self.max_length = float(max_length)
+        if strategy == "range":
+            if splits is None:
+                raise ValueError(
+                    "range partitioning needs its split points; build them "
+                    "with ShardMap.even_splits(shards, domain=...)"
+                )
+            splits = [float(s) for s in splits]
+            if len(splits) != shards - 1:
+                raise ValueError(
+                    f"{shards} shards need exactly {shards - 1} interior "
+                    f"split points, got {len(splits)}"
+                )
+            if sorted(splits) != splits:
+                raise ValueError(f"split points must be sorted: {splits}")
+            self.splits: List[float] = splits
+        else:
+            if splits:
+                raise ValueError("hash partitioning takes no split points")
+            self.splits = []
+
+    @classmethod
+    def even_splits(
+        cls,
+        shards: int,
+        *,
+        domain: Tuple[float, float] = (0.0, 1000.0),
+        max_length: float = 0.0,
+    ) -> "ShardMap":
+        """A range map whose slabs split ``domain`` evenly.
+
+        The first/last slabs still extend to ∓infinity, so records outside
+        the declared domain stay owned (by the edge shards) — the domain
+        only shapes the balance, never correctness.
+        """
+        lo, hi = float(domain[0]), float(domain[1])
+        if not lo < hi:
+            raise ValueError(f"domain must be an increasing pair, not {domain}")
+        step = (hi - lo) / shards
+        splits = [lo + step * i for i in range(1, shards)]
+        return cls(shards, "range", splits=splits, max_length=max_length)
+
+    # ------------------------------------------------------------------ #
+    # placement (writes)
+    # ------------------------------------------------------------------ #
+    def shard_for_point(self, low: float) -> int:
+        """The shard owning low endpoint ``low`` (range strategy)."""
+        return bisect_right(self.splits, low)
+
+    def shard_for_record(self, record: Any) -> int:
+        """The one shard that owns ``record``."""
+        if self.strategy == "hash":
+            return mix_uid(record.uid) % self.shards
+        return self.shard_for_point(record.low)
+
+    def partition(self, records: Iterable[Any]) -> Dict[int, List[Any]]:
+        """Records grouped by owning shard (what ``bulk_load`` splits on)."""
+        groups: Dict[int, List[Any]] = {}
+        for record in records:
+            groups.setdefault(self.shard_for_record(record), []).append(record)
+        return groups
+
+    def note_records(self, records: Iterable[Any]) -> bool:
+        """Track interval lengths for pruning; True when ``max_length`` grew.
+
+        Callers persist the topology when it grows: a crash between the
+        write and the next checkpoint must not shrink the window below an
+        already-resident record's length.
+        """
+        longest = self.max_length
+        for record in records:
+            low = getattr(record, "low", None)
+            high = getattr(record, "high", None)
+            if low is not None and high is not None:
+                longest = max(longest, float(high) - float(low))
+        if longest > self.max_length:
+            self.max_length = longest
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # routing (reads)
+    # ------------------------------------------------------------------ #
+    def all_shards(self) -> List[int]:
+        return list(range(self.shards))
+
+    def shards_for_query(self, q: Any) -> List[int]:
+        """Every shard that can hold a record matching ``q`` (a superset).
+
+        Hash placement is geometry-oblivious, so reads broadcast.  Range
+        placement intersects the query's candidate-low window with the
+        slabs; a provably-empty window (contradictory ``And``) routes to
+        zero shards.
+        """
+        if self.strategy == "hash" or self.shards == 1:
+            return self.all_shards()
+        if unbound_params(q):
+            return self.all_shards()
+        window = self._low_window(q)
+        if window is None:
+            return self.all_shards()
+        lo, hi = window
+        if lo > hi:
+            return []
+        return list(range(self.shard_for_point(lo), self.shard_for_point(hi) + 1))
+
+    def _low_window(self, q: Any) -> _Window:
+        """The closed window of low endpoints a match for ``q`` can have."""
+        reach = self.max_length
+        if isinstance(q, Stab):
+            return (q.x - reach, q.x)
+        if isinstance(q, Range):
+            # any interval overlapping [low, high] starts in this window
+            return (q.low - reach, q.high)
+        if isinstance(q, EndpointRange):
+            if q.side == "low":
+                return (q.low, q.high)
+            # high endpoint in [low, high] => low in [low - reach, high]
+            return (q.low - reach, q.high)
+        if isinstance(q, And):
+            lo, hi = float("-inf"), float("inf")
+            for part in q.parts:
+                w = self._low_window(part)
+                if w is not None:
+                    lo, hi = max(lo, w[0]), min(hi, w[1])
+            return None if (lo, hi) == (float("-inf"), float("inf")) else (lo, hi)
+        if isinstance(q, Or):
+            lo, hi = float("inf"), float("-inf")
+            for part in q.parts:
+                w = self._low_window(part)
+                if w is None:
+                    return None
+                lo, hi = min(lo, w[0]), max(hi, w[1])
+            return (lo, hi) if q.parts else None
+        if isinstance(q, (Limit, OrderBy)):
+            return self._low_window(q.part)
+        if isinstance(q, Not):
+            return None
+        return None  # unknown leaves (class/geometry queries): broadcast
+
+    # ------------------------------------------------------------------ #
+    # the catalog form
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "shards": self.shards,
+            "strategy": self.strategy,
+            "splits": list(self.splits),
+            "max_length": self.max_length,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardMap":
+        try:
+            shards = int(data["shards"])
+            strategy = str(data["strategy"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed shard map {data!r}: {exc}") from exc
+        splits = data.get("splits") or None
+        return cls(
+            shards,
+            strategy,
+            splits=splits if strategy == "range" else None,
+            max_length=float(data.get("max_length", 0.0)),
+        )
+
+    def describe(self) -> str:
+        if self.strategy == "hash":
+            return f"hash(uid) % {self.shards}"
+        edges = ", ".join(f"{s:g}" for s in self.splits)
+        return f"range on low: splits [{edges}], max_length={self.max_length:g}"
+
+    def __repr__(self) -> str:
+        return f"ShardMap({self.describe()})"

@@ -39,6 +39,7 @@ import os
 import pickle
 import struct
 import threading
+import time
 import zlib
 from typing import TYPE_CHECKING, Any, Dict, Iterator, NamedTuple, Optional, Tuple
 
@@ -112,14 +113,31 @@ class WriteAheadLog:
         ``False`` disables the physical barrier (the commit protocol and
         counters behave identically) — for tests and in-memory engines
         where the log is about replay, not the platter.
+    commit_latency:
+        Seconds of *simulated* device round-trip charged per commit
+        barrier.  Non-zero models a synchronous log device without
+        command queueing — a rotational disk or a networked block store
+        — where every commit pays its own round-trip, so the group-commit
+        absorption fast path is disabled and barriers strictly serialize
+        on the sync lock.  This is the same philosophy as
+        :class:`~repro.io.disk.SimulatedDisk` counting block I/Os that
+        RAM makes free: on development filesystems ``fsync`` is nearly
+        instantaneous, and the benchmark legs that measure commit-pipeline
+        parallelism need a device whose barrier actually takes time.
     """
 
     def __init__(
-        self, path: str, *, stats: Optional["IOStats"] = None, fsync: bool = True
+        self,
+        path: str,
+        *,
+        stats: Optional["IOStats"] = None,
+        fsync: bool = True,
+        commit_latency: float = 0.0,
     ) -> None:
         self.path = path
         self.stats = stats
         self._fsync_enabled = fsync
+        self._commit_latency = max(0.0, commit_latency)
         #: serializes appends (record order == commit order)
         self._lock = threading.Lock()
         #: serializes the durability barrier (group commit happens here)
@@ -168,6 +186,25 @@ class WriteAheadLog:
         """Make the log durable up to ``offset``; returns ``True`` on a
         physical barrier, ``False`` when another commit's barrier already
         covered this offset (the group-commit fast path)."""
+        if self._commit_latency:
+            # simulated synchronous log device: no command queueing means
+            # no absorption fast path — every commit serializes on the
+            # barrier lock and pays its own round-trip (sleeping releases
+            # the GIL, so independent logs overlap their round-trips)
+            with self._sync_lock:
+                lockdep.notify_blocking("wal.sync_to")
+                time.sleep(self._commit_latency)
+                with self._lock:
+                    target = self._appended
+                    self._file.flush()
+                if self._fsync_enabled:
+                    os.fsync(self._file.fileno())
+                if self.stats is not None:
+                    self.stats.count(fsyncs=1)
+                if target > self._synced:
+                    self._synced = target
+                self.syncs += 1
+                return True
         if self._synced >= offset:
             with self._lock:
                 self.group_absorbed += 1

@@ -69,13 +69,25 @@ def _catalog_records(kind: str, index: Any) -> List[Any]:
     raise ValueError(f"unknown catalog kind {kind!r}")
 
 
-def _advance_uid_counters(records: Iterable[Any]) -> None:
-    """Move the process-wide uid counters past every restored record's uid.
+def _record_uid(record: Any) -> Optional[int]:
+    """The integer uid a catalog record carries, if any.
 
-    Record uids are process-unique by construction; after a catalog restore
-    the already-assigned uids re-enter this process, so the counters must
-    skip past them or a freshly constructed record could collide with a
-    restored one (breaking duplicate detection and union deduplication).
+    'key'-kind entries restore ``(key, value)`` pairs; the value is the
+    uid-bearing record there.
+    """
+    if isinstance(record, tuple) and len(record) == 2:
+        record = record[1]
+    uid = getattr(record, "uid", None)
+    return uid if isinstance(uid, int) else None
+
+
+def advance_uid_floor(horizon: int) -> None:
+    """Advance the process-wide uid counters past ``horizon``.
+
+    Catalog restores use this through :func:`_advance_uid_counters`; a
+    cluster router uses it directly, seeding its minting counter past the
+    highest uid any shard reports (``uid_horizon`` in the server's
+    ``stats``), so a restarted router can never re-mint a resident uid.
     """
     import itertools
 
@@ -84,16 +96,7 @@ def _advance_uid_counters(records: Iterable[Any]) -> None:
 
     from repro import interval as _interval
 
-    highest = -1
-    for record in records:
-        # 'key'-kind entries restore (key, value) pairs; the value is the
-        # uid-bearing record there
-        if isinstance(record, tuple) and len(record) == 2:
-            record = record[1]
-        uid = getattr(record, "uid", None)
-        if isinstance(uid, int):
-            highest = max(highest, uid)
-    if highest < 0:
+    if horizon < 0:
         return
     for module, attr in (
         (_interval, "_INTERVAL_UIDS"),
@@ -102,7 +105,23 @@ def _advance_uid_counters(records: Iterable[Any]) -> None:
     ):
         counter = getattr(module, attr)
         current = next(counter)  # consumes one value; restart above both
-        setattr(module, attr, itertools.count(max(current, highest + 1)))
+        setattr(module, attr, itertools.count(max(current, horizon + 1)))
+
+
+def _advance_uid_counters(records: Iterable[Any]) -> None:
+    """Move the process-wide uid counters past every restored record's uid.
+
+    Record uids are process-unique by construction; after a catalog restore
+    the already-assigned uids re-enter this process, so the counters must
+    skip past them or a freshly constructed record could collide with a
+    restored one (breaking duplicate detection and union deduplication).
+    """
+    highest = -1
+    for record in records:
+        uid = _record_uid(record)
+        if uid is not None:
+            highest = max(highest, uid)
+    advance_uid_floor(highest)
 
 
 class Engine:
@@ -765,6 +784,22 @@ class Engine:
             )
         return out
 
+    def uid_horizon(self) -> int:
+        """The highest record uid resident in any index (``-1`` when empty).
+
+        Served to clients through the ``stats`` command so a cluster
+        router can seed its uid-minting counter past every shard's
+        resident records on open (see :func:`advance_uid_floor`).
+        """
+        highest = -1
+        for name in self._catalog:
+            spec = self._catalog[name]
+            for record in _catalog_records(spec["kind"], self._indexes[name]):
+                uid = _record_uid(record)
+                if uid is not None:
+                    highest = max(highest, uid)
+        return highest
+
     def checkpoint(self) -> int:
         """Serialize the catalog through the storage backend; returns the root id.
 
@@ -853,6 +888,7 @@ class Engine:
         *,
         buffer_pages: Optional[int] = None,
         wal: bool = True,
+        commit_latency: float = 0.0,
     ) -> "Engine":
         """Reopen an engine from a page file written by a prior process.
 
@@ -893,7 +929,8 @@ class Engine:
         replayed = 0
         if wal:
             replayed = engine.attach_wal(
-                path + WAL_SUFFIX, durable_epoch=durable_epoch, checkpoint=False
+                path + WAL_SUFFIX, durable_epoch=durable_epoch, checkpoint=False,
+                commit_latency=commit_latency,
             )
         if root_id is None and replayed == 0:
             # nothing restored, nothing replayed: keep the fast no-op open
@@ -921,6 +958,7 @@ class Engine:
         checkpoint: bool = True,
         fsync: bool = True,
         durable_epoch: Optional[int] = None,
+        commit_latency: float = 0.0,
     ) -> int:
         """Open (or create) a write-ahead log and attach it to this engine.
 
@@ -945,7 +983,8 @@ class Engine:
                     "backend has no path; pass an explicit WAL path"
                 )
             path = str(file_path) + WAL_SUFFIX
-        wal = WriteAheadLog(path, stats=self.io_stats(), fsync=fsync)
+        wal = WriteAheadLog(path, stats=self.io_stats(), fsync=fsync,
+                            commit_latency=commit_latency)
         replayed = 0
         try:
             if replay:

@@ -17,10 +17,11 @@ Layers (bottom up):
 """
 
 from repro.server.client import ClientResult, PreparedHandle, ReproClient, ServerError
-from repro.server.core import ReproServer
+from repro.server.core import JsonLineServer, ReproServer
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
+    ShardUnavailableError,
     StaleHandleError,
     decode_message,
     encode_message,
@@ -33,11 +34,13 @@ from repro.server.protocol import (
 __all__ = [
     "PROTOCOL_VERSION",
     "ClientResult",
+    "JsonLineServer",
     "PreparedHandle",
     "ProtocolError",
     "ReproClient",
     "ReproServer",
     "ServerError",
+    "ShardUnavailableError",
     "StaleHandleError",
     "decode_message",
     "encode_message",

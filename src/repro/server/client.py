@@ -16,7 +16,9 @@ server's authoritative record names — pass them straight back to
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -76,10 +78,39 @@ class PreparedHandle:
 
 
 class ReproClient:
-    """A blocking client for one server connection."""
+    """A blocking client for one server connection.
 
-    def __init__(self, host: str, port: int, *, timeout: Optional[float] = 60.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    Connecting retries refused/unreachable sockets with **capped, jittered
+    exponential backoff** (``connect_retries`` extra attempts, delays of
+    ``retry_base * 2^k`` seconds capped at ``retry_cap``, each scaled by a
+    uniform 50–100% jitter so a thundering herd of clients spreads out).
+    That absorbs the startup race against a server/router that just
+    printed its address, and shard restarts behind a router, without
+    masking a genuinely-down server for more than ~a second by default.
+    Pass ``connect_retries=0`` for the old fail-fast behaviour.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: Optional[float] = 60.0,
+        connect_retries: int = 3,
+        retry_base: float = 0.05,
+        retry_cap: float = 1.0,
+    ) -> None:
+        attempt = 0
+        while True:
+            try:
+                self._sock = socket.create_connection((host, port), timeout=timeout)
+                break
+            except OSError:
+                if attempt >= max(connect_retries, 0):
+                    raise
+                delay = min(retry_cap, retry_base * (2 ** attempt))
+                time.sleep(delay * (0.5 + random.random() / 2))
+                attempt += 1
         self._rfile = self._sock.makefile("rb")
         self._wfile = self._sock.makefile("wb")
         self._next_id = 0

@@ -15,8 +15,10 @@ writes take exclusive turns, and a reader therefore always sees the
 record set as it stood between two write turns, never a half-applied
 write.  See :mod:`repro.engine.session`.
 
-The server itself is transport only: it routes decoded messages to the
-session surface and serializes the answers.  Run one with::
+The transport itself — the JSON-line framing, the per-connection loop,
+the fault barrier, graceful shutdown — lives in :class:`JsonLineServer`,
+which the cluster frontend (:mod:`repro.cluster.router`) reuses to speak
+the identical protocol over N shards.  Run a single server with::
 
     python -m repro serve --port 7411 --n 10000
 
@@ -42,7 +44,163 @@ class _ShutdownRequested(Exception):
     """Internal: a client asked the whole server to stop."""
 
 
-class ReproServer:
+class JsonLineServer:
+    """The protocol transport: a threaded TCP server of JSON-line requests.
+
+    Subclasses implement the *meaning* of messages by overriding three
+    hooks — :meth:`_open_connection` (per-connection state),
+    :meth:`_dispatch_message` (one request → one response dict) and
+    :meth:`_close_connection` — while this base owns the line framing,
+    the per-connection fault barrier (any exception becomes a structured
+    error response, never a dropped connection), and the graceful
+    shutdown dance (a handler raising :class:`_ShutdownRequested` acks
+    the request, then unwinds ``serve_forever`` from a side thread).
+    """
+
+    #: name of the background serving thread (subclasses override)
+    thread_name = "repro-server"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        outer = self
+
+        class _Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:  # pragma: no cover - thread body
+                outer._serve_connection(self)
+
+        class _TCP(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+            # a fleet of closed-loop clients (or a router's connection
+            # pools) dials in bursts; the default backlog of 5 turns the
+            # excess into refused connections and retry backoff
+            request_queue_size = 64
+
+        self._tcp = _TCP((host, port), _Handler)
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        #: whether serve_forever ran (shutdown on a never-served TCPServer
+        #: would wait forever on its is-shut-down event)
+        self._served = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ``port=0`` to the real one."""
+        return self._tcp.server_address[:2]
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (blocking; what the CLI calls).
+
+        If :meth:`start` already runs the loop from its background
+        thread, this *waits* on that thread instead of entering a second
+        ``socketserver`` loop — two concurrent loops race on shutdown
+        (the first to wake clears the shutdown flag in its ``finally``
+        and strands the other in its poll loop forever).  The wait polls
+        so signal handlers (SIGTERM → KeyboardInterrupt) still fire.
+        """
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            while thread.is_alive():
+                thread.join(timeout=0.2)
+            return
+        self._served = True
+        self._tcp.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "JsonLineServer":
+        """Serve from a daemon background thread (embedding / tests)."""
+        if self._thread is None:
+            self._served = True  # the thread enters serve_forever
+            self._thread = threading.Thread(
+                target=self.serve_forever, name=self.thread_name, daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting and unwind ``serve_forever`` (graceful)."""
+        if self._served:
+            self._tcp.shutdown()
+
+    def close(self) -> None:
+        """Shut down, release the socket, then run :meth:`_on_close`."""
+        if self._closed:
+            return
+        self._closed = True
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._tcp.server_close()
+        self._on_close()
+
+    def __enter__(self) -> "JsonLineServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # subclass hooks
+    # ------------------------------------------------------------------ #
+    def _open_connection(self) -> Any:
+        """Per-connection state handed to every dispatch on that socket."""
+        return None
+
+    def _close_connection(self, conn: Any) -> None:
+        """The connection ended (client gone or shutdown)."""
+
+    def _dispatch_message(self, conn: Any, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One decoded request → one response dict (or raise)."""
+        raise NotImplementedError
+
+    def _on_close(self) -> None:
+        """Extra teardown after the socket is released (engine, shards...)."""
+
+    # ------------------------------------------------------------------ #
+    # one connection
+    # ------------------------------------------------------------------ #
+    def _serve_connection(self, handler: socketserver.StreamRequestHandler) -> None:
+        conn = self._open_connection()
+        try:
+            for line in handler.rfile:
+                if not line.strip():
+                    continue
+                request_id = None
+                try:
+                    message = P.decode_message(line)
+                    request_id = message.get("id")
+                    response = self._dispatch_message(conn, message)
+                except _ShutdownRequested:
+                    handler.wfile.write(
+                        P.encode_message(P.ok_response(request_id, stopping=True))
+                    )
+                    handler.wfile.flush()
+                    # unwind serve_forever from outside its own loop thread
+                    threading.Thread(target=self.shutdown, daemon=True).start()
+                    return
+                except Exception as exc:  # noqa: BLE001 - fault barrier
+                    response = P.error_response(request_id, exc)
+                handler.wfile.write(P.encode_message(response))
+                handler.wfile.flush()
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass  # client went away mid-write; the session just ends
+        finally:
+            self._close_connection(conn)
+
+
+class _Connection:
+    """One client connection's engine-side state (session + leases)."""
+
+    __slots__ = ("session", "leases", "lease_ids")
+
+    def __init__(self, session: Any) -> None:
+        self.session = session
+        self.leases: Dict[int, Any] = {}
+        self.lease_ids = itertools.count(1)
+
+
+class ReproServer(JsonLineServer):
     """A concurrent JSON-line server over one :class:`~repro.engine.Engine`.
 
     Parameters
@@ -65,24 +223,9 @@ class ReproServer:
         *,
         close_engine: bool = False,
     ) -> None:
+        super().__init__(host, port)
         self.engine = engine
         self.close_engine = close_engine
-        outer = self
-
-        class _Handler(socketserver.StreamRequestHandler):
-            def handle(self) -> None:  # pragma: no cover - thread body
-                outer._serve_connection(self)
-
-        class _TCP(socketserver.ThreadingTCPServer):
-            allow_reuse_address = True
-            daemon_threads = True
-
-        self._tcp = _TCP((host, port), _Handler)
-        self._thread: Optional[threading.Thread] = None
-        self._closed = False
-        #: whether serve_forever ran (shutdown on a never-served TCPServer
-        #: would wait forever on its is-shut-down event)
-        self._served = False
         #: live sessions by id (what the ``stats`` command reports)
         self._sessions: Dict[int, Any] = {}
         self._sessions_lock = threading.Lock()
@@ -91,94 +234,37 @@ class ReproServer:
         #: whole serving history, not just currently-open connections
         self._retired = {"sessions": 0, "requests": 0, "ios": 0}
 
-    # ------------------------------------------------------------------ #
-    # lifecycle
-    # ------------------------------------------------------------------ #
-    @property
-    def address(self) -> Tuple[str, int]:
-        """The bound ``(host, port)`` — resolves ``port=0`` to the real one."""
-        return self._tcp.server_address[:2]
-
-    def serve_forever(self) -> None:
-        """Serve until :meth:`shutdown` (blocking; what the CLI calls)."""
-        self._served = True
-        self._tcp.serve_forever(poll_interval=0.1)
-
-    def start(self) -> "ReproServer":
-        """Serve from a daemon background thread (embedding / tests)."""
-        if self._thread is None:
-            self._served = True  # the thread enters serve_forever
-            self._thread = threading.Thread(
-                target=self.serve_forever, name="repro-server", daemon=True
-            )
-            self._thread.start()
+    def __enter__(self) -> "ReproServer":
+        self.start()
         return self
 
-    def shutdown(self) -> None:
-        """Stop accepting and unwind ``serve_forever`` (graceful)."""
-        if self._served:
-            self._tcp.shutdown()
-
-    def close(self) -> None:
-        """Shut down, release the socket, optionally close the engine."""
-        if self._closed:
-            return
-        self._closed = True
-        self.shutdown()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-        self._tcp.server_close()
+    def _on_close(self) -> None:
         if self.close_engine:
             self.engine.close()
 
-    def __enter__(self) -> "ReproServer":
-        return self.start()
-
-    def __exit__(self, *exc: Any) -> None:
-        self.close()
-
     # ------------------------------------------------------------------ #
-    # one connection
+    # connection state
     # ------------------------------------------------------------------ #
-    def _serve_connection(self, handler: socketserver.StreamRequestHandler) -> None:
-        session = self.engine.session()
-        leases: Dict[int, Any] = {}
-        lease_ids = itertools.count(1)
+    def _open_connection(self) -> _Connection:
+        conn = _Connection(self.engine.session())
         with self._sessions_lock:
-            self._sessions[session.session_id] = session
-        try:
-            for line in handler.rfile:
-                if not line.strip():
-                    continue
-                request_id = None
-                try:
-                    message = P.decode_message(line)
-                    request_id = message.get("id")
-                    response = self._dispatch(session, leases, lease_ids, message)
-                except _ShutdownRequested:
-                    handler.wfile.write(
-                        P.encode_message(P.ok_response(request_id, stopping=True))
-                    )
-                    handler.wfile.flush()
-                    # unwind serve_forever from outside its own loop thread
-                    threading.Thread(target=self.shutdown, daemon=True).start()
-                    return
-                except Exception as exc:  # noqa: BLE001 - fault barrier
-                    response = P.error_response(request_id, exc)
-                handler.wfile.write(P.encode_message(response))
-                handler.wfile.flush()
-        except (ConnectionError, BrokenPipeError, OSError):
-            pass  # client went away mid-write; the session just ends
-        finally:
-            with self._sessions_lock:
-                self._sessions.pop(session.session_id, None)
-                self._retired["sessions"] += 1
-                self._retired["requests"] += session.requests
-                self._retired["ios"] += session.stats.total
+            self._sessions[conn.session.session_id] = conn.session
+        return conn
+
+    def _close_connection(self, conn: _Connection) -> None:
+        session = conn.session
+        with self._sessions_lock:
+            self._sessions.pop(session.session_id, None)
+            self._retired["sessions"] += 1
+            self._retired["requests"] += session.requests
+            self._retired["ios"] += session.stats.total
 
     # ------------------------------------------------------------------ #
     # the request router
     # ------------------------------------------------------------------ #
+    def _dispatch_message(self, conn: _Connection, message: Dict[str, Any]) -> Dict[str, Any]:
+        return self._dispatch(conn.session, conn.leases, conn.lease_ids, message)
+
     def _dispatch(
         self,
         session: Any,
@@ -208,6 +294,23 @@ class ReproServer:
             out["bound"] = res.bound
         return out
 
+    @staticmethod
+    def _wire_records(message: Dict[str, Any], data: Any) -> Any:
+        """Decode wire records, minting fresh uids unless ``keep_uids``.
+
+        A router upstream mints authoritative uids itself and asks the
+        shard to honour them (``keep_uids: true``); the shard then
+        advances its own counters past the wire uids so nothing this
+        process ever mints can collide with a router-named record.
+        """
+        from repro.engine.core import _advance_uid_counters
+
+        keep = bool(message.get("keep_uids"))
+        records = P.records_from_wire(data, fresh_uid=not keep)
+        if keep:
+            _advance_uid_counters(records)
+        return records
+
     # -- control --------------------------------------------------------- #
     def _cmd_ping(self, session, leases, lease_ids, request_id, message):
         return P.ok_response(
@@ -222,7 +325,7 @@ class ReproServer:
     def _cmd_create(self, session, leases, lease_ids, request_id, message):
         name = _required(message, "index")
         kind = message.get("kind", "collection")
-        records = P.records_from_wire(message.get("records", []), fresh_uid=True)
+        records = self._wire_records(message, message.get("records", []))
         dynamic = bool(message.get("dynamic", True))
         if kind == "collection":
             res = session.create_collection(name, records, dynamic=dynamic)
@@ -313,7 +416,7 @@ class ReproServer:
     # -- writes ---------------------------------------------------------- #
     def _cmd_insert(self, session, leases, lease_ids, request_id, message):
         name = _required(message, "index")
-        record = P.record_from_dict(_required(message, "record"), fresh_uid=True)
+        [record] = self._wire_records(message, [_required(message, "record")])
         res = session.insert(name, record)
         return P.ok_response(
             request_id, record=P.record_to_dict(record), ios=res.ios
@@ -339,7 +442,7 @@ class ReproServer:
 
     def _cmd_bulk_load(self, session, leases, lease_ids, request_id, message):
         name = _required(message, "index")
-        records = P.records_from_wire(_required(message, "records"), fresh_uid=True)
+        records = self._wire_records(message, _required(message, "records"))
         res = session.bulk_load(name, records)
         return P.ok_response(
             request_id,
@@ -372,6 +475,7 @@ class ReproServer:
                 "block_size": self.engine.block_size,
                 "indexes": self.engine.names(),
                 "blocks": self.engine.block_count(),
+                "uid_horizon": self.engine.uid_horizon(),
                 **self.engine.io_stats().snapshot().as_dict(),
             },
             epochs=self.engine.epochs.as_dict(),

@@ -39,7 +39,17 @@ Responses are ``{"id": ..., "ok": true, ...}`` or a **structured error**
 * ``stale_handle`` — a prepared-query lease that expired (unknown id, or
   the index it was planned against was dropped/re-created);
 * ``conflict`` — duplicate-uid inserts, write-intent contention;
+* ``shard_unavailable`` — a cluster router could not reach a shard that
+  the request needs (the shard died mid-request or is restarting);
 * ``internal`` — anything else (the message carries the repr).
+
+Cluster extensions (additive; single servers ignore them): write commands
+(``create`` / ``insert`` / ``bulk_load``) accept ``keep_uids: true``,
+which makes the server honour the uids already on the wire instead of
+minting fresh ones — what a router upstream uses after minting
+authoritative uids itself, so a record keeps one identity across the
+whole cluster.  Read responses from a router additionally carry
+``shards_contacted``.
 """
 
 from __future__ import annotations
@@ -168,6 +178,13 @@ def classify_error(exc: BaseException) -> str:
         return "bad_request"
     if isinstance(exc, StaleHandleError):
         return "stale_handle"
+    if isinstance(exc, ShardUnavailableError):
+        return "shard_unavailable"
+    code = getattr(exc, "code", None)
+    if isinstance(code, str) and code:
+        # a router relaying a shard's already-structured error keeps the
+        # shard's classification (the client's ServerError carries .code)
+        return code
     if isinstance(exc, KeyError):
         message = exc.args[0] if exc.args else ""
         if isinstance(message, str) and "parameter" in message:
@@ -188,15 +205,25 @@ class StaleHandleError(RuntimeError):
     (or one whose lease was invalidated)."""
 
 
+class ShardUnavailableError(RuntimeError):
+    """A cluster shard this request needs cannot be reached.
+
+    Raised by the router's shard links instead of letting a dead shard's
+    ``ConnectionError`` hang or tear down the client connection; the
+    frontend serializes it as a structured ``shard_unavailable`` error.
+    """
+
+
 def error_response(request_id: Any, exc: BaseException) -> Dict[str, Any]:
     """The structured error response for a failed request."""
     message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else repr(exc)
+    type_ = getattr(exc, "type", None)
     return {
         "id": request_id,
         "ok": False,
         "error": {
             "code": classify_error(exc),
-            "type": type(exc).__name__,
+            "type": type_ if isinstance(type_, str) else type(exc).__name__,
             "message": message,
         },
     }

@@ -59,18 +59,10 @@ SHARED = "shared"
 # --------------------------------------------------------------------------- #
 # spawning a server to drive
 # --------------------------------------------------------------------------- #
-def spawn_server(
-    *,
-    block_size: int = 16,
-    buffer_pages: Optional[int] = None,
-    timeout: float = 30.0,
+def _spawn_and_wait(
+    cmd: List[str], *, timeout: float, what: str
 ) -> Tuple[subprocess.Popen, str, int]:
-    """Start ``python -m repro serve --port 0`` and wait for its address.
-
-    Returns ``(process, host, port)``.  The caller owns the process; end
-    it with a wire ``shutdown`` (then :func:`wait_for_clean_exit`) or by
-    terminating it.
-    """
+    """Start ``cmd`` with this package importable; wait for ``listening on``."""
     import repro
 
     env = dict(os.environ)
@@ -78,10 +70,6 @@ def spawn_server(
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (pkg_root, env.get("PYTHONPATH")) if p
     )
-    cmd = [sys.executable, "-m", "repro", "serve", "--port", "0",
-           "--block-size", str(block_size)]
-    if buffer_pages:
-        cmd += ["--buffer-pages", str(buffer_pages)]
     proc = subprocess.Popen(
         cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env,
@@ -94,10 +82,58 @@ def spawn_server(
             host, port = address.rsplit(":", 1)
             return proc, host, int(port)
         if not line or proc.poll() is not None:
-            raise RuntimeError(f"server failed to start: {line!r}")
+            raise RuntimeError(f"{what} failed to start: {line!r}")
         if time.monotonic() > deadline:
             proc.kill()
-            raise RuntimeError("server did not report an address in time")
+            raise RuntimeError(f"{what} did not report an address in time")
+
+
+def spawn_server(
+    *,
+    block_size: int = 16,
+    buffer_pages: Optional[int] = None,
+    timeout: float = 30.0,
+) -> Tuple[subprocess.Popen, str, int]:
+    """Start ``python -m repro serve --port 0`` and wait for its address.
+
+    Returns ``(process, host, port)``.  The caller owns the process; end
+    it with a wire ``shutdown`` (then :func:`wait_for_clean_exit`) or by
+    terminating it.
+    """
+    cmd = [sys.executable, "-m", "repro", "serve", "--port", "0",
+           "--block-size", str(block_size)]
+    if buffer_pages:
+        cmd += ["--buffer-pages", str(buffer_pages)]
+    return _spawn_and_wait(cmd, timeout=timeout, what="server")
+
+
+def spawn_cluster(
+    *,
+    shards: int,
+    strategy: str = "hash",
+    block_size: int = 16,
+    directory: Optional[str] = None,
+    domain: Tuple[float, float] = (0.0, 1000.0),
+    commit_latency_ms: float = 0.0,
+    timeout: float = 120.0,
+) -> Tuple[subprocess.Popen, str, int]:
+    """Start ``python -m repro cluster serve`` and wait for its frontend.
+
+    Same contract as :func:`spawn_server` — the address speaks the same
+    protocol, so every driver runs unchanged through the router.  With
+    ``directory`` the shards are WAL-durable FileDisk databases (that is
+    what makes N shards N *physical* write pipelines); without it they
+    are in-memory.
+    """
+    cmd = [sys.executable, "-m", "repro", "cluster", "serve", "--port", "0",
+           "--shards", str(shards), "--strategy", strategy,
+           "--block-size", str(block_size),
+           "--domain", str(domain[0]), str(domain[1])]
+    if directory:
+        cmd += ["--dir", directory]
+    if commit_latency_ms:
+        cmd += ["--commit-latency-ms", str(commit_latency_ms)]
+    return _spawn_and_wait(cmd, timeout=timeout, what="cluster")
 
 
 def wait_for_clean_exit(proc: subprocess.Popen, timeout: float = 15.0) -> bool:
@@ -475,6 +511,218 @@ def run_matrix(
 
 
 # --------------------------------------------------------------------------- #
+# the sharded legs (cluster scatter-gather)
+# --------------------------------------------------------------------------- #
+def run_sharded_legs(
+    *,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    clients: int = 16,
+    write_ops: int = 30,
+    base_records: int = 500,
+    seed: int = 5,
+    mean_length: float = 20.0,
+    block_size: int = 16,
+    commit_latency_ms: float = 6.0,
+    pruning_shards: int = 4,
+    pruning_queries: int = 40,
+) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+    """The cluster benchmark legs: write scaling + range pruning.
+
+    **Write scaling** — for each shard count S, a fresh *process-mode*
+    range cluster over WAL-durable FileDisk shards (S shards = S physical
+    commit pipelines: S write mutexes, S WALs syncing independently).
+    ``clients`` closed-loop connections each own a private collection and
+    loop insert → (periodic) verified stab read → (periodic) delete; the
+    recorded ``writes_per_sec`` is the delivered write rate of all
+    clients.  Every shard's WAL runs as a *simulated* synchronous log
+    device (``commit_latency_ms`` per barrier, the same philosophy as
+    ``SimulatedDisk`` counting block I/Os that RAM makes free): one shard
+    serializes all commits behind one device round-trip per write, and
+    sharding is the only thing that overlaps those round-trips — so the
+    rate must rise monotonically with S.  That is the gate, and it holds
+    even on a single-core runner because a device round-trip is waiting,
+    not CPU.  Range partitioning (not hash) keeps the leg honest: the
+    interleaved verified reads prune to one or two shards instead of
+    broadcasting to all S, so the router's scatter executor stays out of
+    the measured write path.  Every read is still oracle-checked against
+    the client's local model and every per-request ``ios`` held to
+    ``BOUND_SLACK`` (the router reports the summed per-shard bound).
+
+    **Range pruning** — a range-strategy cluster and stab queries with
+    bounded interval lengths: the candidate-low window is narrower than
+    one slab, so every stab must reach at most 2 shards
+    (``shards_contacted`` comes back on each routed response), while the
+    answers stay oracle-exact.
+
+    Returns ``(scenario_rows, summary_fragment)`` for the benchmark
+    payload; each cluster is drained over the wire and must exit 0.
+    """
+    import random
+    import shutil
+    import tempfile
+
+    rows: List[Dict[str, Any]] = []
+    writes_per_sec: List[float] = []
+
+    for shards in shard_counts:
+        tmpdir = tempfile.mkdtemp(prefix=f"repro-shardbench-{shards}-")
+        proc, host, port = spawn_cluster(
+            shards=shards, strategy="range", block_size=block_size,
+            directory=tmpdir, commit_latency_ms=commit_latency_ms,
+        )
+        failures = _Failures()
+        writes_done = [0]
+        lock = threading.Lock()
+        try:
+            with ReproClient(host, port) as setup:
+                stored_base = {
+                    tid: setup.bulk_load(
+                        _created(setup, f"w{tid}"),
+                        random_intervals(base_records, seed=seed + tid,
+                                         mean_length=mean_length),
+                    )
+                    for tid in range(clients)
+                }
+
+            def worker(tid: int) -> None:
+                name = f"w{tid}"
+                try:
+                    with ReproClient(host, port) as db:
+                        model = {r.uid: r for r in stored_base[tid]}
+                        rnd = random.Random(seed * 1000 + tid)
+                        fresh = random_intervals(
+                            write_ops, seed=seed + 500 + tid,
+                            mean_length=mean_length)
+                        local_writes = 0
+                        for i, iv in enumerate(fresh):
+                            stored = db.insert(name, iv)
+                            model[stored.uid] = stored
+                            local_writes += 1
+                            # reads stay in the mix for the oracle/bound
+                            # check, but sparse: even a pruned read costs
+                            # a full round-trip and would otherwise bury
+                            # the write-pipeline scaling being measured
+                            if i % 8 == 0:
+                                x = rnd.uniform(0, 1000)
+                                res = db.query(name, Stab(x))
+                                if _uids(res.records) != _oracle_uids(
+                                        list(model.values()), Stab(x)):
+                                    failures.add(
+                                        "oracle",
+                                        f"sharded[{len(rows)}] stab({x:.1f}) "
+                                        f"mismatch on {name}")
+                                if not _within_bound(res.ios, res.bound):
+                                    failures.add(
+                                        "bound",
+                                        f"sharded stab: ios={res.ios} > "
+                                        f"{BOUND_SLACK} x {res.bound} "
+                                        f"+ {BOUND_SLACK_PAGES}")
+                            if i % 4 == 3:
+                                victim = model.pop(stored.uid)
+                                db.delete(name, victim)
+                                local_writes += 1
+                        with lock:
+                            writes_done[0] += local_writes
+                except Exception as exc:  # noqa: BLE001 - collected
+                    failures.add("errors", f"sharded client {tid}: {exc!r}")
+
+            wall = _fan_out(worker, clients)
+            with ReproClient(host, port) as closer:
+                acked = bool(closer.shutdown().get("stopping"))
+            exit_clean = wait_for_clean_exit(proc, timeout=60.0) and acked
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            shutil.rmtree(tmpdir, ignore_errors=True)
+        rate = round(writes_done[0] / wall, 1) if wall > 0 else 0.0
+        writes_per_sec.append(rate)
+        rows.append({
+            "name": "sharded/write-scaling",
+            "shards": shards,
+            "threads": clients,
+            "ops": writes_done[0],
+            "ops_per_sec": rate,
+            "writes_per_sec": rate,
+            "exit_clean": exit_clean,
+            "oracle_ok": failures.oracle_ok,
+            "bound_ok": failures.bound_ok,
+            "failures": failures.oracle + failures.bound + failures.errors,
+        })
+
+    # -- range pruning: stab windows narrower than a slab ------------------ #
+    rnd = random.Random(seed + 9)
+    proc, host, port = spawn_cluster(
+        shards=pruning_shards, strategy="range", block_size=block_size,
+    )
+    failures = _Failures()
+    contacted: List[int] = []
+    try:
+        with ReproClient(host, port) as db:
+            # bounded lengths: the candidate-low window of any stab stays
+            # below one slab width (1000 / shards), so >= 2 contacted
+            # shards would be a routing bug, not data bad luck
+            slab = 1000.0 / pruning_shards
+            records = [
+                Interval(low, low + rnd.uniform(0.0, slab * 0.8), payload=i)
+                for i, low in enumerate(
+                    rnd.uniform(0, 1000) for _ in range(40 * pruning_shards))
+            ]
+            stored = db.bulk_load(_created(db, BASE), records)
+            for _ in range(pruning_queries):
+                q = Stab(rnd.uniform(0, 1000))
+                res = db.query(BASE, q)
+                contacted.append(int(res.raw.get("shards_contacted", 0)))
+                if _uids(res.records) != _oracle_uids(stored, q):
+                    failures.add("oracle", f"pruning {q!r} mismatch")
+                if not _within_bound(res.ios, res.bound):
+                    failures.add("bound", f"pruning {q!r} ios={res.ios}")
+            acked = bool(db.shutdown().get("stopping"))
+        exit_clean = wait_for_clean_exit(proc, timeout=60.0) and acked
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    rows.append({
+        "name": "sharded/range-pruning",
+        "shards": pruning_shards,
+        "threads": 1,
+        "ops": pruning_queries,
+        "ops_per_sec": 0.0,
+        "max_shards_contacted": max(contacted) if contacted else 0,
+        "avg_shards_contacted": round(
+            sum(contacted) / len(contacted), 2) if contacted else 0.0,
+        "exit_clean": exit_clean,
+        "oracle_ok": failures.oracle_ok,
+        "bound_ok": failures.bound_ok,
+        "failures": failures.oracle + failures.bound + failures.errors,
+    })
+
+    summary = {
+        "clients": clients,
+        "shard_counts": list(shard_counts),
+        "commit_latency_ms": commit_latency_ms,
+        "writes_per_sec": writes_per_sec,
+        "write_scaling_monotonic": all(
+            b > a for a, b in zip(writes_per_sec, writes_per_sec[1:])
+        ),
+        "pruning": {
+            "shards": pruning_shards,
+            "max_shards_contacted": rows[-1]["max_shards_contacted"],
+            "avg_shards_contacted": rows[-1]["avg_shards_contacted"],
+        },
+        "exit_clean": all(row["exit_clean"] for row in rows),
+        "oracle_ok": all(row["oracle_ok"] for row in rows),
+        "bound_ok": all(row["bound_ok"] for row in rows),
+    }
+    return rows, summary
+
+
+def _created(db: ReproClient, name: str) -> str:
+    """Create an empty collection, return its name (setup sugar)."""
+    db.create(name, records=[])
+    return name
+
+
+# --------------------------------------------------------------------------- #
 # reporting + the CI gate
 # --------------------------------------------------------------------------- #
 def report(payload: Dict[str, Any], out: Any = None) -> None:
@@ -485,12 +733,25 @@ def report(payload: Dict[str, Any], out: Any = None) -> None:
             extras = f" p50={row['p50_ms']:7.2f}ms p99={row['p99_ms']:7.2f}ms"
         if "ios_per_query" in row:
             extras += f" ios/q={row['ios_per_query']:6.2f}"
+        if "max_shards_contacted" in row:
+            extras += (f" contacted<={row['max_shards_contacted']} "
+                       f"(avg {row['avg_shards_contacted']})")
+        label = row["name"]
+        if "shards" in row:
+            label += f" @{row['shards']}sh"
         flags = "ok" if row["oracle_ok"] and row["bound_ok"] else "FAIL"
-        print(f"  {row['name']:28s} x{row['threads']}  "
+        print(f"  {label:28s} x{row['threads']}  "
               f"ops/s={row['ops_per_sec']:9.1f}{extras}  [{flags}]")
         for failure in row.get("failures", []):
             print(f"      ! {failure}")
     summary = payload["summary"]
+    sharded = summary.get("sharded")
+    if sharded:
+        print(f"  sharded writes/s {sharded['shard_counts']} shards x"
+              f"{sharded['clients']} clients: {sharded['writes_per_sec']} "
+              f"monotonic={sharded['write_scaling_monotonic']} "
+              f"pruning<= {sharded['pruning']['max_shards_contacted']} shards "
+              f"drain={'clean' if sharded['exit_clean'] else 'UNCLEAN'}")
     scale = summary["read_scaling"]
     print(f"  read scaling {scale['threads'][0]} -> {scale['threads'][1]} threads: "
           f"{scale['speedup']}x   oracle={summary['oracle_ok']} "
@@ -535,6 +796,27 @@ def gate_failures(
                 f"scaling: read-only speedup {speedup}x < required "
                 f"{require_scaling}x"
             )
+    sharded = payload["summary"].get("sharded")
+    if sharded:
+        if not sharded.get("oracle_ok", True):
+            failures.append("sharded: some routed answer missed its oracle")
+        if not sharded.get("bound_ok", True):
+            failures.append("sharded: some routed request exceeded its bound")
+        if not sharded.get("write_scaling_monotonic", True):
+            failures.append(
+                "sharded: write throughput did not rise monotonically with "
+                f"shard count ({sharded.get('shard_counts')} -> "
+                f"{sharded.get('writes_per_sec')} writes/s)"
+            )
+        pruning = sharded.get("pruning")
+        if pruning and pruning.get("max_shards_contacted", 0) > 2:
+            failures.append(
+                "sharded: a range-strategy stab contacted "
+                f"{pruning['max_shards_contacted']} shards (> 2: pruning "
+                "is not pruning)"
+            )
+        if sharded.get("exit_clean") is False:
+            failures.append("sharded: a cluster did not drain cleanly")
     return failures
 
 
