@@ -11,12 +11,20 @@ codebase actually uses —
   ``with engine.read_turn(name) as (idx, stats):`` (a snapshot scope),
 
 and replays every acquisition, call and augmented assignment through the
-rule catalog in :mod:`repro.analysis.lintrules`.  Analysis is
+rule catalog in :mod:`repro.analysis.lintrules`.  Lock analysis is
 **within-function and syntactic**: a lock acquired in one function and a
 blocking call in another are connected only by the runtime witness
 (:mod:`repro.analysis.lockdep`), never by this pass — that division is what
 keeps the linter free of false positives on cross-object composition
 (e.g. the buffer pool calling ``disk.write`` under its own leaf lock).
+
+The *protocol* rules, by contrast, are **interprocedural**: every linted
+file also feeds the effect-summary model of
+:mod:`repro.analysis.effects`, and :meth:`Linter.finish` runs the
+phase-2 rules (commit-protocol, uncounted-io, stale-plan-cache,
+wire-exhaustiveness) over the resolved call graph, so an invariant
+satisfied inside a helper function still counts and one violated across
+a call chain is still caught.
 
 Suppressions: ``# lint: allow(rule-name)`` on the offending line or on a
 comment-only line directly above it.  Suppressed findings are counted in
@@ -35,6 +43,7 @@ import re
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.effects import Program
 from repro.analysis.lintrules import (
     Context,
     Finding,
@@ -311,6 +320,9 @@ class Linter:
         self.findings: List[Finding] = []
         self.suppressed: List[Finding] = []
         self.files_checked = 0
+        #: the whole-program effect model (phase 1 filled per file; phase 2
+        #: resolved once in :meth:`finish`)
+        self.program = Program()
         self._allows: Dict[str, Dict[int, Set[str]]] = {}
         self._comment_only: Dict[str, Set[int]] = {}
         self._finalized = False
@@ -330,6 +342,7 @@ class Linter:
         ctx.thread_targets = _scan_thread_targets(tree)
         ctx.shared_fields |= _scan_shared_decls(tree)
         _Walker(ctx, self.rules).visit(tree)
+        self.program.add_module(tree, path)
         self.files_checked += 1
 
     def lint_paths(self, paths: Iterable[Path]) -> None:
@@ -367,10 +380,12 @@ class Linter:
             self.findings.append(finding)
 
     def finish(self) -> List[Finding]:
-        """Run cross-file finalizers (cycle detection); idempotent."""
+        """Run the phase-2 program rules + cross-file finalizers; idempotent."""
         if not self._finalized:
             self._finalized = True
+            self.program.resolve()
             for rule in self.rules:
+                rule.finalize_program(self.program, self._emit)
                 rule.finalize(self._emit)
         self.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return self.findings
@@ -391,6 +406,7 @@ class Linter:
             "findings": [f.as_dict() for f in self.findings],
             "suppressed": [f.as_dict() for f in self.suppressed],
             "lock_graph": [list(edge) for edge in self.lock_edges()],
+            "effects": self.program.stats(),
             "rules": rule_catalog(),
         }
 

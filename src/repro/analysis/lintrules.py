@@ -33,6 +33,38 @@ Rule ids (the names ``# lint: allow(...)`` takes):
     never take an engine-wide lock (``_write_mutex`` / ``write_turn()`` /
     the legacy session RWLock) — that is what keeps readers unblockable
     by writers on other indexes.
+
+The four rules below are **interprocedural**: they run over the
+whole-program effect summaries of :mod:`repro.analysis.effects`
+(phase 1: per-function effects; phase 2: call-graph closure), so they
+fire on *transitive* effects — a generation bump inside a helper counts,
+an fsync reached through two calls still violates the barrier rules.
+
+``commit-protocol``
+    The durability ordering the commit kernel promised: WAL appends only
+    inside ``_commit`` (or the WAL itself); every append must reach the
+    ``sync_to`` barrier before the commit can be acknowledged; an epoch
+    ``publish`` in the same function as the barrier must come *after* it;
+    every ``begin``-allocated epoch must reach a ``publish`` (ordered
+    publication deadlocks forever on a leaked epoch).
+``uncounted-io``
+    Every raw file/`os` I/O (``seek``/``read``/``write``/``truncate`` on
+    a file handle, ``os.fsync``) must be covered by an ``IOStats`` charge
+    — in the same function, transitively through a callee, or in a
+    resolved caller — or the paper's I/O bounds silently stop being
+    checkable.
+``stale-plan-cache``
+    A structural swap (a function that ``destroy()``\\ s an old structure
+    and installs a replacement on ``self``) must bump a plan-cache
+    generation (``self.generation += 1`` / ``planner.invalidate()``),
+    directly or transitively — otherwise cached strategies keep pointing
+    at freed blocks.
+``wire-exhaustiveness``
+    The wire contract's artifacts must agree: every declared ``COMMANDS``
+    entry has a ``_cmd_*`` handler in every handler class and a method on
+    every protocol client class; ``_node_registry`` covers every
+    ``AlgebraicQuery`` subclass in its module and names only resolvable
+    types; ``classify_error``'s returned codes match ``ERROR_CODES``.
 """
 
 from __future__ import annotations
@@ -41,6 +73,7 @@ import ast
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple, Type
 
+from repro.analysis.effects import FunctionSummary, Program
 from repro.analysis.lockdep import RANK_LATCH, RANK_LEAF, RANK_MUTEX, RANK_WAL
 
 # --------------------------------------------------------------------------- #
@@ -201,6 +234,11 @@ class Rule:
 
     def finalize(self, emit: Callable[[Finding], None]) -> None:
         """Called once after every file was walked (cross-file checks)."""
+
+    def finalize_program(
+        self, program: Program, emit: Callable[[Finding], None]
+    ) -> None:
+        """Called once with the whole-program effect model (phase-2 rules)."""
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}
@@ -370,6 +408,227 @@ class EngineLockInReadTurnRule(Rule):
                 "write_turn() entered inside a read_turn scope; upgrade by "
                 "releasing the read turn and committing instead",
             )
+
+
+# --------------------------------------------------------------------------- #
+# the interprocedural rules (phase-2: whole-program effect summaries)
+# --------------------------------------------------------------------------- #
+#: function names allowed to append to the WAL (the commit kernel) —
+#: everything else must route mutations through ``Engine._commit``
+COMMIT_FUNCTIONS = {"_commit"}
+
+#: teardown functions: destroying without installing a successor is not a
+#: swap, and there is no planner left to invalidate
+TEARDOWN_FUNCTIONS = {"destroy", "close", "clear", "__exit__", "__del__"}
+
+
+@register
+class CommitProtocolRule(Rule):
+    """WAL append → fsync barrier → ordered publish, and nowhere else."""
+
+    id = "commit-protocol"
+    description = (
+        "the commit ordering is append -> sync_to barrier -> publish -> ack: "
+        "WAL appends only inside _commit (or the WAL itself), every append "
+        "must transitively reach sync_to, publish must follow the barrier, "
+        "and every begun epoch must reach a publish (even on failure)"
+    )
+
+    def finalize_program(
+        self, program: Program, emit: Callable[[Finding], None]
+    ) -> None:
+        program.resolve()
+        for fn in program.functions.values():
+            for site in fn.wal_appends:
+                if fn.name not in COMMIT_FUNCTIONS and fn.cls != "WriteAheadLog":
+                    emit(Finding(
+                        fn.path, site.line, site.col, self.id,
+                        f"WAL append in {fn.name!r}, outside the commit "
+                        f"kernel; route mutations through Engine._commit so "
+                        f"the barrier/publish ordering applies",
+                    ))
+                if not program.reaches(fn.key, "wal_sync"):
+                    emit(Finding(
+                        fn.path, site.line, site.col, self.id,
+                        f"WAL append in {fn.name!r} never reaches the "
+                        f"sync_to durability barrier; an acknowledged commit "
+                        f"must survive a crash",
+                    ))
+            if fn.wal_syncs and fn.epoch_publishes:
+                barrier = min(s.line for s in fn.wal_syncs)
+                for pub in fn.epoch_publishes:
+                    if pub.line < barrier:
+                        emit(Finding(
+                            fn.path, pub.line, pub.col, self.id,
+                            f"epoch published at line {pub.line} before the "
+                            f"sync_to barrier at line {barrier}; readers "
+                            f"would see a commit a crash can still lose",
+                        ))
+            for site in fn.epoch_begins:
+                if not program.reaches(fn.key, "epoch_publish"):
+                    emit(Finding(
+                        fn.path, site.line, site.col, self.id,
+                        f"epoch begun in {fn.name!r} never reaches a "
+                        f"publish; ordered publication waits forever on a "
+                        f"leaked epoch (publish in a finally, even on "
+                        f"failure)",
+                    ))
+
+
+@register
+class UncountedIORule(Rule):
+    """Raw file/os I/O must be covered by an IOStats charge on some path."""
+
+    id = "uncounted-io"
+    description = (
+        "raw file I/O (seek/read/write/truncate on a handle, os.fsync) must "
+        "be covered by an IOStats charge — in the same function, through a "
+        "callee, or in a resolved caller — so the paper's I/O bounds stay "
+        "checkable"
+    )
+
+    def _covered(self, program: Program, fn: FunctionSummary) -> bool:
+        if program.reaches(fn.key, "charge"):
+            return True
+        return any(
+            program.reaches(caller, "charge") for caller in program.callers(fn.key)
+        )
+
+    def finalize_program(
+        self, program: Program, emit: Callable[[Finding], None]
+    ) -> None:
+        program.resolve()
+        for fn in program.functions.values():
+            if not fn.raw_io or self._covered(program, fn):
+                continue
+            for site in fn.raw_io:
+                emit(Finding(
+                    fn.path, site.line, site.col, self.id,
+                    f"raw I/O {site.detail}() in {fn.name!r} is not covered "
+                    f"by any IOStats charge (no charge in this function, its "
+                    f"callees, or a resolved caller)",
+                ))
+
+
+@register
+class StalePlanCacheRule(Rule):
+    """Structural swaps must bump a plan-cache generation, transitively."""
+
+    id = "stale-plan-cache"
+    description = (
+        "a structural swap (destroy an old structure + install a replacement "
+        "on self) must bump a plan-cache generation (self.generation += 1 or "
+        "planner.invalidate()), directly or via a callee — cached plans must "
+        "not outlive the structure they reference"
+    )
+
+    def finalize_program(
+        self, program: Program, emit: Callable[[Finding], None]
+    ) -> None:
+        program.resolve()
+        for fn in program.functions.values():
+            if (
+                fn.name in TEARDOWN_FUNCTIONS
+                or fn.name.startswith("drop")
+                or fn.name.startswith("destroy")
+            ):
+                continue
+            if not fn.destroys or not fn.self_assigns:
+                continue
+            if program.reaches(fn.key, "gen_bump"):
+                continue
+            site = min(fn.self_assigns, key=lambda s: s.line)
+            emit(Finding(
+                fn.path, site.line, site.col, self.id,
+                f"structural swap in {fn.name!r} (destroys a structure and "
+                f"installs 'self.{site.detail}') without a generation bump; "
+                f"cached plans will keep referencing the destroyed structure",
+            ))
+
+
+@register
+class WireExhaustivenessRule(Rule):
+    """COMMANDS, _cmd_* handlers, client methods and codecs must agree."""
+
+    id = "wire-exhaustiveness"
+    description = (
+        "the wire artifacts must stay in lockstep: every COMMANDS entry has "
+        "a _cmd_* handler in every handler class and a method on every "
+        "protocol client; the serialization registry covers every "
+        "AlgebraicQuery subclass and names only resolvable types; "
+        "classify_error's codes match ERROR_CODES"
+    )
+
+    def finalize_program(
+        self, program: Program, emit: Callable[[Finding], None]
+    ) -> None:
+        commands: Optional[Set[str]] = None
+        for module in program.modules:
+            if module.commands is not None:
+                commands = module.commands[0]
+                break
+        for module in program.modules:
+            if commands is not None:
+                for cls, (handlers, site) in module.handler_classes.items():
+                    for missing in sorted(commands - handlers):
+                        emit(Finding(
+                            module.path, site.line, site.col, self.id,
+                            f"handler class {cls!r} has no _cmd_{missing} "
+                            f"for declared command {missing!r}",
+                        ))
+                    for extra in sorted(handlers - commands):
+                        emit(Finding(
+                            module.path, site.line, site.col, self.id,
+                            f"handler {cls}._cmd_{extra} serves a command "
+                            f"{extra!r} that COMMANDS does not declare "
+                            f"(clients can never reach it)",
+                        ))
+                if module.mentions_commands:
+                    for cls, (methods, site) in module.client_classes.items():
+                        for missing in sorted(commands - methods):
+                            emit(Finding(
+                                module.path, site.line, site.col, self.id,
+                                f"client class {cls!r} has no method for "
+                                f"declared command {missing!r}",
+                            ))
+            if module.registry is not None:
+                names, site = module.registry
+                for cls, line in sorted(module.node_classes.items()):
+                    if cls not in names:
+                        emit(Finding(
+                            module.path, line, 0, self.id,
+                            f"query node {cls!r} is missing from the "
+                            f"serialization registry; it cannot cross the "
+                            f"wire",
+                        ))
+                defined = set(module.node_classes) | module.imported_names
+                defined |= {
+                    fn.cls for fn in program.functions.values()
+                    if fn.path == module.path and fn.cls is not None
+                }
+                for name in sorted(names - defined):
+                    emit(Finding(
+                        module.path, site.line, site.col, self.id,
+                        f"registry names {name!r}, which is neither defined "
+                        f"nor imported in this module (deserialization "
+                        f"would NameError)",
+                    ))
+            if module.error_codes is not None and module.classify_returns is not None:
+                codes, codes_site = module.error_codes
+                returns, returns_site = module.classify_returns
+                for missing in sorted(codes - returns):
+                    emit(Finding(
+                        module.path, codes_site.line, codes_site.col, self.id,
+                        f"ERROR_CODES declares {missing!r} but "
+                        f"classify_error never returns it",
+                    ))
+                for extra in sorted(returns - codes):
+                    emit(Finding(
+                        module.path, returns_site.line, returns_site.col,
+                        self.id,
+                        f"classify_error returns {extra!r}, which "
+                        f"ERROR_CODES does not declare",
+                    ))
 
 
 # re-exported so a downstream rule module can extend the leaf set

@@ -595,6 +595,48 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_python_files(ref: str, targets: "List[Any]") -> "List[Any]":
+    """Python files changed since ``ref`` that fall under the lint targets.
+
+    Asks git for ``diff --name-only ref`` at the repository root, keeps
+    the ``.py`` paths that still exist (deletions drop out), and then
+    intersects with ``targets``: a changed file survives when it *is* a
+    target or sits under a target directory.  Exits with a diagnostic if
+    git is unavailable or ``ref`` does not resolve.
+    """
+    import subprocess
+    from pathlib import Path
+
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--"],
+            capture_output=True, text=True, check=True, cwd=top,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = getattr(exc, "stderr", "") or str(exc)
+        print(f"lint --diff: git failed: {detail.strip()}", file=sys.stderr)
+        raise SystemExit(2)
+
+    resolved_targets = [Path(t).resolve() for t in targets]
+    changed = []
+    for name in diff.splitlines():
+        if not name.endswith(".py"):
+            continue
+        path = Path(top, name)
+        if not path.is_file():
+            continue
+        resolved = path.resolve()
+        for target in resolved_targets:
+            if resolved == target or target in resolved.parents:
+                changed.append(path)
+                break
+    return changed
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """``repro lint``: the static concurrency analyzer (see repro.analysis).
 
@@ -603,6 +645,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     catalog.  ``--fixtures DIR`` instead checks the seeded-bad corpus: the
     linter must flag exactly the ``# seeded: <rule>`` lines.  ``--check``
     makes findings (or a corpus mismatch) exit nonzero — the CI gate.
+    ``--diff REF`` restricts the lint targets to Python files changed
+    since REF (``git diff --name-only``) — but note the interprocedural
+    rules see only the *lint targets* as the whole program, so a diff
+    lint can both miss cross-file regressions and flag effects whose
+    justification (an IOStats charge, a generation bump) lives in an
+    unchanged file; it is a fast pre-push filter, not the CI gate.
     """
     from pathlib import Path
 
@@ -641,6 +689,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         else:
             checkout = Path("src/repro")
             paths = [checkout if checkout.is_dir() else Path(__file__).parent]
+        if args.diff is not None:
+            paths = _changed_python_files(args.diff, paths)
+            if not paths:
+                print(f"lint --diff {args.diff}: no changed Python files "
+                      "under the lint targets; nothing to lint")
+                return status
         linter = Linter()
         linter.lint_paths(paths)
         print(render_report(linter))
@@ -913,14 +967,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="static concurrency analyzer: lock order, blocking-under-lock, "
-             "unlocked shared counters, engine locks in read turns",
+        help="static analyzer: lock discipline, commit protocol, I/O "
+             "accounting, plan-cache generations, wire exhaustiveness",
     )
     p.add_argument("paths", nargs="*", metavar="PATH",
                    help="files or directories to lint (default: the repro "
                         "package / src/repro in a checkout)")
     p.add_argument("--check", action="store_true",
                    help="exit nonzero on any finding (the CI gate)")
+    p.add_argument("--diff", default=None, metavar="REF",
+                   help="lint only Python files changed since this git ref "
+                        "(intersected with PATH targets; a fast pre-push "
+                        "filter — interprocedural rules see only the "
+                        "changed files, so the full gate still rules)")
     p.add_argument("--fixtures", default=None, metavar="DIR",
                    help="also verify the seeded-bad fixture corpus in DIR "
                         "(every '# seeded: <rule>' line must be flagged)")

@@ -605,7 +605,8 @@ class ClusterFrontend(JsonLineServer):
         return handler(conn, request_id, message)
 
     # -- control --------------------------------------------------------- #
-    def _cmd_ping(self, conn, request_id, message):
+    def _cmd_ping(self, conn: _RouterConnection, request_id: Any,
+                  message: Dict[str, Any]) -> Dict[str, Any]:
         shard_map = self.router.shard_map
         return P.ok_response(
             request_id, pong=True, version=P.PROTOCOL_VERSION,
@@ -613,11 +614,13 @@ class ClusterFrontend(JsonLineServer):
             cluster={"shards": shard_map.shards, "strategy": shard_map.strategy},
         )
 
-    def _cmd_shutdown(self, conn, request_id, message):
+    def _cmd_shutdown(self, conn: _RouterConnection, request_id: Any,
+                      message: Dict[str, Any]) -> Dict[str, Any]:
         raise _ShutdownRequested
 
     # -- namespace ------------------------------------------------------- #
-    def _cmd_create(self, conn, request_id, message):
+    def _cmd_create(self, conn: _RouterConnection, request_id: Any,
+                    message: Dict[str, Any]) -> Dict[str, Any]:
         name = _required(message, "index")
         payload = self.router.create(
             name,
@@ -627,23 +630,27 @@ class ClusterFrontend(JsonLineServer):
         )
         return P.ok_response(request_id, **payload)
 
-    def _cmd_drop(self, conn, request_id, message):
+    def _cmd_drop(self, conn: _RouterConnection, request_id: Any,
+                  message: Dict[str, Any]) -> Dict[str, Any]:
         return P.ok_response(
             request_id, **self.router.drop(_required(message, "index"))
         )
 
     # -- reads ----------------------------------------------------------- #
-    def _cmd_query(self, conn, request_id, message):
+    def _cmd_query(self, conn: _RouterConnection, request_id: Any,
+                   message: Dict[str, Any]) -> Dict[str, Any]:
         name = _required(message, "index")
         q = P.query_from_wire(_required(message, "q"))
         return P.ok_response(request_id, **self.router.read(name, q))
 
-    def _cmd_explain(self, conn, request_id, message):
+    def _cmd_explain(self, conn: _RouterConnection, request_id: Any,
+                     message: Dict[str, Any]) -> Dict[str, Any]:
         name = _required(message, "index")
         q = P.query_from_wire(_required(message, "q"))
         return P.ok_response(request_id, **self.router.explain(name, q))
 
-    def _cmd_prepare(self, conn, request_id, message):
+    def _cmd_prepare(self, conn: _RouterConnection, request_id: Any,
+                     message: Dict[str, Any]) -> Dict[str, Any]:
         name = _required(message, "index")
         q = P.query_from_wire(_required(message, "q"))
         if not self.router.known_index(name):
@@ -656,7 +663,8 @@ class ClusterFrontend(JsonLineServer):
         conn.leases[handle] = {"index": name, "q": q, "params": params}
         return P.ok_response(request_id, handle=handle, index=name, params=params)
 
-    def _cmd_run(self, conn, request_id, message):
+    def _cmd_run(self, conn: _RouterConnection, request_id: Any,
+                 message: Dict[str, Any]) -> Dict[str, Any]:
         handle = _required(message, "handle")
         lease = conn.leases.get(handle)
         if lease is None:
@@ -683,12 +691,14 @@ class ClusterFrontend(JsonLineServer):
         return P.ok_response(request_id, **payload)
 
     # -- writes ---------------------------------------------------------- #
-    def _cmd_insert(self, conn, request_id, message):
+    def _cmd_insert(self, conn: _RouterConnection, request_id: Any,
+                    message: Dict[str, Any]) -> Dict[str, Any]:
         name = _required(message, "index")
         payload = self.router.insert(name, _required(message, "record"))
         return P.ok_response(request_id, **payload)
 
-    def _cmd_delete(self, conn, request_id, message):
+    def _cmd_delete(self, conn: _RouterConnection, request_id: Any,
+                    message: Dict[str, Any]) -> Dict[str, Any]:
         name = _required(message, "index")
         if "record" in message:
             payload = self.router.delete_record(name, message["record"])
@@ -699,13 +709,15 @@ class ClusterFrontend(JsonLineServer):
             raise P.ProtocolError("'delete' takes a 'record' or a 'q' selector")
         return P.ok_response(request_id, **payload)
 
-    def _cmd_bulk_load(self, conn, request_id, message):
+    def _cmd_bulk_load(self, conn: _RouterConnection, request_id: Any,
+                       message: Dict[str, Any]) -> Dict[str, Any]:
         name = _required(message, "index")
         payload = self.router.bulk_load(name, _required(message, "records"))
         return P.ok_response(request_id, **payload)
 
     # -- accounting ------------------------------------------------------ #
-    def _cmd_stats(self, conn, request_id, message):
+    def _cmd_stats(self, conn: _RouterConnection, request_id: Any,
+                   message: Dict[str, Any]) -> Dict[str, Any]:
         payload = self.router.stats()
         payload["session"] = {"id": conn.conn_id, "requests": conn.requests}
         return P.ok_response(request_id, **payload)

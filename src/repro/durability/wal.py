@@ -90,6 +90,9 @@ def read_log(path: str) -> Iterator[WalRecord]:
     log of a running server and on a crashed process's evidence.
     """
     with open(path, "rb") as fh:
+        # read-only inspection of evidence, not a modeled block I/O (no
+        # engine owns this handle's counters)
+        # lint: allow(uncounted-io)
         raw = fh.read()
     for lsn, (offset, length, payload) in enumerate(_scan(raw)):
         epoch, op = pickle.loads(payload)
@@ -143,8 +146,10 @@ class WriteAheadLog:
         #: serializes the durability barrier (group commit happens here)
         self._sync_lock = threading.Lock()
         self._file = open(path, "a+b")
-        self._file.seek(0)
-        raw = self._file.read()
+        # the open-time recovery scan reads the log once; like the catalog
+        # sidecar it is control information, outside the I/O model
+        self._file.seek(0)  # lint: allow(uncounted-io)
+        raw = self._file.read()  # lint: allow(uncounted-io)
         valid = 0
         records = 0
         for offset, length, _ in _scan(raw):
@@ -153,7 +158,7 @@ class WriteAheadLog:
         if valid < len(raw):
             # torn tail from a crash mid-append: cut back to the last
             # intact record so new appends extend a clean prefix
-            self._file.truncate(valid)
+            self._file.truncate(valid)  # lint: allow(uncounted-io)
         self._appended = valid      # bytes of intact records in the file
         self._synced = valid        # bytes known durable (file was at rest)
         self._records = records
@@ -175,8 +180,11 @@ class WriteAheadLog:
         payload = pickle.dumps((epoch, op), protocol=pickle.HIGHEST_PROTOCOL)
         header = _HEADER.pack(len(payload), zlib.crc32(payload))
         with self._lock:
-            self._file.write(header)
-            self._file.write(payload)
+            # buffered byte appends: the WAL charges durability *barriers*
+            # (``fsyncs`` in sync_to), never buffered writes — the model
+            # counts block I/Os and platter round-trips, not library calls
+            self._file.write(header)  # lint: allow(uncounted-io)
+            self._file.write(payload)  # lint: allow(uncounted-io)
             self._appended += len(header) + len(payload)
             self._records += 1
             self.commits += 1
@@ -264,6 +272,9 @@ class WriteAheadLog:
         with self._lock:
             self._file.flush()
         with open(self.path, "rb") as fh:
+            # live-log inspection through a private handle; same contract
+            # as :func:`read_log` — not a modeled block I/O
+            # lint: allow(uncounted-io)
             raw = fh.read()
         for lsn, (offset, length, payload) in enumerate(_scan(raw)):
             epoch, op = pickle.loads(payload)

@@ -100,6 +100,9 @@ class FileDisk:
         :class:`FileNotFoundError` when either file is missing.
         """
         with open(cls._meta_path_for(path), "rb") as fh:
+            # the sidecar is constant-size control information, exactly like
+            # the block headers — not an I/O in the model (see :meth:`sync`)
+            # lint: allow(uncounted-io)
             state = pickle.loads(fh.read())
         disk = cls.__new__(cls)
         disk.block_size = state["block_size"]

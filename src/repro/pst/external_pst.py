@@ -38,6 +38,9 @@ class ExternalPST:
         self.size = len(pts)
         self._block_ids: List[BlockId] = []
         self.root_id: Optional[BlockId] = None
+        #: plan-cache key: the wholesale rebuild in :meth:`insert` replaces
+        #: every block, so cached strategies must re-validate after it
+        self.generation = 0
         if pts:
             ordered = sorted(pts, key=lambda p: (p.x, p.y))
             self.root_id = self._build(ordered)
@@ -89,6 +92,7 @@ class ExternalPST:
         pts = self._collect_points()
         pts.append(point)
         self.destroy()
+        self.generation += 1
         ordered = sorted(pts, key=lambda p: (p.x, p.y))
         self.size = len(ordered)
         self.root_id = self._build(ordered)

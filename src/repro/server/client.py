@@ -20,7 +20,7 @@ import random
 import socket
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.server import protocol as P
 
@@ -57,7 +57,7 @@ class ClientResult:
     def count(self) -> int:
         return len(self.records)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Any]:
         return iter(self.records)
 
     def __len__(self) -> int:

@@ -35,7 +35,7 @@ from __future__ import annotations
 import itertools
 import socketserver
 import threading
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.server import protocol as P
 
@@ -88,7 +88,8 @@ class JsonLineServer:
     @property
     def address(self) -> Tuple[str, int]:
         """The bound ``(host, port)`` — resolves ``port=0`` to the real one."""
-        return self._tcp.server_address[:2]
+        host, port = self._tcp.server_address[:2]
+        return str(host), int(port)
 
     def serve_forever(self) -> None:
         """Serve until :meth:`shutdown` (blocking; what the CLI calls).
@@ -197,7 +198,7 @@ class _Connection:
     def __init__(self, session: Any) -> None:
         self.session = session
         self.leases: Dict[int, Any] = {}
-        self.lease_ids = itertools.count(1)
+        self.lease_ids: Iterator[int] = itertools.count(1)
 
 
 class ReproServer(JsonLineServer):
@@ -229,10 +230,10 @@ class ReproServer(JsonLineServer):
         #: live sessions by id (what the ``stats`` command reports)
         self._sessions: Dict[int, Any] = {}
         self._sessions_lock = threading.Lock()
-        self._connections = itertools.count(1)
+        self._connections: Iterator[int] = itertools.count(1)
         #: aggregate of departed sessions, so ``stats`` accounts for the
         #: whole serving history, not just currently-open connections
-        self._retired = {"sessions": 0, "requests": 0, "ios": 0}
+        self._retired: Dict[str, int] = {"sessions": 0, "requests": 0, "ios": 0}
 
     def __enter__(self) -> "ReproServer":
         self.start()
@@ -269,7 +270,7 @@ class ReproServer(JsonLineServer):
         self,
         session: Any,
         leases: Dict[int, Any],
-        lease_ids: Any,
+        lease_ids: Iterator[int],
         message: Dict[str, Any],
     ) -> Dict[str, Any]:
         cmd = message.get("cmd")
@@ -279,7 +280,10 @@ class ReproServer(JsonLineServer):
             raise P.ProtocolError(
                 f"unknown command {cmd!r}; know {sorted(P.COMMANDS)}"
             )
-        return handler(session, leases, lease_ids, request_id, message)
+        response: Dict[str, Any] = handler(
+            session, leases, lease_ids, request_id, message
+        )
+        return response
 
     @staticmethod
     def _result_payload(res: Any, *, with_records: bool = True) -> Dict[str, Any]:
@@ -312,17 +316,23 @@ class ReproServer(JsonLineServer):
         return records
 
     # -- control --------------------------------------------------------- #
-    def _cmd_ping(self, session, leases, lease_ids, request_id, message):
+    def _cmd_ping(self, session: Any, leases: Dict[int, Any],
+                 lease_ids: Iterator[int], request_id: Any,
+                 message: Dict[str, Any]) -> Dict[str, Any]:
         return P.ok_response(
             request_id, pong=True, version=P.PROTOCOL_VERSION,
             session=session.session_id,
         )
 
-    def _cmd_shutdown(self, session, leases, lease_ids, request_id, message):
+    def _cmd_shutdown(self, session: Any, leases: Dict[int, Any],
+                     lease_ids: Iterator[int], request_id: Any,
+                     message: Dict[str, Any]) -> Dict[str, Any]:
         raise _ShutdownRequested
 
     # -- namespace ------------------------------------------------------- #
-    def _cmd_create(self, session, leases, lease_ids, request_id, message):
+    def _cmd_create(self, session: Any, leases: Dict[int, Any],
+                   lease_ids: Iterator[int], request_id: Any,
+                   message: Dict[str, Any]) -> Dict[str, Any]:
         name = _required(message, "index")
         kind = message.get("kind", "collection")
         records = self._wire_records(message, message.get("records", []))
@@ -339,19 +349,25 @@ class ReproServer(JsonLineServer):
             request_id, index=name, kind=kind, loaded=len(records), ios=res.ios
         )
 
-    def _cmd_drop(self, session, leases, lease_ids, request_id, message):
+    def _cmd_drop(self, session: Any, leases: Dict[int, Any],
+                 lease_ids: Iterator[int], request_id: Any,
+                 message: Dict[str, Any]) -> Dict[str, Any]:
         name = _required(message, "index")
         res = session.drop_index(name)
         return P.ok_response(request_id, dropped=name, ios=res.ios)
 
     # -- reads ----------------------------------------------------------- #
-    def _cmd_query(self, session, leases, lease_ids, request_id, message):
+    def _cmd_query(self, session: Any, leases: Dict[int, Any],
+                  lease_ids: Iterator[int], request_id: Any,
+                  message: Dict[str, Any]) -> Dict[str, Any]:
         name = _required(message, "index")
         q = P.query_from_wire(_required(message, "q"))
         res = session.query(name, q)
         return P.ok_response(request_id, **self._result_payload(res))
 
-    def _cmd_explain(self, session, leases, lease_ids, request_id, message):
+    def _cmd_explain(self, session: Any, leases: Dict[int, Any],
+                    lease_ids: Iterator[int], request_id: Any,
+                    message: Dict[str, Any]) -> Dict[str, Any]:
         name = _required(message, "index")
         q = P.query_from_wire(_required(message, "q"))
         plan = session.explain(name, q)
@@ -366,7 +382,9 @@ class ReproServer(JsonLineServer):
             },
         )
 
-    def _cmd_prepare(self, session, leases, lease_ids, request_id, message):
+    def _cmd_prepare(self, session: Any, leases: Dict[int, Any],
+                    lease_ids: Iterator[int], request_id: Any,
+                    message: Dict[str, Any]) -> Dict[str, Any]:
         name = _required(message, "index")
         q = P.query_from_wire(_required(message, "q"))
         prepared = session.prepare(name, q)
@@ -376,7 +394,9 @@ class ReproServer(JsonLineServer):
             request_id, handle=handle, index=name, params=prepared.params
         )
 
-    def _cmd_run(self, session, leases, lease_ids, request_id, message):
+    def _cmd_run(self, session: Any, leases: Dict[int, Any],
+                lease_ids: Iterator[int], request_id: Any,
+                message: Dict[str, Any]) -> Dict[str, Any]:
         handle = _required(message, "handle")
         prepared = leases.get(handle)
         if prepared is None:
@@ -390,7 +410,7 @@ class ReproServer(JsonLineServer):
         try:
             res = session.run(prepared, **params)
         except (KeyError, RuntimeError) as exc:
-            message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else ""
+            detail = exc.args[0] if exc.args and isinstance(exc.args[0], str) else ""
             # only the prepared-query liveness checks kill a lease: the
             # engine's "no index named ..." KeyError (dropped) and the
             # identity check's "... call Engine.prepare again" RuntimeError
@@ -398,15 +418,15 @@ class ReproServer(JsonLineServer):
             # errors — propagates with its own classification and leaves
             # the lease alive.
             stale = (
-                isinstance(exc, KeyError) and "no index named" in message
+                isinstance(exc, KeyError) and "no index named" in detail
             ) or (
-                isinstance(exc, RuntimeError) and "prepare" in message
+                isinstance(exc, RuntimeError) and "prepare" in detail
             )
             if not stale:
                 raise
             leases.pop(handle, None)
             raise P.StaleHandleError(
-                f"prepared handle {handle} is stale: " + (message or repr(exc))
+                f"prepared handle {handle} is stale: " + (detail or repr(exc))
             ) from exc
         payload = self._result_payload(res)
         if res.from_cache is not None:
@@ -414,7 +434,9 @@ class ReproServer(JsonLineServer):
         return P.ok_response(request_id, **payload)
 
     # -- writes ---------------------------------------------------------- #
-    def _cmd_insert(self, session, leases, lease_ids, request_id, message):
+    def _cmd_insert(self, session: Any, leases: Dict[int, Any],
+                   lease_ids: Iterator[int], request_id: Any,
+                   message: Dict[str, Any]) -> Dict[str, Any]:
         name = _required(message, "index")
         [record] = self._wire_records(message, [_required(message, "record")])
         res = session.insert(name, record)
@@ -422,7 +444,9 @@ class ReproServer(JsonLineServer):
             request_id, record=P.record_to_dict(record), ios=res.ios
         )
 
-    def _cmd_delete(self, session, leases, lease_ids, request_id, message):
+    def _cmd_delete(self, session: Any, leases: Dict[int, Any],
+                   lease_ids: Iterator[int], request_id: Any,
+                   message: Dict[str, Any]) -> Dict[str, Any]:
         name = _required(message, "index")
         if "record" in message:
             record = P.record_from_dict(message["record"])
@@ -440,7 +464,9 @@ class ReproServer(JsonLineServer):
             )
         raise P.ProtocolError("'delete' takes a 'record' or a 'q' selector")
 
-    def _cmd_bulk_load(self, session, leases, lease_ids, request_id, message):
+    def _cmd_bulk_load(self, session: Any, leases: Dict[int, Any],
+                      lease_ids: Iterator[int], request_id: Any,
+                      message: Dict[str, Any]) -> Dict[str, Any]:
         name = _required(message, "index")
         records = self._wire_records(message, _required(message, "records"))
         res = session.bulk_load(name, records)
@@ -452,7 +478,9 @@ class ReproServer(JsonLineServer):
         )
 
     # -- accounting ------------------------------------------------------ #
-    def _cmd_stats(self, session, leases, lease_ids, request_id, message):
+    def _cmd_stats(self, session: Any, leases: Dict[int, Any],
+                  lease_ids: Iterator[int], request_id: Any,
+                  message: Dict[str, Any]) -> Dict[str, Any]:
         with self._sessions_lock:
             per_session = {
                 str(sid): {

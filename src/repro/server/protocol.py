@@ -68,6 +68,18 @@ COMMANDS = (
     "bulk_load", "explain", "stats", "drop", "shutdown",
 )
 
+#: every structured ``error.code`` the protocol can produce — pinned
+#: against :func:`classify_error`'s actual returns by the
+#: ``wire-exhaustiveness`` lint rule and the conformance tests
+ERROR_CODES = (
+    "bad_request",
+    "conflict",
+    "internal",
+    "shard_unavailable",
+    "stale_handle",
+    "unknown_index",
+)
+
 
 class ProtocolError(ValueError):
     """A malformed wire message (not JSON, not a dict, no command...)."""

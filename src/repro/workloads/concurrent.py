@@ -761,7 +761,7 @@ def report(payload: Dict[str, Any], out: Any = None) -> None:
 
         with open(out, "w") as fh:
             json.dump(payload, fh, indent=2)
-            fh.write("\n")
+            print(file=fh)
         print(f"  wrote {out}")
 
 

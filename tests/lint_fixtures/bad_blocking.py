@@ -16,6 +16,7 @@ class BadCommit:
     def fsync_under_leaf(self):
         with self._lock:
             os.fsync(self.fd)  # seeded: blocking-under-mutex
+            self.stats.count(fsyncs=1)
 
     def sync_under_mutex(self, lsn):
         with self._write_mutex:
@@ -40,3 +41,4 @@ class BadCommit:
         self._lock.acquire()
         self._lock.release()
         os.fsync(self.fd)
+        self.stats.count(fsyncs=1)

@@ -1,0 +1,39 @@
+# ruff: noqa
+"""Seeded-bad fixture: commit-protocol violations (append/barrier/publish).
+
+The good twins exercise the *interprocedural* half: a publish reached
+through a helper and an append whose barrier lives two calls away must
+both count as satisfied.
+"""
+
+
+class SkipsTheBarrier:
+    def commit_without_barrier(self, epoch, op):
+        # appended outside _commit AND never reaches sync_to
+        return self.wal.append(epoch, op)  # seeded: commit-protocol
+
+
+class PublishesEarly:
+    def _commit(self, epoch, op):
+        lsn = self.wal.append(epoch, op)
+        self._epochs.publish(epoch)  # seeded: commit-protocol
+        self.wal.sync_to(lsn)
+
+
+class LeaksAnEpoch:
+    def begin_without_publish(self):
+        epoch = self._epochs.begin()  # seeded: commit-protocol
+        return epoch
+
+
+class GoodKernel:
+    """The real ordering, with the publish in a helper (transitive effect)."""
+
+    def _commit(self, op):
+        epoch = self._epochs.begin()
+        lsn = self.wal.append(epoch, op)
+        self.wal.sync_to(lsn)
+        self._finish(epoch)
+
+    def _finish(self, epoch):
+        self._epochs.publish(epoch)

@@ -14,6 +14,7 @@ class BadLatchUser:
         self.latch.acquire_write()
         try:
             os.fsync(self.fd)  # seeded: blocking-under-mutex
+            self.stats.count(fsyncs=1)
         finally:
             self.latch.release_write()
 
@@ -36,3 +37,4 @@ class BadLatchUser:
             finally:
                 other_latch.release_write()
         os.fsync(self.fd)
+        self.stats.count(fsyncs=1)

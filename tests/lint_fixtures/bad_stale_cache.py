@@ -1,0 +1,42 @@
+# ruff: noqa
+"""Seeded-bad fixture: structural swaps that never bump a generation.
+
+The good twins pin the transitive bump (a helper's ``generation += 1``
+counts) and the planner-invalidate alternative; ``destroy`` is teardown,
+not a swap, and must stay silent.
+"""
+
+
+class BadRebuilder:
+    def bulk_load(self, items):
+        replacement = self._build(items)
+        self.inner.destroy()
+        self.inner = replacement  # seeded: stale-plan-cache
+
+
+class GoodRebuilder:
+    """The bump lives in a helper — the transitive effect must count."""
+
+    def bulk_load(self, items):
+        replacement = self._build(items)
+        self.inner.destroy()
+        self.inner = replacement
+        self._note_swap()
+
+    def _note_swap(self):
+        self.generation += 1
+
+
+class GoodInvalidator:
+    """Invalidating the planner's cache is the other accepted bump."""
+
+    def reattach(self, index):
+        self._planner.invalidate()
+        self.index.destroy()
+        self.index = index
+
+
+class TeardownIsFine:
+    def destroy(self):
+        self.inner.destroy()
+        self.inner = None

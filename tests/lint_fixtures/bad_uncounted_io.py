@@ -1,0 +1,38 @@
+# ruff: noqa
+"""Seeded-bad fixture: raw file/os I/O with no IOStats charge on any path.
+
+The good twins pin the coverage logic: a charge in the same function, in
+a transitive callee, or in a resolved caller all count.
+"""
+import os
+
+
+def bare_barrier(fd):
+    os.fsync(fd)  # seeded: uncounted-io
+
+
+class BadPager:
+    def load_block(self, offset, length):
+        self._file.seek(offset)  # seeded: uncounted-io
+        return self._file.read(length)  # seeded: uncounted-io
+
+
+class GoodPager:
+    """Charge lives in the caller: ``read`` counts what ``_load`` did."""
+
+    def read_block(self, block_id):
+        block = self._load(block_id)
+        self.stats.count(reads=1)
+        return block
+
+    def _load(self, block_id):
+        self._file.seek(block_id)
+        return self._file.read()
+
+
+class GoodBarrier:
+    """Charge in the same function, next to the barrier."""
+
+    def sync(self):
+        os.fsync(self._file.fileno())
+        self.stats.count(fsyncs=1)

@@ -1,0 +1,57 @@
+# ruff: noqa
+"""Seeded-bad fixture: wire-contract drift across the protocol artifacts.
+
+COMMANDS, the ``_cmd_*`` handler surface, the client's method surface,
+the serialization registry and the error-code declaration must agree;
+every drift below is one planted disagreement.
+"""
+
+COMMANDS = ("ping", "query", "insert")
+
+ERROR_CODES = ("bad_request", "internal", "unused_code")  # seeded: wire-exhaustiveness
+
+
+class DriftServer:  # seeded: wire-exhaustiveness
+    """Misses ``_cmd_insert`` and serves an undeclared ``stats``."""
+
+    def _cmd_ping(self, conn, request_id, message):
+        return {}
+
+    def _cmd_query(self, conn, request_id, message):
+        return {}
+
+    def _cmd_stats(self, conn, request_id, message):
+        return {}
+
+
+class DriftClient:  # seeded: wire-exhaustiveness
+    """No ``insert`` method for a declared command."""
+
+    def ping(self):
+        return None
+
+    def query(self, q):
+        return None
+
+
+def classify_error(exc):  # seeded: wire-exhaustiveness
+    if isinstance(exc, ValueError):
+        return "bad_request"
+    return "surprise"
+
+
+class AlgebraicQuery:
+    pass
+
+
+class Stab(AlgebraicQuery):
+    pass
+
+
+class Fancy(AlgebraicQuery):  # seeded: wire-exhaustiveness
+    pass
+
+
+def _node_registry():  # seeded: wire-exhaustiveness
+    types = (Stab, Ghost)
+    return {t.__name__: t for t in types}

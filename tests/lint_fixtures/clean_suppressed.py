@@ -21,10 +21,12 @@ class QuiescedCheckpoint:
             # writers are quiesced here; the barrier must precede truncate
             # lint: allow(blocking-under-mutex)
             os.fsync(self.fd)
+            self.stats.count(fsyncs=1)
 
     def same_line_suppression(self):
         with self._lock:
             os.fsync(self.fd)  # lint: allow(blocking-under-mutex)
+            self.stats.count(fsyncs=1)
 
     def locked_counter(self):
         with self._lock:

@@ -1,0 +1,134 @@
+"""Runtime twin of the ``wire-exhaustiveness`` lint rule.
+
+The static rule pins the wire contract by *reading source*; this suite
+pins it by *importing the artifacts* and comparing the live surfaces:
+
+* ``COMMANDS`` ↔ ``ReproServer._cmd_*`` ↔ ``ClusterFrontend._cmd_*``
+* ``COMMANDS`` ↔ :class:`ReproClient` public methods
+* ``_node_registry()`` keys ↔ the node types' own ``__name__`` tags,
+  and every registered type round-trips through ``query_from_dict``
+* ``ERROR_CODES`` ↔ what :func:`classify_error` actually returns
+
+If either side drifts, one of the two checkers fires — the lint rule at
+review time, this suite at test time — so the contract cannot rot in a
+path the other checker does not see (e.g. a dynamically added handler
+the AST walk would miss).
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.cluster.router import ClusterFrontend
+from repro.engine.queries import _node_registry, query_from_dict
+from repro.engine.session import WriteIntentError
+from repro.server.client import ReproClient
+from repro.server.core import ReproServer
+from repro.server.protocol import (
+    COMMANDS,
+    ERROR_CODES,
+    ProtocolError,
+    ShardUnavailableError,
+    StaleHandleError,
+    classify_error,
+)
+
+
+def handler_surface(cls: type) -> set:
+    return {
+        name[len("_cmd_"):]
+        for name, member in inspect.getmembers(cls, callable)
+        if name.startswith("_cmd_")
+    }
+
+
+class TestCommandSurfaces:
+    def test_server_handles_exactly_the_declared_commands(self):
+        assert handler_surface(ReproServer) == set(COMMANDS)
+
+    def test_cluster_frontend_handles_exactly_the_declared_commands(self):
+        assert handler_surface(ClusterFrontend) == set(COMMANDS)
+
+    def test_client_exposes_every_command(self):
+        methods = {
+            name
+            for name, member in inspect.getmembers(ReproClient, callable)
+            if not name.startswith("_")
+        }
+        missing = set(COMMANDS) - methods
+        assert missing == set(), (
+            f"ReproClient lacks methods for declared commands: {sorted(missing)}"
+        )
+
+    def test_commands_has_no_duplicates_and_is_sorted_enough(self):
+        assert len(COMMANDS) == len(set(COMMANDS))
+        assert "ping" in COMMANDS and "shutdown" in COMMANDS
+
+
+class TestSerializationRegistry:
+    def test_registry_keys_are_the_type_names(self):
+        registry = _node_registry()
+        assert registry
+        for tag, node_type in registry.items():
+            assert tag == node_type.__name__
+
+    def test_every_registered_type_is_reachable_from_the_wire(self):
+        # a dict tagged with each registry key must dispatch to that type
+        # (malformed payloads may raise ValueError — what matters is that
+        # the tag is *known*, which unknown tags signal differently)
+        for tag in _node_registry():
+            try:
+                query_from_dict({"node": tag})
+            except ValueError as exc:
+                assert "unknown" not in str(exc).lower(), (tag, exc)
+            except TypeError:
+                pass  # known tag, missing constructor args — fine
+
+    def test_unknown_tags_are_rejected(self):
+        try:
+            query_from_dict({"node": "NoSuchNode"})
+        except ValueError as exc:
+            assert "NoSuchNode" in str(exc)
+        else:  # pragma: no cover - defends the assertion above
+            raise AssertionError("unknown node tag was accepted")
+
+
+class TestErrorClassification:
+    def test_every_declared_code_is_producible(self):
+        produced = {
+            classify_error(ProtocolError("bad line")),
+            classify_error(StaleHandleError("lease gone")),
+            classify_error(ShardUnavailableError("shard 2 down")),
+            classify_error(KeyError("no index named 'x'")),
+            classify_error(WriteIntentError("contended")),
+            classify_error(ValueError("duplicate uid 7")),
+            classify_error(RuntimeError("boom")),
+        }
+        assert produced == set(ERROR_CODES)
+
+    def test_classification_never_leaves_the_declared_set(self):
+        exercises = [
+            ProtocolError("x"),
+            StaleHandleError("x"),
+            ShardUnavailableError("x"),
+            KeyError("parameter 'low' unbound"),
+            KeyError("no index"),
+            WriteIntentError("x"),
+            ValueError("duplicate uid"),
+            ValueError("bad payload"),
+            RuntimeError("prepared against a dropped index: prepare again"),
+            RuntimeError("anything else"),
+            OSError("disk"),
+        ]
+        for exc in exercises:
+            assert classify_error(exc) in ERROR_CODES, exc
+
+    def test_relayed_shard_codes_survive_classification(self):
+        # a router relaying a shard's structured error keeps its code
+        class Relayed(RuntimeError):
+            code = "unknown_index"
+
+        assert classify_error(Relayed("from shard")) == "unknown_index"
+
+    def test_error_codes_are_unique_and_sorted(self):
+        assert list(ERROR_CODES) == sorted(set(ERROR_CODES))
