@@ -36,6 +36,7 @@ import time
 from typing import Any, Dict, List
 
 from repro import Engine, Interval, Stab
+from repro.durability.wal import bench_fragment as wal_bench_fragment
 from repro.io import FileDisk
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -130,6 +131,8 @@ def leg_group_commit(workdir: str, threads: int, per_thread: int) -> Dict[str, A
         "syncs": wal.syncs,
         "group_absorbed": wal.group_absorbed,
         "fsyncs_per_commit": round(wal.syncs / max(wal.commits, 1), 4),
+        # the uniform durability block every BENCH_*.json carries
+        "wal": wal_bench_fragment(engine),
     }
     engine.close()
     return out
@@ -369,6 +372,7 @@ def main(argv=None) -> int:
         "fsyncs_per_commit": group["fsyncs_per_commit"],
         "mvcc_p50_ratio": mvcc["p50_ratio"],
         "gate_failures": failures,
+        "wal": group["wal"],
     }
     if args.out:
         with open(args.out, "w") as fh:

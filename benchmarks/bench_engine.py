@@ -18,6 +18,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.durability.wal import bench_fragment as wal_bench_fragment
 from repro.engine import EndpointRange, Engine, Range, Stab
 from repro.io import FileDisk, SimulatedDisk
 from repro.workloads import random_intervals
@@ -183,6 +184,9 @@ def collect(n=N, b=B, queries=25):
         "generated_by": "python -m benchmarks.bench_engine",
         "results": results,
         "write_path": write_path_comparison(n=n, b=b, m=max(queries * 40, 200)),
+        # the uniform durability block every BENCH_*.json carries (zeros:
+        # the read matrix runs WAL-less; bench_durability owns real values)
+        "wal": wal_bench_fragment(engine),
     }
 
 

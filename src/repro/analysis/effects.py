@@ -67,6 +67,10 @@ _COMMON_METHODS = {
     "submit", "result", "exists", "mkdir", "match", "search", "group",
     "sub", "findall", "dumps", "loads", "dump", "load", "insert", "delete",
     "query", "next", "send_all", "setdefault",
+    # Tracer.span / tracing capture: instrumentation wrappers called from
+    # hundreds of sites; linking them by bare name would smear the
+    # tracer's effects (none) over the whole call graph
+    "span", "capture", "annotate",
 }
 
 #: receiver names (sans leading underscores) that denote a raw file handle;

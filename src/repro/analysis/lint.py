@@ -48,6 +48,7 @@ from repro.analysis.lintrules import (
     Context,
     Finding,
     LockToken,
+    NONLOCK_CM,
     RANK_MUTEX,
     Rule,
     all_rules,
@@ -208,6 +209,10 @@ class _Walker(ast.NodeVisitor):
             return LockToken(item.id, rank=3)
         if isinstance(item, ast.Call) and isinstance(item.func, ast.Attribute):
             method = item.func.attr
+            if method in NONLOCK_CM:
+                # Tracer.span(...) is instrumentation, not a lock — no
+                # token, however locky the receiver happens to be named
+                return None
             recv = _dotted(item.func.value)
             if method == "write_turn":
                 return LockToken(f"{recv}.write_turn", RANK_MUTEX)

@@ -94,6 +94,12 @@ CLUSTER_LATCH_ATTRS = {"_topology_lock", "_spawn_lock"}
 #: serialization point of a connection pool and legitimately brackets a
 #: socket round-trip, exactly like the WAL's group-commit sync lock
 CLUSTER_BARRIER_ATTRS = {"_rpc_lock"}
+#: with-item method calls that are context managers but **not** locks:
+#: ``Tracer.span(...)`` (PR 10) brackets a region for wall-clock and I/O
+#: attribution only — it must never be treated as an acquisition, or every
+#: instrumented site would fabricate lock-order edges and a span block
+#: would silently shield shared-counter mutations from the linter
+NONLOCK_CM = {"span"}
 #: call names that block (syscalls, barriers, schedulers); matched against
 #: the final attribute of a call chain
 BLOCKING_CALLS = {
@@ -640,6 +646,7 @@ __all__ = [
     "Context",
     "Finding",
     "LockToken",
+    "NONLOCK_CM",
     "RANK_LATCH",
     "RANK_LEAF",
     "RANK_MUTEX",

@@ -161,6 +161,201 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: run one traced request and print its span tree.
+
+    Builds an interval collection, primes the plan cache with an untraced
+    warm-up, then re-runs the request with tracing enabled and prints the
+    captured tree.  The default path is a **prepared stab query** (the
+    engine's fastest read path); ``--adhoc`` routes the explain-style
+    composed query through the full planner instead, so the
+    ``planner.plan`` / ``planner.enumerate`` spans appear too.
+
+    The two checks under the tree are the span-accounting invariants:
+    the root span's I/O must equal both the request's attributed
+    :class:`~repro.io.counters.IOStats` total and the summed I/O of its
+    children (sinks nest, so the tree composes), and the root's residual
+    (``ios - bound``) must keep the request inside the planner's
+    documented ``BOUND_SLACK * bound + BOUND_SLACK_PAGES`` allowance —
+    the same gate the test suite holds every query to.  Exit status 1
+    when either check fails.
+    """
+    from repro import obs
+    from repro.engine.planner import BOUND_SLACK, BOUND_SLACK_PAGES
+    from repro.engine.queries import Param
+
+    with _make_engine(args) as engine:
+        intervals = random_intervals(
+            args.n, seed=args.seed, mean_length=args.mean_length
+        )
+        session = engine.session()
+        session.create_collection("intervals", intervals)
+        x = args.stab if args.stab is not None else 500.0
+        prepared = None
+        if not args.adhoc:
+            prepared = session.prepare("intervals", Stab(Param("x")))
+            session.run(prepared, x=x)  # warm-up primes the plan cache
+        obs.enable()
+        try:
+            with obs.TRACER.capture() as cap:
+                if args.adhoc:
+                    result = session.query(
+                        "intervals", _compose_explain_query(args)
+                    )
+                else:
+                    result = session.run(prepared, x=x)
+        finally:
+            obs.disable()
+    root = cap.roots[-1]
+    path = "ad-hoc planner" if args.adhoc else "prepared stab"
+    print(f"trace : n={args.n} B={args.block_size} backend={args.backend} "
+          f"path={path}")
+    for line in obs.render_span_tree(root):
+        print("  " + line)
+    status = 0
+    total = result.stats.total
+    child_ios = sum(child.io.total for child in root.children)
+    ok_compose = child_ios == total == root.io.total
+    print(f"  io    : request={total} root_span={root.io.total} "
+          f"summed_children={child_ios}  "
+          f"{'OK (tree composes)' if ok_compose else 'MISMATCH'}")
+    if not ok_compose:
+        status = 1
+    if result.bound is not None:
+        allowed = BOUND_SLACK * result.bound + BOUND_SLACK_PAGES
+        ok_bound = total <= allowed
+        print(f"  bound : ios={total} bound={result.bound:.3f} "
+              f"residual={total - result.bound:+.3f}  "
+              f"(slack allows <= {allowed:.3f})  "
+              f"{'OK' if ok_bound else 'EXCEEDED'}")
+        if not ok_bound:
+            status = 1
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(root.as_dict(), fh, indent=2, sort_keys=True, default=str)
+            print(file=fh)
+        print(f"  wrote {args.out}")
+    return status
+
+
+def _render_top(payload: "dict", previous: "Optional[dict]",
+                dt: Optional[float], where: str) -> List[str]:
+    """One ``repro top`` frame from a ``metrics`` payload (server or cluster)."""
+    metrics = payload.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    histograms = metrics.get("histograms") or {}
+    prev_counters = ((previous or {}).get("metrics") or {}).get("counters") or {}
+
+    lines = [f"repro top — {where}"]
+    uptime = payload.get("uptime_s")
+    if uptime is not None:
+        lines[0] += f"   uptime {uptime:.1f}s"
+
+    cache = payload.get("plan_cache") or {}
+    if cache:
+        lines.append(
+            f"  plan cache : entries={cache.get('entries')} "
+            f"hits={cache.get('hits')} misses={cache.get('misses')} "
+            f"hit_ratio={cache.get('hit_ratio')}"
+        )
+    wal = payload.get("wal")
+    if wal:
+        lines.append(
+            f"  wal        : commits={wal.get('commits')} "
+            f"syncs={wal.get('syncs')} "
+            f"group_absorbed={wal.get('group_absorbed')} "
+            f"ratio={wal.get('group_absorbed_ratio')}"
+        )
+    epochs = payload.get("epochs")
+    if epochs:
+        age = epochs.get("pin_age_s")
+        lines.append(
+            f"  epochs     : current={epochs.get('current')} "
+            f"pinned={epochs.get('pinned')} "
+            f"pin_age={'-' if age is None else f'{age:.3f}s'}"
+        )
+    tracer = payload.get("tracer")
+    if tracer:
+        lines.append(
+            f"  tracer     : enabled={tracer.get('enabled')} "
+            f"spans={tracer.get('spans_started')} "
+            f"roots={tracer.get('roots_finished')}"
+        )
+    slowlog = payload.get("slowlog")
+    if slowlog and slowlog.get("threshold_ms") is not None:
+        lines.append(
+            f"  slow log   : threshold={slowlog.get('threshold_ms')}ms "
+            f"recorded={slowlog.get('recorded')}"
+        )
+    cluster = payload.get("cluster")
+    if cluster:
+        routing = cluster.get("routing") or {}
+        lines.append(f"  routing    : {routing}")
+        contacts = cluster.get("contacts_by_shard") or {}
+        if contacts:
+            spread = " ".join(f"s{k}={v}" for k, v in sorted(contacts.items()))
+            lines.append(f"  contacts   : {spread}")
+
+    ops = {
+        name.split(".ops.", 1)[1]: value
+        for name, value in counters.items() if ".ops." in name
+    }
+    if ops:
+        lines.append("  cmd            ops      rate        p50        p95        p99 (ms)")
+        for cmd in sorted(ops):
+            total = ops[cmd]
+            rate = "-"
+            if dt:
+                prev = sum(
+                    value for name, value in prev_counters.items()
+                    if ".ops." in name and name.split(".ops.", 1)[1] == cmd
+                )
+                rate = f"{max(total - prev, 0) / dt:.1f}/s"
+            hist = (histograms.get(f"server.latency_ms.{cmd}")
+                    or histograms.get(f"router.latency_ms.{cmd}") or {})
+            lines.append(
+                f"  {cmd:<12s} {total:>6d} {rate:>9s} "
+                f"{hist.get('p50', 0.0):>10.3f} {hist.get('p95', 0.0):>10.3f} "
+                f"{hist.get('p99', 0.0):>10.3f}"
+            )
+    return lines
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``repro top``: a live metrics view of a running server or cluster.
+
+    Polls the ``metrics`` wire command every ``--interval`` seconds and
+    redraws a one-screen summary: per-command ops and request rates with
+    latency percentiles, plan-cache hit ratio, WAL group-absorption,
+    epoch pins, routing spread (against a cluster frontend).  ``--once``
+    prints a single frame and exits — the scriptable/CI form; ``--json``
+    dumps the raw payload instead of the rendered table.
+    """
+    from repro.server import ReproClient
+
+    host, _, port = args.connect.rpartition(":")
+    previous: Optional[dict] = None
+    prev_t: Optional[float] = None
+    frames = 0
+    with ReproClient(host or "127.0.0.1", int(port), timeout=15.0) as db:
+        while True:
+            payload = db.metrics()
+            now = time.monotonic()
+            if args.json:
+                print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+            else:
+                if frames and sys.stdout.isatty():
+                    print("\x1b[H\x1b[2J", end="")
+                dt = None if prev_t is None else now - prev_t
+                print("\n".join(_render_top(payload, previous, dt, args.connect)),
+                      flush=True)
+            frames += 1
+            previous, prev_t = payload, now
+            if args.once or (args.count is not None and frames >= args.count):
+                return 0
+            time.sleep(max(args.interval, 0.1))
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run a benchmark suite from the installed package (no repo checkout).
 
@@ -245,6 +440,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # connected — hand it off faster
     sys.setswitchinterval(0.0005)
 
+    if args.trace or args.slow_query_ms is not None:
+        # the slow-query log needs span trees, so --slow-query-ms
+        # implies tracing
+        from repro import obs
+
+        obs.enable()
+        if args.slow_query_ms is not None:
+            obs.SLOWLOG.configure(
+                threshold_ms=args.slow_query_ms, path=args.slow_query_log
+            )
+
     use_wal = not args.no_wal
     commit_latency = max(0.0, args.commit_latency_ms) / 1000.0
     if args.db:
@@ -270,8 +476,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                          close_engine=True)
     host, port = server.address
     durability = "wal" if engine.wal is not None else "checkpoint-only"
+    observability = "tracing" if args.trace or args.slow_query_ms is not None else "metrics-only"
+    if args.slow_query_ms is not None:
+        observability += f"+slowlog({args.slow_query_ms:g}ms)"
     print(f"repro serve: B={engine.block_size} indexes={engine.names()} "
-          f"durability={durability} listening on {host}:{port}", flush=True)
+          f"durability={durability} obs={observability} "
+          f"listening on {host}:{port}", flush=True)
 
     # a termination signal must run the same orderly path as Ctrl-C:
     # stop accepting, drain, checkpoint, truncate the WAL, close the
@@ -387,14 +597,24 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
           f"strategy={topo.get('strategy')}")
     if topo.get("splits"):
         print(f"  splits: {topo['splits']}  max_length={topo.get('max_length')}")
+    per_shard = {
+        entry.get("shard"): entry for entry in cluster.get("per_shard", [])
+    }
     for shard in cluster.get("shards", []):
         line = (f"  shard {shard.get('shard')}: {shard.get('state', '?'):9s} "
                 f"{shard.get('address')}")
+        detail = per_shard.get(shard.get("shard"), {})
+        if detail.get("uptime_s") is not None:
+            line += f"  up={detail['uptime_s']:.1f}s"
+        if detail.get("contacts") is not None:
+            line += f"  contacts={detail['contacts']}"
         if shard.get("fault"):
             line += f"  fault={shard['fault']}"
         print(line)
     routing = cluster.get("routing", {})
     print(f"  routing: {routing}")
+    if cluster.get("uptime_s") is not None:
+        print(f"  router uptime: {cluster['uptime_s']:.1f}s")
     engine = stats.get("engine", {})
     print(f"  engine: blocks={engine.get('blocks')} reads={engine.get('reads')} "
           f"writes={engine.get('writes')} indexes={engine.get('indexes')}")
@@ -778,6 +998,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser(
+        "trace",
+        help="run one traced request and print its span tree, checking "
+             "that the tree's I/Os compose and the bound residual holds",
+    )
+    p.add_argument("--n", type=int, default=5_000)
+    p.add_argument("--block-size", type=int, default=16)
+    p.add_argument("--mean-length", type=float, default=25.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--stab", type=float, default=None, metavar="X",
+                   help="stab point (default 500.0); with --adhoc this "
+                        "conjoins like 'explain'")
+    p.add_argument("--adhoc", action="store_true",
+                   help="route the composed explain-style query through "
+                        "the full planner instead of the prepared fast "
+                        "path (shows planner.plan / planner.enumerate)")
+    p.add_argument("--range", type=float, nargs=2, default=None,
+                   metavar=("LO", "HI"), help="[--adhoc] conjoin an "
+                   "intersection query")
+    p.add_argument("--endpoint", action="append", nargs=3, default=None,
+                   metavar=("SIDE", "LO", "HI"),
+                   help="[--adhoc] conjoin an endpoint range; repeatable")
+    p.add_argument("--order-by", choices=["low", "high"], default=None)
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--out", default=None, metavar="JSON",
+                   help="also write the span tree as JSON (the CI trace "
+                        "artifact)")
+    add_backend(p)
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "top",
+        help="live metrics view of a running server/cluster: ops rates, "
+             "latency percentiles, plan-cache and WAL ratios "
+             "(polls the 'metrics' wire command)",
+    )
+    p.add_argument("--connect", default="127.0.0.1:7411", metavar="HOST:PORT")
+    p.add_argument("--interval", type=float, default=2.0, metavar="S",
+                   help="seconds between polls (floor 0.1)")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit (scriptable/CI form)")
+    p.add_argument("--count", type=int, default=None, metavar="N",
+                   help="exit after N frames")
+    p.add_argument("--json", action="store_true",
+                   help="dump the raw metrics payload instead of the table")
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
         "bench",
         help="run a benchmark suite: 'workloads' (prepared vs ad-hoc "
              "planning) or 'concurrency' (N client threads vs a live server)",
@@ -852,6 +1119,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "(no group absorption) — makes commit-pipeline "
                         "parallelism measurable on filesystems where fsync "
                         "is free")
+    p.add_argument("--trace", action="store_true",
+                   help="enable request tracing: every request builds a "
+                        "span tree (kept in the tracer's ring; exported "
+                        "via 'metrics'); off by default — the disabled "
+                        "tracer costs one flag test per site")
+    p.add_argument("--slow-query-ms", type=float, default=None, metavar="MS",
+                   help="record requests slower than MS into the "
+                        "slow-query log (implies --trace)")
+    p.add_argument("--slow-query-log", default=None, metavar="PATH",
+                   help="[--slow-query-ms] also append slow-query records "
+                        "as JSON lines to PATH")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(

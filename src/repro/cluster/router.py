@@ -59,10 +59,13 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.engine.queries import Limit, OrderBy, bind_params, unbound_params
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer as obs_tracer
 from repro.server import protocol as P
 from repro.server.client import ReproClient, ServerError
 from repro.server.core import JsonLineServer, _required, _ShutdownRequested
@@ -172,6 +175,11 @@ class ShardRouter:
             "reads": 0, "writes": 0, "shard_contacts": 0,
             "single_shard": 0, "pruned": 0, "broadcasts": 0,
         }
+        #: shard id -> requests this router sent it (under ``_stats_lock``)
+        self._contacts_by_shard: Dict[int, int] = {
+            shard: 0 for shard in range(shard_map.shards)
+        }
+        self._started_monotonic = time.monotonic()
         workers = max_workers or max(8, min(64, shard_map.shards * 8))
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-scatter"
@@ -241,11 +249,23 @@ class ShardRouter:
         """
         if not targets:
             return []
+        # child spans attach to the *dispatching* thread's open span: the
+        # scatter workers run on the pool, so the parent is captured here
+        # and handed across the thread boundary explicitly
+        parent = obs_tracer.current_span()
+        decision = self._route_decision(len(targets))
         if len(targets) == 1:
             shard = targets[0]
-            return [(shard, self._call_shard(shard, cmd, **payload_for(shard)))]
+            return [(
+                shard,
+                self._traced_call(
+                    shard, cmd, parent, decision, **payload_for(shard)
+                ),
+            )]
         futures = [
-            (s, self._executor.submit(self._call_shard, s, cmd, **payload_for(s)))
+            (s, self._executor.submit(
+                self._traced_call, s, cmd, parent, decision, **payload_for(s)
+            ))
             for s in targets
         ]
         out: List[Tuple[int, Dict[str, Any]]] = []
@@ -260,10 +280,44 @@ class ShardRouter:
             raise error
         return out
 
-    def _count(self, kind: str, contacted: int) -> None:
+    def _route_decision(self, contacted: int) -> str:
+        """Classify one request's fan-out (what the routing counters count)."""
+        if contacted == 1:
+            return "single_shard"
+        if contacted >= self._map.shards > 1:
+            return "broadcast"
+        return "pruned"
+
+    def _traced_call(
+        self,
+        shard: int,
+        cmd: str,
+        parent: Any,
+        decision: str,
+        **payload: Any,
+    ) -> Dict[str, Any]:
+        """One shard leg of a scatter, bracketed by its own child span.
+
+        The router performs no block I/O of its own, so the leg's ``ios``
+        are annotated from the shard's response rather than measured
+        through a sink.
+        """
+        with obs_tracer.span(
+            "shard.call", parent=parent, shard=shard, cmd=cmd, route=decision
+        ) as sp:
+            resp = self._call_shard(shard, cmd, **payload)
+            sp.annotate(ios=resp.get("ios", 0))
+            return resp
+
+    def _count(self, kind: str, shards: List[int]) -> None:
+        contacted = len(shards)
         with self._stats_lock:
             self._routing[kind] += 1
             self._routing["shard_contacts"] += contacted
+            for shard in shards:
+                self._contacts_by_shard[shard] = (
+                    self._contacts_by_shard.get(shard, 0) + 1
+                )
             if contacted == 1:
                 self._routing["single_shard"] += 1
             elif contacted >= self._map.shards > 1:
@@ -289,7 +343,7 @@ class ShardRouter:
         pairs = self._scatter(
             targets, "query", lambda s: {"index": index, "q": wire}
         )
-        self._count("reads", len(pairs))
+        self._count("reads", [shard for shard, _resp in pairs])
         return self._merge_read(q, pairs)
 
     def _merge_read(
@@ -365,7 +419,7 @@ class ShardRouter:
         wire = P.record_to_dict(record)
         resp = self._call_shard(shard, "insert", index=index, record=wire,
                                 keep_uids=True)
-        self._count("writes", 1)
+        self._count("writes", [shard])
         return {
             "record": resp.get("record", wire),
             "ios": resp.get("ios", 0),
@@ -378,7 +432,7 @@ class ShardRouter:
         resp = self._call_shard(
             shard, "delete", index=index, record=P.record_to_dict(record)
         )
-        self._count("writes", 1)
+        self._count("writes", [shard])
         return {
             "removed": resp.get("removed", 0),
             "ios": resp.get("ios", 0),
@@ -408,7 +462,7 @@ class ShardRouter:
                 )
                 pairs.append((shard, resp))
                 remaining -= resp.get("removed", 0)
-        self._count("writes", len(pairs))
+        self._count("writes", [shard for shard, _resp in pairs])
         return {
             "removed": sum(r.get("removed", 0) for _s, r in pairs),
             "records": [rec for _s, r in pairs for rec in r.get("records", [])],
@@ -430,7 +484,7 @@ class ShardRouter:
                 "keep_uids": True,
             },
         )
-        self._count("writes", len(pairs))
+        self._count("writes", [shard for shard, _resp in pairs])
         return {
             "loaded": len(records),
             # echo in submission order with the router's authoritative uids
@@ -516,9 +570,13 @@ class ShardRouter:
                 "shard": shard,
                 "epochs": resp.get("epochs"),
                 "wal": resp.get("wal"),
+                "uptime_s": resp.get("uptime_s"),
             })
         with self._stats_lock:
             routing = dict(self._routing)
+            contacts = dict(self._contacts_by_shard)
+        for entry in per_shard:
+            entry["contacts"] = contacts.get(entry["shard"], 0)
         with self._topology_lock:
             topology = self._map.as_dict()
         health = (
@@ -541,9 +599,69 @@ class ShardRouter:
             "cluster": {
                 "topology": topology,
                 "routing": routing,
+                "contacts_by_shard": {str(k): v for k, v in sorted(contacts.items())},
+                "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
                 "shards": health,
                 "per_shard": per_shard,
             },
+        }
+
+    def metrics(self) -> Dict[str, Any]:
+        """Cluster-wide ``metrics``: shard metrics plus the router's own.
+
+        Plan-cache and WAL counters are summed across shards so the
+        headline ratios describe the cluster, with each shard's full
+        response preserved under ``shards`` for drill-down.
+        """
+        pairs = self._scatter(self._map.all_shards(), "metrics", lambda s: {})
+        cache = {"entries": 0, "hits": 0, "misses": 0}
+        wal = {"commits": 0, "syncs": 0, "group_absorbed": 0}
+        wal_seen = False
+        shards: List[Dict[str, Any]] = []
+        for shard, resp in pairs:
+            shard_cache = resp.get("plan_cache") or {}
+            for key in cache:
+                cache[key] += int(shard_cache.get(key, 0) or 0)
+            shard_wal = resp.get("wal")
+            if shard_wal:
+                wal_seen = True
+                for key in wal:
+                    wal[key] += int(shard_wal.get(key, 0) or 0)
+            shards.append({
+                "shard": shard,
+                "uptime_s": resp.get("uptime_s"),
+                "plan_cache": shard_cache or None,
+                "wal": shard_wal,
+                "epochs": resp.get("epochs"),
+                "metrics": resp.get("metrics"),
+                "tracer": resp.get("tracer"),
+            })
+        lookups = cache["hits"] + cache["misses"]
+        plan_cache: Dict[str, Any] = dict(cache)
+        plan_cache["hit_ratio"] = (
+            round(cache["hits"] / lookups, 6) if lookups else None
+        )
+        wal_summary: Optional[Dict[str, Any]] = None
+        if wal_seen:
+            wal_summary = dict(wal)
+            wal_summary["group_absorbed_ratio"] = (
+                round(wal["group_absorbed"] / wal["commits"], 6)
+                if wal["commits"] else None
+            )
+        with self._stats_lock:
+            routing = dict(self._routing)
+            contacts = dict(self._contacts_by_shard)
+        return {
+            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "plan_cache": plan_cache,
+            "wal": wal_summary,
+            "metrics": obs_metrics.REGISTRY.snapshot(),
+            "tracer": obs_tracer.TRACER.stats_dict(),
+            "cluster": {
+                "routing": routing,
+                "contacts_by_shard": {str(k): v for k, v in sorted(contacts.items())},
+            },
+            "shards": shards,
         }
 
 
@@ -602,7 +720,14 @@ class ClusterFrontend(JsonLineServer):
                 f"unknown command {cmd!r}; know {sorted(P.COMMANDS)}"
             )
         conn.requests += 1
-        return handler(conn, request_id, message)
+        obs_metrics.REGISTRY.counter(f"router.ops.{cmd}").inc()
+        t0 = time.perf_counter()
+        with obs_tracer.span("router.request", cmd=cmd, conn=conn.conn_id):
+            response = handler(conn, request_id, message)
+        obs_metrics.REGISTRY.histogram(f"router.latency_ms.{cmd}").observe(
+            (time.perf_counter() - t0) * 1e3
+        )
+        return response
 
     # -- control --------------------------------------------------------- #
     def _cmd_ping(self, conn: _RouterConnection, request_id: Any,
@@ -719,5 +844,11 @@ class ClusterFrontend(JsonLineServer):
     def _cmd_stats(self, conn: _RouterConnection, request_id: Any,
                    message: Dict[str, Any]) -> Dict[str, Any]:
         payload = self.router.stats()
+        payload["session"] = {"id": conn.conn_id, "requests": conn.requests}
+        return P.ok_response(request_id, **payload)
+
+    def _cmd_metrics(self, conn: _RouterConnection, request_id: Any,
+                     message: Dict[str, Any]) -> Dict[str, Any]:
+        payload = self.router.metrics()
         payload["session"] = {"id": conn.conn_id, "requests": conn.requests}
         return P.ok_response(request_id, **payload)

@@ -35,6 +35,7 @@ threading an epoch argument through every write hook.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
@@ -47,6 +48,9 @@ class EpochManager:
         self._current = start   # highest *published* epoch
         self._next = start      # highest *begun* epoch
         self._pins: Dict[int, int] = {}   # epoch -> pinned reader count
+        #: epoch -> monotonic time its earliest live pin registered (for
+        #: the epoch-pin age gauge: an old pin is what holds back GC)
+        self._pin_started: Dict[int, float] = {}
         self._local = threading.local()
 
     # ------------------------------------------------------------------ #
@@ -117,6 +121,7 @@ class EpochManager:
         with self._cond:
             epoch = self._current
             self._pins[epoch] = self._pins.get(epoch, 0) + 1
+            self._pin_started.setdefault(epoch, time.monotonic())
         try:
             yield epoch
         finally:
@@ -126,6 +131,7 @@ class EpochManager:
                     self._pins[epoch] = left
                 else:
                     self._pins.pop(epoch, None)
+                    self._pin_started.pop(epoch, None)
                 self._cond.notify_all()
 
     def pinned_count(self) -> int:
@@ -136,6 +142,17 @@ class EpochManager:
     def oldest_pinned(self) -> Optional[int]:
         with self._cond:
             return min(self._pins) if self._pins else None
+
+    def pin_age_s(self) -> Optional[float]:
+        """Seconds the oldest live reader pin has been held (``None``: no pins).
+
+        The gauge the ``metrics`` export serves: a growing age means some
+        reader is holding back the version-GC horizon.
+        """
+        with self._cond:
+            if not self._pin_started:
+                return None
+            return round(time.monotonic() - min(self._pin_started.values()), 6)
 
     # ------------------------------------------------------------------ #
     # the GC horizon

@@ -44,6 +44,7 @@ import zlib
 from typing import TYPE_CHECKING, Any, Dict, Iterator, NamedTuple, Optional, Tuple
 
 from repro.analysis import lockdep
+from repro.obs import metrics as obs_metrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.io.counters import IOStats
@@ -97,6 +98,45 @@ def read_log(path: str) -> Iterator[WalRecord]:
     for lsn, (offset, length, payload) in enumerate(_scan(raw)):
         epoch, op = pickle.loads(payload)
         yield WalRecord(lsn, epoch, op, offset, length)
+
+
+def bench_fragment(engine: Any) -> Dict[str, object]:
+    """The WAL counter block every ``BENCH_*.json`` artifact embeds.
+
+    Uniform across benchmarks (zeros when the engine runs without a log),
+    so artifact diffing can track group-commit effectiveness release over
+    release: ``commits`` / ``syncs`` / ``group_absorbed`` from the log,
+    ``fsyncs`` from the backend's shared :class:`IOStats` (truncate
+    barriers included — they are platter round-trips too).
+    """
+    wal = getattr(engine, "wal", None)
+    stats = engine.io_stats()
+    return {
+        "commits": 0 if wal is None else wal.commits,
+        "syncs": 0 if wal is None else wal.syncs,
+        "group_absorbed": 0 if wal is None else wal.group_absorbed,
+        "group_absorbed_ratio": None if wal is None else wal.group_absorbed_ratio,
+        "fsyncs": getattr(stats, "fsyncs", 0),
+    }
+
+
+def bench_fragment_from_wire(
+    wal: Optional[Dict[str, Any]], engine: Dict[str, Any]
+) -> Dict[str, object]:
+    """:func:`bench_fragment` built from a server's ``stats`` response.
+
+    ``wal`` is the response's ``wal`` block (``None`` on a WAL-less
+    server), ``engine`` its ``engine`` block (which carries ``fsyncs``
+    from the backend's shared counters).
+    """
+    wal = wal or {}
+    return {
+        "commits": wal.get("commits", 0),
+        "syncs": wal.get("syncs", 0),
+        "group_absorbed": wal.get("group_absorbed", 0),
+        "group_absorbed_ratio": wal.get("group_absorbed_ratio"),
+        "fsyncs": engine.get("fsyncs", 0),
+    }
 
 
 class WriteAheadLog:
@@ -194,12 +234,16 @@ class WriteAheadLog:
         """Make the log durable up to ``offset``; returns ``True`` on a
         physical barrier, ``False`` when another commit's barrier already
         covered this offset (the group-commit fast path)."""
+        wait0 = time.perf_counter()
         if self._commit_latency:
             # simulated synchronous log device: no command queueing means
             # no absorption fast path — every commit serializes on the
             # barrier lock and pays its own round-trip (sleeping releases
             # the GIL, so independent logs overlap their round-trips)
             with self._sync_lock:
+                obs_metrics.REGISTRY.histogram("wal.sync_wait_ms").observe(
+                    (time.perf_counter() - wait0) * 1e3
+                )
                 lockdep.notify_blocking("wal.sync_to")
                 time.sleep(self._commit_latency)
                 with self._lock:
@@ -218,6 +262,9 @@ class WriteAheadLog:
                 self.group_absorbed += 1
             return False
         with self._sync_lock:
+            obs_metrics.REGISTRY.histogram("wal.sync_wait_ms").observe(
+                (time.perf_counter() - wait0) * 1e3
+            )
             if self._synced >= offset:
                 with self._lock:
                     self.group_absorbed += 1
@@ -297,6 +344,17 @@ class WriteAheadLog:
     def synced_bytes(self) -> int:
         return self._synced
 
+    @property
+    def group_absorbed_ratio(self) -> Optional[float]:
+        """Fraction of commits that rode another commit's barrier.
+
+        ``None`` until the first commit — exporters can tell "no write
+        traffic yet" apart from "no absorption happening".
+        """
+        if not self.commits:
+            return None
+        return round(self.group_absorbed / self.commits, 6)
+
     def as_dict(self) -> Dict[str, object]:
         """Log state as plain data (the server's ``stats`` response)."""
         return {
@@ -306,6 +364,7 @@ class WriteAheadLog:
             "commits": self.commits,
             "syncs": self.syncs,
             "group_absorbed": self.group_absorbed,
+            "group_absorbed_ratio": self.group_absorbed_ratio,
         }
 
     def close(self) -> None:

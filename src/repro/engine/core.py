@@ -21,6 +21,7 @@ True
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from types import MappingProxyType
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
@@ -42,6 +43,8 @@ from repro.engine.result import QueryResult
 from repro.engine.session import EngineSession, RWLock
 from repro.interval import Interval
 from repro.io import BufferManager, FileDisk, SimulatedDisk
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer as obs_tracer
 from repro.metablock.geometry import PlanarPoint
 from repro.pst import ExternalPST
 from repro.records import record_key
@@ -221,26 +224,38 @@ class Engine:
         """
         lsn = None
         epoch: Optional[int] = None
+        wait0 = time.perf_counter()
         try:
             with self._write_mutex:
+                obs_metrics.REGISTRY.histogram("engine.write_mutex_wait_ms").observe(
+                    (time.perf_counter() - wait0) * 1e3
+                )
                 epoch = self._epochs.begin()
                 latch = self._latch(name)
                 latch.acquire_write()
                 self._epochs.set_write_epoch(epoch)
                 try:
-                    out = fn()
+                    with obs_tracer.span(
+                        "commit.apply", stats=self.io_stats(), index=name, epoch=epoch
+                    ):
+                        out = fn()
                 finally:
                     self._epochs.clear_write_epoch()
                     latch.release_write()
                 if self.wal is not None and op is not None:
                     logged = op() if callable(op) else op
                     if logged is not None:
-                        lsn = self.wal.append(epoch, logged)
+                        with obs_tracer.span(
+                            "wal.append", stats=self.io_stats(), index=name
+                        ):
+                            lsn = self.wal.append(epoch, logged)
             if lsn is not None:
-                self.wal.sync_to(lsn)
+                with obs_tracer.span("wal.sync", stats=self.io_stats(), lsn=lsn):
+                    self.wal.sync_to(lsn)
         finally:
             if epoch is not None:
-                self._epochs.publish(epoch)
+                with obs_tracer.span("epoch.publish", epoch=epoch):
+                    self._epochs.publish(epoch)
         # version GC: physically reclaim tombstones no pinned reader can
         # see — with no readers pinned this purges the commit's own
         # tombstones before returning, so single-caller deletes stay
@@ -268,9 +283,16 @@ class Engine:
         """
         latch = self._latch(name)
         with self._epochs.pinned() as epoch:
+            wait0 = time.perf_counter()
             latch.acquire_read()
+            obs_metrics.REGISTRY.histogram("engine.read_latch_wait_ms").observe(
+                (time.perf_counter() - wait0) * 1e3
+            )
             try:
-                yield epoch
+                with obs_tracer.span(
+                    "engine.read_turn", stats=self.io_stats(), index=name, epoch=epoch
+                ):
+                    yield epoch
             finally:
                 latch.release_read()
 
@@ -741,6 +763,38 @@ class Engine:
     def io_stats(self):
         """Live I/O counters of the backend."""
         return self.disk.stats
+
+    def plan_cache_info(self) -> Dict[str, Any]:
+        """Aggregated plan-cache counters across every live planner.
+
+        Collections answer with their own planner's cache, plain indexes
+        with the engine-held one; indexes never queried through a planner
+        simply do not appear.  ``hit_ratio`` is ``None`` until the first
+        plan lookup, so exporters can tell "no traffic" from "0% hits".
+        """
+        entries = hits = misses = 0
+        per_index: Dict[str, Dict[str, int]] = {}
+        for name in sorted(self._indexes):
+            index = self._indexes[name]
+            if isinstance(index, Collection):
+                planner = index.planner
+            else:
+                planner = self._planners.get(name)
+            if planner is None:
+                continue
+            info = planner.cache_info()
+            per_index[name] = info
+            entries += info["entries"]
+            hits += info["hits"]
+            misses += info["misses"]
+        lookups = hits + misses
+        return {
+            "entries": entries,
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": round(hits / lookups, 6) if lookups else None,
+            "per_index": per_index,
+        }
 
     def measure(self):
         """Scoped I/O measurement over the whole engine (see ``SimulatedDisk.measure``)."""

@@ -79,6 +79,8 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 from repro.engine.protocols import Bound
 from repro.engine.queries import MODIFIERS, And, Limit, Or, OrderBy
 from repro.engine.result import QueryResult
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer as obs_tracer
 from repro.records import record_key  # canonical home; re-exported for callers
 
 #: Documented slack: a planner-chosen plan's observed I/Os never exceed
@@ -314,27 +316,35 @@ class QueryPlanner:
         planner's reentrant lock, so any number of concurrent reader
         sessions may plan on one shared planner.
         """
-        with self._lock:
-            sig = self._signature(q) if use_cache else None
-            if sig is not None:
-                entry = self._cache.get(sig)
-                if entry is not None:
-                    gen_key, template = entry
-                    if gen_key == self._generation_key():
-                        plan = self._try_instantiate(template, q)
-                        if plan is not None:
-                            self.cache_hits += 1
-                            self._cache.move_to_end(sig)
-                            return plan
-                    # stale generation or structural mismatch: drop and re-plan
-                    self._cache.pop(sig, None)
-            plan, template = self._plan_fresh(q)
-            if sig is not None and template is not None:
-                self.cache_misses += 1
-                self._cache[sig] = (self._generation_key(), template)
-                while len(self._cache) > PLAN_CACHE_SIZE:
-                    self._cache.popitem(last=False)
-            return plan
+        with obs_tracer.span("planner.plan", query=type(q).__name__) as sp:
+            with self._lock:
+                sig = self._signature(q) if use_cache else None
+                if sig is not None:
+                    entry = self._cache.get(sig)
+                    if entry is not None:
+                        gen_key, template = entry
+                        if gen_key == self._generation_key():
+                            plan = self._try_instantiate(template, q)
+                            if plan is not None:
+                                self.cache_hits += 1
+                                obs_metrics.REGISTRY.counter(
+                                    "planner.cache_hits"
+                                ).inc()
+                                sp.annotate(cache_hit=True)
+                                self._cache.move_to_end(sig)
+                                return plan
+                        # stale generation or structural mismatch: drop and re-plan
+                        self._cache.pop(sig, None)
+                with obs_tracer.span("planner.enumerate"):
+                    plan, template = self._plan_fresh(q)
+                sp.annotate(cache_hit=False)
+                if sig is not None and template is not None:
+                    self.cache_misses += 1
+                    obs_metrics.REGISTRY.counter("planner.cache_misses").inc()
+                    self._cache[sig] = (self._generation_key(), template)
+                    while len(self._cache) > PLAN_CACHE_SIZE:
+                        self._cache.popitem(last=False)
+                return plan
 
     def _plan_fresh(self, q: Any) -> Tuple[Plan, Optional[PlanTemplate]]:
         base, modifiers = self._peel(q)
@@ -646,7 +656,19 @@ class QueryPlanner:
                 yield rec
         else:
             matches = residual.matches
-            for rec in stream:
-                cell[0] += 1
-                if matches(rec):
-                    yield rec
+            # the residual span carries counts, not an I/O sink: the filter
+            # itself does no I/O, and this generator can be abandoned by an
+            # outer Limit — its late GC-driven close must not have to
+            # unwind a sink registration
+            sp = obs_tracer.span("plan.residual", index=plan.index)
+            with sp:
+                examined = emitted = 0
+                try:
+                    for rec in stream:
+                        cell[0] += 1
+                        examined += 1
+                        if matches(rec):
+                            emitted += 1
+                            yield rec
+                finally:
+                    sp.annotate(examined=examined, emitted=emitted)

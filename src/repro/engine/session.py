@@ -51,6 +51,8 @@ from typing import Any, Callable, Iterator, List, Optional
 
 from repro.analysis import lockdep
 from repro.io.counters import IOStats
+from repro.obs import tracer as obs_tracer
+from repro.obs.slowlog import SLOWLOG
 
 #: process-wide session id source (sessions of all engines share it)
 _SESSION_IDS = itertools.count(1)
@@ -292,18 +294,49 @@ class EngineSession:
         self.requests += 1
 
     def _read(self, name: str, fn: Callable[[], List[Any]]) -> SessionResult:
-        with self.engine.read_turn(name) as epoch:
-            with self._attributed() as sink:
-                records = self.engine.visible_records(name, fn(), epoch)
-        return SessionResult(records, sink)
+        with self._root_span(op="read", index=name) as root:
+            with self.engine.read_turn(name) as epoch:
+                with self._attributed() as sink:
+                    records = self.engine.visible_records(name, fn(), epoch)
+        return self._finish_request(root, SessionResult(records, sink))
 
-    def _write(self, fn: Callable[[], Any]) -> SessionResult:
+    def _write(self, fn: Callable[[], Any], *, op: str = "write") -> SessionResult:
         # no session-side lock: the engine's commit kernel serializes,
         # logs, fsyncs and publishes the turn before returning
-        with self._attributed() as sink:
-            out = fn()
+        with self._root_span(op=op) as root:
+            with self._attributed() as sink:
+                out = fn()
         records = out if isinstance(out, list) else ([] if out is None else [out])
-        return SessionResult(records, sink)
+        return self._finish_request(root, SessionResult(records, sink))
+
+    def _root_span(self, **attrs: Any) -> Any:
+        """The request's root span (a shared no-op while tracing is off)."""
+        return obs_tracer.span(
+            "session.request", stats=self.engine.io_stats(),
+            session=self.session_id, **attrs,
+        )
+
+    def _finish_request(self, root: Any, result: SessionResult) -> SessionResult:
+        """Annotate a finished request's root span; feed the slow-query log.
+
+        The root's ``residual`` is the paper check in trace form: actual
+        attributed I/Os minus the predicted bound (``None`` for writes and
+        unbounded plans) — the same quantity the BOUND_SLACK tests gate.
+        """
+        if isinstance(root, obs_tracer.Span):
+            residual = (
+                result.stats.total - result.bound
+                if result.bound is not None else None
+            )
+            root.annotate(
+                ios=result.stats.total, bound=result.bound, residual=residual
+            )
+            if SLOWLOG.enabled():
+                plan = result.plan
+                SLOWLOG.consider(
+                    root, plan=None if plan is None else str(plan)
+                )
+        return result
 
     # ------------------------------------------------------------------ #
     # the read surface (snapshot turns)
@@ -316,13 +349,21 @@ class EngineSession:
         oracle of that epoch's record set even while writers commit
         concurrently on this or any other index.
         """
-        with self.engine.read_turn(name) as epoch:
-            with self._attributed() as sink:
-                result = self.engine.query(name, q)
-                records = self.engine.visible_records(name, result.all(), epoch)
-                bound = result.bound
-                plan = result.plan
-        return SessionResult(records, sink, bound=bound, plan=plan)
+        with self._root_span(op="query", index=name) as root:
+            with self.engine.read_turn(name) as epoch:
+                with self._attributed() as sink:
+                    result = self.engine.query(name, q)
+                    with obs_tracer.span(
+                        "plan.execute", stats=self.engine.io_stats(), index=name
+                    ):
+                        records = self.engine.visible_records(
+                            name, result.all(), epoch
+                        )
+                    bound = result.bound
+                    plan = result.plan
+        return self._finish_request(
+            root, SessionResult(records, sink, bound=bound, plan=plan)
+        )
 
     def run(self, prepared: Any, **params: Any) -> SessionResult:
         """Execute a :class:`~repro.engine.prepared.PreparedQuery` handle.
@@ -332,17 +373,25 @@ class EngineSession:
         the planner they delegate to is internally locked, so re-planning
         after an invalidation is safe under the shared latch.
         """
-        with self.engine.read_turn(prepared.name) as epoch:
-            with self._attributed() as sink:
-                result = prepared.run(**params)
-                records = self.engine.visible_records(
-                    prepared.name, result.all(), epoch
-                )
-                bound = result.bound
-                plan = result.plan
-        return SessionResult(
-            records, sink, bound=bound, plan=plan,
-            from_cache=prepared.last_from_cache,
+        with self._root_span(op="run", index=prepared.name) as root:
+            with self.engine.read_turn(prepared.name) as epoch:
+                with self._attributed() as sink:
+                    result = prepared.run(**params)
+                    with obs_tracer.span(
+                        "plan.execute", stats=self.engine.io_stats(),
+                        index=prepared.name,
+                    ):
+                        records = self.engine.visible_records(
+                            prepared.name, result.all(), epoch
+                        )
+                    bound = result.bound
+                    plan = result.plan
+        return self._finish_request(
+            root,
+            SessionResult(
+                records, sink, bound=bound, plan=plan,
+                from_cache=prepared.last_from_cache,
+            ),
         )
 
     def prepare(self, name: str, q: Any) -> Any:
@@ -359,28 +408,32 @@ class EngineSession:
     # the write surface (exclusive turns)
     # ------------------------------------------------------------------ #
     def insert(self, name: str, *item: Any) -> SessionResult:
-        return self._write(lambda: self.engine.insert(name, *item))
+        return self._write(lambda: self.engine.insert(name, *item), op="insert")
 
     def delete(self, name: str, *item: Any) -> SessionResult:
-        return self._write(lambda: [bool(self.engine.delete(name, *item))])
+        return self._write(
+            lambda: [bool(self.engine.delete(name, *item))], op="delete"
+        )
 
     def bulk_load(self, name: str, items: List[Any]) -> SessionResult:
-        return self._write(lambda: [self.engine.bulk_load(name, items)])
+        return self._write(
+            lambda: [self.engine.bulk_load(name, items)], op="bulk_load"
+        )
 
     def create_collection(self, name: str, records: Any = (), **kw: Any) -> SessionResult:
         def do() -> None:
             self.engine.create_collection(name, list(records), **kw)
 
-        return self._write(do)
+        return self._write(do, op="create")
 
     def create_interval_index(self, name: str, records: Any = (), **kw: Any) -> SessionResult:
         def do() -> None:
             self.engine.create_interval_index(name, list(records), **kw)
 
-        return self._write(do)
+        return self._write(do, op="create")
 
     def drop_index(self, name: str) -> SessionResult:
-        return self._write(lambda: self.engine.drop_index(name))
+        return self._write(lambda: self.engine.drop_index(name), op="drop")
 
     def delete_matching(self, name: str, q: Any, limit: Optional[int] = None) -> SessionResult:
         """Delete every record matching ``q``: one atomic multi-commit turn.
@@ -393,13 +446,16 @@ class EngineSession:
         upgrade this method used pre-MVCC survives on :class:`RWLock` for
         the engine's per-index latches.)
         """
-        with self._attributed() as sink:
-            with self.engine.write_turn():
-                victims = self.engine.query(name, q).all()
-                if limit is not None:
-                    victims = victims[:limit]
-                removed = [v for v in victims if self.engine.delete(name, v)]
-        return SessionResult(removed, sink)
+        with self._root_span(op="delete_matching", index=name) as root:
+            with self._attributed() as sink:
+                with self.engine.write_turn():
+                    victims = self.engine.query(name, q).all()
+                    if limit is not None:
+                        victims = victims[:limit]
+                    removed = [
+                        v for v in victims if self.engine.delete(name, v)
+                    ]
+        return self._finish_request(root, SessionResult(removed, sink))
 
     # ------------------------------------------------------------------ #
     # accounting

@@ -1,0 +1,52 @@
+"""Observability: structured tracing, process metrics, slow-query log.
+
+Three always-importable, cheaply-disableable surfaces:
+
+* :mod:`repro.obs.tracer` — nestable spans with per-span ``IOStats``
+  deltas; near-zero cost unless :func:`enable` is called.
+* :mod:`repro.obs.metrics` — the process-global :data:`REGISTRY` of
+  counters/gauges/latency histograms, always on.
+* :mod:`repro.obs.slowlog` — threshold-gated capture of slow requests'
+  span trees via :data:`SLOWLOG`.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.obs.slowlog import SLOWLOG, SlowQueryLog
+from repro.obs.tracer import (
+    TRACER,
+    NullSpan,
+    Span,
+    Tracer,
+    current_span,
+    disable,
+    enable,
+    is_enabled,
+    render_span_tree,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullSpan",
+    "REGISTRY",
+    "SLOWLOG",
+    "SlowQueryLog",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "current_span",
+    "disable",
+    "enable",
+    "is_enabled",
+    "render_span_tree",
+    "span",
+]

@@ -1,0 +1,230 @@
+"""The metrics registry: named counters, gauges, fixed-bucket histograms.
+
+Unlike tracing — opt-in, request-shaped — metrics are **always on**: a
+handful of lock-guarded integer adds per request, cheap enough to leave
+running in production and exactly what the ``metrics`` wire command and
+``repro top`` export.  The registry is process-global (:data:`REGISTRY`)
+so the engine, the WAL, the planner and the server all write into one
+namespace without threading a handle through every constructor.
+
+Instruments
+-----------
+* :class:`Counter` — monotonically increasing (``ops``, cache hits).
+* :class:`Gauge` — a point-in-time value (epoch-pin age, live sessions).
+* :class:`Histogram` — fixed exponential buckets with p50/p95/p99
+  estimated by linear interpolation inside the winning bucket.  Fixed
+  buckets keep ``observe`` O(#buckets) with zero allocation, which is
+  what lets latency observation sit on the request path.
+
+Every mutation holds the instrument's lock — the concurrency linter's
+``unlocked-shared-mutation`` rule applies here as everywhere — so the
+8-thread hammer test can assert counters are *exact*, not approximate.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+]
+
+#: default histogram buckets (milliseconds), exponential 0.01ms .. ~10s
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+class Counter:
+    """A monotonically-increasing counter."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentiles.
+
+    ``buckets`` are the inclusive upper bounds of each bin; observations
+    above the last bound land in an overflow bin whose "upper bound" for
+    interpolation is the largest value actually observed.
+    """
+
+    __slots__ = ("name", "buckets", "_lock", "_counts", "_count", "_sum", "_max")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS
+    ) -> None:
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        if list(self.buckets) != sorted(self.buckets) or not self.buckets:
+            raise ValueError(f"histogram {name!r} needs sorted, non-empty buckets")
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.buckets) + 1)  # +1: overflow bin
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentile(self, fraction: float) -> float:
+        """Estimate the ``fraction`` quantile (0 < fraction <= 1)."""
+        with self._lock:
+            return self._percentile_locked(fraction)
+
+    def _percentile_locked(self, fraction: float) -> float:
+        if self._count == 0:
+            return 0.0
+        rank = fraction * self._count
+        seen = 0.0
+        for index, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            lower = self.buckets[index - 1] if index > 0 else 0.0
+            upper = self.buckets[index] if index < len(self.buckets) else self._max
+            if seen + bucket_count >= rank:
+                within = max(rank - seen, 0.0) / bucket_count
+                return lower + (upper - lower) * within
+            seen += bucket_count
+        return self._max
+
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": round(self._sum, 6),
+                "avg": round(self._sum / self._count, 6) if self._count else 0.0,
+                "max": round(self._max, 6),
+                "p50": round(self._percentile_locked(0.50), 6),
+                "p95": round(self._percentile_locked(0.95), 6),
+                "p99": round(self._percentile_locked(0.99), 6),
+            }
+
+
+class MetricsRegistry:
+    """A thread-safe namespace of instruments, created on first touch."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # instrument access (get-or-create)
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(
+                    name, buckets or DEFAULT_LATENCY_BUCKETS_MS
+                )
+        return instrument
+
+    # ------------------------------------------------------------------ #
+    # export / reset
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain data for the wire: counters, gauges, histogram summaries."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: counters[name].value for name in sorted(counters)
+            },
+            "gauges": {name: gauges[name].value for name in sorted(gauges)},
+            "histograms": {
+                name: histograms[name].as_dict() for name in sorted(histograms)
+            },
+        }
+
+    def counter_values(self, prefix: str = "") -> Dict[str, int]:
+        """Counter values whose names start with ``prefix`` (sorted)."""
+        with self._lock:
+            names: List[str] = [
+                name for name in self._counters if name.startswith(prefix)
+            ]
+            return {name: self._counters[name].value for name in sorted(names)}
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and the trace CLI start clean)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: the process-wide registry every subsystem records into
+REGISTRY = MetricsRegistry()

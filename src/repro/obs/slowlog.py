@@ -1,0 +1,111 @@
+"""The slow-query log: capture requests that blow a latency threshold.
+
+When a traced request finishes slower than the configured threshold, the
+session layer hands its root span (plus the executed plan's description)
+to :class:`SlowQueryLog`.  Entries are plain dicts — the same shape as
+``Span.as_dict()`` — kept in a bounded in-memory ring and, optionally,
+appended as JSON lines to a file so a long-running server leaves a
+post-mortem artifact.
+
+The log is threshold-gated *and* tracing-gated: with tracing disabled
+the session layer never builds a span tree, so there is nothing to
+record and the hot path pays nothing.  ``threshold_ms=None`` (the
+default) disables recording even when tracing is on.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs.tracer import Span
+
+__all__ = ["SlowQueryLog", "SLOWLOG"]
+
+
+class SlowQueryLog:
+    """A bounded ring of slow-request records with an optional file sink."""
+
+    RING_CAPACITY = 128
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._threshold_ms: Optional[float] = None
+        self._path: Optional[str] = None
+        self._ring: List[Dict[str, Any]] = []
+        self.recorded = 0
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+    def configure(
+        self, *, threshold_ms: Optional[float], path: Optional[str] = None
+    ) -> None:
+        """Set the latency threshold (None disables) and optional sink file."""
+        with self._lock:
+            self._threshold_ms = threshold_ms
+            self._path = path
+
+    @property
+    def threshold_ms(self) -> Optional[float]:
+        with self._lock:
+            return self._threshold_ms
+
+    def enabled(self) -> bool:
+        return self.threshold_ms is not None
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def consider(self, root: Span, *, plan: Optional[str] = None) -> bool:
+        """Record ``root`` if it crossed the threshold; report whether it did."""
+        with self._lock:
+            threshold = self._threshold_ms
+            path = self._path
+        if threshold is None or root.wall_ms < threshold:
+            return False
+        entry: Dict[str, Any] = {
+            "ts": time.time(),
+            "wall_ms": round(root.wall_ms, 4),
+            "threshold_ms": threshold,
+            "plan": plan,
+            "trace": root.as_dict(),
+        }
+        with self._lock:
+            self.recorded += 1
+            self._ring.append(entry)
+            if len(self._ring) > self.RING_CAPACITY:
+                del self._ring[: len(self._ring) - self.RING_CAPACITY]
+        if path is not None:
+            line = json.dumps(entry, sort_keys=True)
+            with self._lock:
+                with open(path, "a", encoding="utf-8") as handle:
+                    print(line, file=handle)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    def recent(self, limit: int = 16) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [dict(entry) for entry in self._ring[-limit:]]
+
+    def stats_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "threshold_ms": self._threshold_ms,
+                "recorded": self.recorded,
+                "ring_depth": len(self._ring),
+                "path": self._path,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self.recorded = 0
+
+
+#: the process-wide slow-query log the session layer feeds
+SLOWLOG = SlowQueryLog()

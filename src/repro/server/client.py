@@ -234,6 +234,10 @@ class ReproClient:
     def stats(self) -> Dict[str, Any]:
         return self.call("stats")
 
+    def metrics(self) -> Dict[str, Any]:
+        """The observability export (counters, plan-cache ratio, WAL, ...)."""
+        return self.call("metrics")
+
     def drop(self, index: str) -> Dict[str, Any]:
         return self.call("drop", index=index)
 

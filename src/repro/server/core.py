@@ -35,8 +35,12 @@ from __future__ import annotations
 import itertools
 import socketserver
 import threading
+import time
 from typing import Any, Dict, Iterator, Optional, Tuple
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer as obs_tracer
+from repro.obs.slowlog import SLOWLOG
 from repro.server import protocol as P
 
 
@@ -234,6 +238,11 @@ class ReproServer(JsonLineServer):
         #: aggregate of departed sessions, so ``stats`` accounts for the
         #: whole serving history, not just currently-open connections
         self._retired: Dict[str, int] = {"sessions": 0, "requests": 0, "ios": 0}
+        self._started_monotonic = time.monotonic()
+
+    def uptime_s(self) -> float:
+        """Seconds since this server object was constructed."""
+        return round(time.monotonic() - self._started_monotonic, 3)
 
     def __enter__(self) -> "ReproServer":
         self.start()
@@ -280,8 +289,13 @@ class ReproServer(JsonLineServer):
             raise P.ProtocolError(
                 f"unknown command {cmd!r}; know {sorted(P.COMMANDS)}"
             )
+        obs_metrics.REGISTRY.counter(f"server.ops.{cmd}").inc()
+        t0 = time.perf_counter()
         response: Dict[str, Any] = handler(
             session, leases, lease_ids, request_id, message
+        )
+        obs_metrics.REGISTRY.histogram(f"server.latency_ms.{cmd}").observe(
+            (time.perf_counter() - t0) * 1e3
         )
         return response
 
@@ -508,6 +522,26 @@ class ReproServer(JsonLineServer):
             },
             epochs=self.engine.epochs.as_dict(),
             wal=(None if self.engine.wal is None else self.engine.wal.as_dict()),
+            uptime_s=self.uptime_s(),
+        )
+
+    def _cmd_metrics(self, session: Any, leases: Dict[int, Any],
+                    lease_ids: Iterator[int], request_id: Any,
+                    message: Dict[str, Any]) -> Dict[str, Any]:
+        """The observability export: everything ``repro top`` needs in one
+        round-trip — the metrics registry snapshot, plan-cache hit ratio,
+        WAL group-absorption, epoch-pin age, tracer/slow-query state."""
+        epochs = self.engine.epochs.as_dict()
+        epochs["pin_age_s"] = self.engine.epochs.pin_age_s()
+        return P.ok_response(
+            request_id,
+            uptime_s=self.uptime_s(),
+            metrics=obs_metrics.REGISTRY.snapshot(),
+            plan_cache=self.engine.plan_cache_info(),
+            wal=(None if self.engine.wal is None else self.engine.wal.as_dict()),
+            epochs=epochs,
+            tracer=obs_tracer.TRACER.stats_dict(),
+            slowlog=SLOWLOG.stats_dict(),
         )
 
 

@@ -18,6 +18,9 @@ command    payload
 ``bulk_load``  ``index``, ``records``
 ``explain``  ``index``, ``q``
 ``stats``  —
+``metrics``  — (the observability export: counter/gauge/histogram
+           snapshot, plan-cache hit ratio, WAL group-absorption,
+           epoch-pin age, uptime; what ``repro top`` polls)
 ``drop``   ``index``
 ``shutdown``  —
 ========== =============================================================
@@ -65,7 +68,7 @@ PROTOCOL_VERSION = 1
 #: commands a server must route (the client refuses to send others)
 COMMANDS = (
     "ping", "create", "query", "prepare", "run", "insert", "delete",
-    "bulk_load", "explain", "stats", "drop", "shutdown",
+    "bulk_load", "explain", "stats", "metrics", "drop", "shutdown",
 )
 
 #: every structured ``error.code`` the protocol can produce — pinned

@@ -45,6 +45,9 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.durability.wal import (
+    bench_fragment_from_wire as wal_bench_fragment_from_wire,
+)
 from repro.engine.planner import BOUND_SLACK, BOUND_SLACK_PAGES
 from repro.engine.queries import EndpointRange, Param, Stab
 from repro.interval import Interval
@@ -500,6 +503,12 @@ def run_matrix(
                 k: server_stats["engine"][k]
                 for k in ("block_size", "blocks", "reads", "writes")
             },
+            # the uniform durability block every BENCH_*.json carries,
+            # read off the already-fetched stats round-trip (a WAL-less
+            # ephemeral server reports zeros)
+            "wal": wal_bench_fragment_from_wire(
+                server_stats.get("wal"), server_stats["engine"]
+            ),
         },
     }
     if shutdown:

@@ -32,6 +32,7 @@ import random
 import time
 from typing import Any, Callable, Dict, List, Tuple
 
+from repro.durability.wal import bench_fragment as wal_bench_fragment
 from repro.engine import ClassRange, EndpointRange, Engine, Param, Stab
 from repro.io import SimulatedDisk
 from repro.workloads.generators import (
@@ -305,5 +306,9 @@ def run_matrix(
                 prepared_row["ios_per_query"] == adhoc_row["ios_per_query"]
             ),
             "plan_cache": planner.cache_info(),
+            # the uniform durability block every BENCH_*.json carries —
+            # zeros here: the read matrix and the mixed leg run without a
+            # WAL attached (the durability benchmark owns those numbers)
+            "wal": wal_bench_fragment(rw_engine),
         },
     }

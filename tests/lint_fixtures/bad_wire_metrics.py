@@ -1,0 +1,43 @@
+# ruff: noqa
+"""Seeded-bad fixture: the observability export lagging the wire contract.
+
+Declaring ``metrics`` in ``COMMANDS`` obligates *every* handler class
+and *every* protocol client; a scatter-gather frontend that forgot the
+handler, or a client that cannot call it, is exactly the drift the
+wire-exhaustiveness rule exists to catch.
+"""
+
+COMMANDS = ("ping", "stats", "metrics")
+
+
+class MetricsServer:
+    """Complete: one ``_cmd_*`` handler per declared command."""
+
+    def _cmd_ping(self, conn, request_id, message):
+        return {}
+
+    def _cmd_stats(self, conn, request_id, message):
+        return {}
+
+    def _cmd_metrics(self, conn, request_id, message):
+        return {}
+
+
+class LaggingFrontend:  # seeded: wire-exhaustiveness
+    """Routes ``stats`` shard-by-shard but never learned ``metrics``."""
+
+    def _cmd_ping(self, conn, request_id, message):
+        return {}
+
+    def _cmd_stats(self, conn, request_id, message):
+        return {}
+
+
+class LaggingClient:  # seeded: wire-exhaustiveness
+    """No ``metrics`` method for the declared command."""
+
+    def ping(self):
+        return None
+
+    def stats(self):
+        return None

@@ -1,0 +1,35 @@
+# ruff: noqa
+"""Clean fixture: ``Tracer.span`` is instrumentation, not a lock.
+
+Spans bracket regions for wall-clock and I/O attribution; they nest
+freely across real locks.  The walker must not mint a lock token for a
+``with ....span(...)`` item — not even when the receiver is named as
+lockily as possible — or every instrumented site would fabricate
+lock-order edges against the locks it runs under.  Zero findings.
+"""
+
+import threading
+
+
+class InstrumentedKernel:
+    def __init__(self, tracer):
+        # deliberately locky receiver names: the method, not the name,
+        # decides whether a with-item is an acquisition
+        self._lock_tracer = tracer
+        self._mutex_tracer = tracer
+        self._write_mutex = threading.Lock()
+        self._leaf_lock = threading.Lock()
+
+    def commit(self, record):
+        # span under the commit mutex, then a leaf lock under the span:
+        # only mutex -> leaf is a real edge (and it is rank-ordered)
+        with self._write_mutex:
+            with self._lock_tracer.span("commit.apply", op="insert"):
+                with self._leaf_lock:
+                    self.applied = record
+
+    def read(self, key):
+        # span *around* a lock must not invert any declared order either
+        with self._mutex_tracer.span("session.request", op="query"):
+            with self._leaf_lock:
+                return getattr(self, "applied", None)

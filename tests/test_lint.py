@@ -161,6 +161,36 @@ class TestRuleMechanics:
         )
         assert linter.findings == []
 
+    def test_tracer_span_is_not_a_lock(self):
+        # PR 10: a `with ....span(...)` item mints no lock token, even on
+        # the lockiest-named receiver — spans are instrumentation
+        linter = lint_snippet(
+            "class Kernel:\n"
+            "    def f(self):\n"
+            "        with self._write_mutex:\n"
+            "            with self._lock_tracer.span('commit.apply'):\n"
+            "                with self._leaf_lock:\n"
+            "                    pass\n"
+            "    def g(self):\n"
+            "        with self._mutex_tracer.span('session.request'):\n"
+            "            with self._write_mutex:\n"
+            "                pass\n"
+        )
+        assert linter.findings == []
+
+    def test_span_block_does_not_shield_shared_mutation(self):
+        # the flip side: if span *were* a lock, a bare += on a shared
+        # counter inside it would be silently allowed
+        linter = lint_snippet(
+            "class Kernel:\n"
+            "    def f(self, tracer):\n"
+            "        with tracer.span('commit.apply'):\n"
+            "            self.stats.commits += 1\n"
+        )
+        assert [f.rule for f in linter.findings] == [
+            "unlocked-shared-mutation"
+        ]
+
     def test_registry_extension_is_one_class(self):
         class Custom(Rule):
             id = "no-print"
